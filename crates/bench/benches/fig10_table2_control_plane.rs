@@ -1,0 +1,20 @@
+//! Criterion bench behind Figure 10a / Table 2: wall-clock cost of the
+//! control-plane sagas (deploy, add-route, add-edge-site).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_bench::{fig10_dynamic_routing, table2_edge_addition};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_plane_sagas");
+    group.sample_size(20);
+    group.bench_function("fig10_route_addition", |b| {
+        b.iter(|| std::hint::black_box(fig10_dynamic_routing::run()));
+    });
+    group.bench_function("table2_edge_site_addition", |b| {
+        b.iter(|| std::hint::black_box(table2_edge_addition::run()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench behind Figure 11: solving the two-site end-to-end
+//! routing comparison (LP + baselines + fluid TCP model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_bench::fig11_e2e_routing::run;
+use sb_types::Millis;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_e2e_routing");
+    group.sample_size(20);
+    group.bench_function("two_site_comparison", |b| {
+        b.iter(|| std::hint::black_box(run(Millis::new(75.0))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench behind Figures 12-13: runtimes of the routing schemes
+//! on the tier-1 model. The paper reports SB-LP running for hours while
+//! SB-DP stays interactive; this bench quantifies that gap on our
+//! implementations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_te::baselines;
+use sb_te::dp::{route_chains, DpConfig};
+use sb_te::lp;
+use switchboard::scenarios::{tier1, Tier1Config};
+
+fn bench(c: &mut Criterion) {
+    let cfg = Tier1Config {
+        num_chains: 8,
+        num_vnfs: 6,
+        coverage: 0.3,
+        ..Tier1Config::default()
+    };
+    let model = tier1(&cfg);
+
+    let mut group = c.benchmark_group("te_scheme_runtime");
+    group.sample_size(10);
+    group.bench_function("sb_lp_max_throughput", |b| {
+        b.iter(|| std::hint::black_box(lp::max_throughput(&model).unwrap()));
+    });
+    group.bench_function("sb_dp", |b| {
+        b.iter(|| std::hint::black_box(route_chains(&model, &DpConfig::default())));
+    });
+    group.bench_function("anycast", |b| {
+        b.iter(|| std::hint::black_box(baselines::anycast(&model)));
+    });
+    group.bench_function("one_hop", |b| {
+        b.iter(|| std::hint::black_box(baselines::one_hop(&model, &DpConfig::default())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

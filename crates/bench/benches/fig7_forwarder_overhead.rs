@@ -1,0 +1,52 @@
+//! Criterion bench behind Figure 7: per-packet cost of the three forwarder
+//! modes (bridge / +overlay labels / +flow affinity) at varying flow counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_dataplane::pktgen::PacketGenerator;
+use sb_dataplane::{Addr, Forwarder, ForwarderMode, RuleSet, WeightedChoice};
+use sb_types::{ChainLabel, EdgeInstanceId, EgressLabel, ForwarderId, InstanceId, LabelPair, SiteId};
+
+fn forwarder(mode: ForwarderMode) -> (Forwarder, LabelPair) {
+    let labels = LabelPair::new(ChainLabel::new(1), EgressLabel::new(1));
+    let mut f = Forwarder::new(ForwarderId::new(1), SiteId::new(0), mode);
+    let vnf = Addr::Vnf(InstanceId::new(1));
+    f.install_rules(
+        labels,
+        RuleSet {
+            to_vnf: WeightedChoice::single(vnf),
+            to_next: WeightedChoice::single(Addr::Forwarder(ForwarderId::new(2))),
+            to_prev: WeightedChoice::single(Addr::Edge(EdgeInstanceId::new(0))),
+        },
+    );
+    f.set_bridge_next(vnf);
+    (f, labels)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_forwarder_overhead");
+    for flows in [1usize, 10, 50] {
+        for (name, mode) in [
+            ("bridge", ForwarderMode::Bridge),
+            ("overlay", ForwarderMode::Overlay),
+            ("affinity", ForwarderMode::Affinity),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, flows),
+                &flows,
+                |b, &flows| {
+                    let (mut fwd, labels) = forwarder(mode);
+                    let mut gen = PacketGenerator::new(labels, flows, 64, 1);
+                    let edge = Addr::Edge(EdgeInstanceId::new(0));
+                    b.iter(|| {
+                        let pkt = gen.next_packet();
+                        std::hint::black_box(fwd.process(pkt, edge).ok())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench behind Figure 8: flow-table lookup throughput as the
+//! per-instance flow population grows past the CPU caches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sb_dataplane::pktgen::PacketGenerator;
+use sb_dataplane::{Addr, Forwarder, ForwarderMode, RuleSet, WeightedChoice};
+use sb_types::{ChainLabel, EdgeInstanceId, EgressLabel, ForwarderId, InstanceId, LabelPair, SiteId};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_flow_table_scaling");
+    for flows in [2_048usize, 65_536, 524_288] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("affinity", flows), &flows, |b, &flows| {
+            let labels = LabelPair::new(ChainLabel::new(1), EgressLabel::new(1));
+            let mut fwd = Forwarder::with_flow_capacity(
+                ForwarderId::new(1),
+                SiteId::new(0),
+                ForwarderMode::Affinity,
+                4 * flows + 64,
+            );
+            fwd.install_rules(
+                labels,
+                RuleSet {
+                    to_vnf: WeightedChoice::single(Addr::Vnf(InstanceId::new(1))),
+                    to_next: WeightedChoice::single(Addr::Forwarder(ForwarderId::new(2))),
+                    to_prev: WeightedChoice::single(Addr::Edge(EdgeInstanceId::new(0))),
+                },
+            );
+            let mut gen = PacketGenerator::new(labels, flows, 64, 1);
+            let edge = Addr::Edge(EdgeInstanceId::new(0));
+            // Warm the flow table so the measurement hits steady state.
+            for _ in 0..flows * 2 {
+                let _ = fwd.process(gen.next_packet(), edge);
+            }
+            b.iter(|| {
+                let pkt = gen.next_packet();
+                std::hint::black_box(fwd.process(pkt, edge).ok())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

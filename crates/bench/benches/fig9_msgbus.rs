@@ -1,0 +1,28 @@
+//! Criterion bench behind Figure 9: publish cost of the proxy bus vs
+//! full-mesh broadcast at high subscriber fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_bench::fig9_msgbus::{run, Config};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_msgbus");
+    group.sample_size(20);
+    for subs in [5u32, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("burst", subs),
+            &subs,
+            |b, &subs| {
+                let cfg = Config {
+                    subscribers_per_site: subs,
+                    messages: 50,
+                    ..Config::default()
+                };
+                b.iter(|| std::hint::black_box(run(&cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

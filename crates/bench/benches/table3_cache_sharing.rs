@@ -1,0 +1,21 @@
+//! Criterion bench behind Table 3: the shared-vs-siloed cache simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_bench::table3_cache_sharing::{run, Config};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_cache_sharing");
+    group.sample_size(10);
+    group.bench_function("zipf_workload", |b| {
+        let cfg = Config {
+            requests_per_chain: 2_000,
+            objects: 5_000,
+            ..Config::default()
+        };
+        b.iter(|| std::hint::black_box(run(&cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

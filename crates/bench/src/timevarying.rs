@@ -1,0 +1,145 @@
+//! Extension experiment: time-varying traffic matrices (Section 7.3
+//! future work: "we plan to extend our network model to include
+//! time-varying traffic matrices and design routing algorithms for it").
+//!
+//! A diurnal day is sliced into epochs whose chain demands follow
+//! longitude-phased sinusoids (`switchboard::scenarios::diurnal_series`).
+//! Two operating modes are compared:
+//!
+//! - **static**: SB-DP routes once, against the *peak-hour* matrix, and
+//!   the routes are held all day (the conservative provisioning strategy
+//!   a time-blind controller must adopt);
+//! - **adaptive**: SB-DP re-routes at every epoch against that epoch's
+//!   matrix, as the paper's envisioned time-aware controller would.
+//!
+//! Static routing pays for its peak provisioning all day: off-peak
+//! traffic follows detours chosen for peak congestion. Adaptive routing
+//! tracks the demand and recovers latency at every epoch.
+
+use crate::Scale;
+use sb_te::dp::{route_chains, DpConfig};
+use sb_te::eval::Evaluation;
+use sb_te::NetworkModel;
+use switchboard::scenarios::{diurnal_series, Tier1Config};
+
+/// Per-epoch comparison row.
+#[derive(Debug, Clone)]
+pub struct EpochRow {
+    /// Hour of (virtual) day.
+    pub hour: f64,
+    /// Total offered demand this epoch.
+    pub demand: f64,
+    /// Static routing: demand-weighted mean latency (ms), when feasible.
+    pub static_latency: Option<f64>,
+    /// Static routing: maximum link utilization.
+    pub static_mlu: f64,
+    /// Adaptive routing: mean latency (ms), when fully routed.
+    pub adaptive_latency: Option<f64>,
+    /// Adaptive routing: maximum link utilization.
+    pub adaptive_mlu: f64,
+}
+
+/// Runs the day-long comparison.
+#[must_use]
+pub fn run(scale: Scale) -> Vec<EpochRow> {
+    let cfg = Tier1Config {
+        num_chains: scale.pick(40, 120),
+        num_vnfs: scale.pick(8, 16),
+        coverage: 0.4,
+        total_traffic: 300.0,
+        ..Tier1Config::default()
+    };
+    let epochs = scale.pick(8, 24);
+    let series = diurnal_series(&cfg, epochs, 0.3, 1.5);
+    let dp = DpConfig::default();
+
+    // Static mode: route the peak epoch once, then apply those per-chain
+    // stage flows (rescaled per-epoch demand applies automatically because
+    // flows are fractions of each chain's demand).
+    let peak_idx = (0..series.len())
+        .max_by(|&a, &b| {
+            let da: f64 = series[a].chains().iter().map(sb_te::ChainSpec::demand).sum();
+            let db: f64 = series[b].chains().iter().map(sb_te::ChainSpec::demand).sum();
+            da.partial_cmp(&db).unwrap()
+        })
+        .expect("non-empty series");
+    let static_solution = route_chains(&series[peak_idx], &dp);
+
+    series
+        .iter()
+        .enumerate()
+        .map(|(e, model)| {
+            #[allow(clippy::cast_precision_loss)]
+            let hour = 24.0 * e as f64 / epochs as f64;
+            let demand: f64 = model.chains().iter().map(sb_te::ChainSpec::demand).sum();
+
+            let static_eval = Evaluation::of(model, &static_solution);
+            let static_ok = static_eval.is_feasible(model, 1e-6)
+                && static_solution.routed_share(&series[peak_idx]) > 0.999;
+            let adaptive_solution = route_chains(model, &dp);
+            let adaptive_eval = Evaluation::of(model, &adaptive_solution);
+            let adaptive_ok = adaptive_solution.routed_share(model) > 0.999;
+
+            EpochRow {
+                hour,
+                demand,
+                static_latency: static_ok.then(|| static_eval.mean_latency().value()),
+                static_mlu: static_eval.max_link_utilization(model),
+                adaptive_latency: adaptive_ok
+                    .then(|| adaptive_eval.mean_latency().value()),
+                adaptive_mlu: adaptive_eval.max_link_utilization(model),
+            }
+        })
+        .collect()
+}
+
+/// The model used by [`run`], exposed for tests.
+#[must_use]
+pub fn base_model(scale: Scale) -> NetworkModel {
+    let cfg = Tier1Config {
+        num_chains: scale.pick(40, 120),
+        num_vnfs: scale.pick(8, 16),
+        coverage: 0.4,
+        total_traffic: 300.0,
+        ..Tier1Config::default()
+    };
+    switchboard::scenarios::tier1(&cfg)
+}
+
+/// Formats the day as rows.
+#[must_use]
+pub fn render(rows: &[EpochRow]) -> String {
+    let mut out = String::from(
+        "ext-timevarying: diurnal traffic, static (peak-provisioned) vs adaptive SB-DP\n\
+         hour | demand | static lat ms | static mlu | adaptive lat ms | adaptive mlu\n",
+    );
+    for r in rows {
+        let f = |l: Option<f64>| l.map_or("unroutable".into(), |v| format!("{v:10.1}"));
+        out.push_str(&format!(
+            "{:4.0} | {:6.0} | {:>13} | {:10.2} | {:>15} | {:12.2}\n",
+            r.hour,
+            r.demand,
+            f(r.static_latency),
+            r.static_mlu,
+            f(r.adaptive_latency),
+            r.adaptive_mlu,
+        ));
+    }
+    let (mut s_sum, mut a_sum, mut n) = (0.0, 0.0, 0u32);
+    for r in rows {
+        if let (Some(s), Some(a)) = (r.static_latency, r.adaptive_latency) {
+            s_sum += s;
+            a_sum += a;
+            n += 1;
+        }
+    }
+    if n > 0 {
+        out.push_str(&format!(
+            "day-mean latency: static {:.1} ms vs adaptive {:.1} ms ({:+.1}% for adaptive)\n",
+            s_sum / f64::from(n),
+            a_sum / f64::from(n),
+            (a_sum / s_sum - 1.0) * 100.0,
+        ));
+    }
+    out
+}

@@ -1,0 +1,425 @@
+//! The edge service: attachment resolution, label application, and
+//! per-connection route pinning at the ingress.
+
+use sb_dataplane::{Addr, Packet, WeightedChoice};
+use sb_types::{ChainId, EdgeInstanceId, Error, FlowKey, LabelPair, Result, RouteId, SiteId};
+use std::collections::HashMap;
+
+/// One wide-area route as seen by an ingress edge instance: the labels to
+/// affix and the first-hop forwarders to hand the packet to.
+#[derive(Debug, Clone)]
+struct RouteBinding {
+    route: RouteId,
+    labels: LabelPair,
+    first_hop: WeightedChoice,
+    fraction: f64,
+}
+
+/// A pinned connection: the labels it carries and the forwarder it enters
+/// the chain through.
+#[derive(Debug, Clone, Copy)]
+struct Pin {
+    labels: LabelPair,
+    hop: Addr,
+}
+
+/// An edge instance (Section 3): the element where customer traffic enters
+/// or leaves a chain.
+///
+/// On **ingress** it affixes the two labels — the chain/route label from
+/// the chain specification and the egress-site label from its per-customer
+/// routing table — picks a wide-area route for the connection (weighted by
+/// the routes' traffic fractions) and pins the choice so all packets of
+/// the connection take the same route.
+///
+/// On **egress** it strips labels for final delivery *and remembers the
+/// delivering forwarder*: when the connection's reverse direction enters
+/// here (this edge is the reverse direction's ingress), the packet is sent
+/// straight back to that forwarder, whose flow table then retraces the
+/// same VNF instances — the data-plane half of symmetric return
+/// (Section 5.3).
+#[derive(Debug, Clone)]
+pub struct EdgeInstance {
+    id: EdgeInstanceId,
+    site: SiteId,
+    /// Routes per chain.
+    routes: HashMap<ChainId, Vec<RouteBinding>>,
+    /// Connection pins (ingress-selected and egress-learned).
+    pins: HashMap<FlowKey, Pin>,
+}
+
+impl EdgeInstance {
+    /// Creates an edge instance at `site`.
+    #[must_use]
+    pub fn new(id: EdgeInstanceId, site: SiteId) -> Self {
+        Self {
+            id,
+            site,
+            routes: HashMap::new(),
+            pins: HashMap::new(),
+        }
+    }
+
+    /// The instance identifier.
+    #[must_use]
+    pub fn id(&self) -> EdgeInstanceId {
+        self.id
+    }
+
+    /// The edge site.
+    #[must_use]
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The data-plane address of this edge instance.
+    #[must_use]
+    pub fn addr(&self) -> Addr {
+        Addr::Edge(self.id)
+    }
+
+    /// Installs (or replaces) a route binding for `chain`. Existing pinned
+    /// connections are untouched; only new connections use updated
+    /// bindings.
+    pub fn install_route(
+        &mut self,
+        chain: ChainId,
+        route: RouteId,
+        labels: LabelPair,
+        first_hop: WeightedChoice,
+        fraction: f64,
+    ) {
+        let bindings = self.routes.entry(chain).or_default();
+        if let Some(b) = bindings.iter_mut().find(|b| b.route == route) {
+            b.labels = labels;
+            b.first_hop = first_hop;
+            b.fraction = fraction;
+        } else {
+            bindings.push(RouteBinding {
+                route,
+                labels,
+                first_hop,
+                fraction,
+            });
+        }
+    }
+
+    /// Number of routes installed for `chain`.
+    #[must_use]
+    pub fn routes_for(&self, chain: ChainId) -> usize {
+        self.routes.get(&chain).map_or(0, Vec::len)
+    }
+
+    /// Ingress processing: affix labels and return the labeled packet plus
+    /// the first-hop forwarder. The first packet of a connection selects a
+    /// route (weighted by route fractions) and a forwarder (weighted by
+    /// forwarder weights); later packets — and reverse-direction packets of
+    /// connections this edge delivered — reuse the pins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Forwarding`] when the connection is unpinned and
+    /// `chain` has no installed routes.
+    pub fn ingress(&mut self, chain: ChainId, packet: Packet) -> Result<(Packet, Addr)> {
+        if let Some(&Pin { labels, hop }) = self.pins.get(&packet.key) {
+            return Ok((packet.with_labels(labels), hop));
+        }
+        let bindings = self
+            .routes
+            .get(&chain)
+            .filter(|b| !b.is_empty())
+            .ok_or_else(|| Error::forwarding(format!("no routes installed for {chain}")))?;
+        // Weighted route selection by fraction, deterministic in the flow.
+        let hash = packet.key.stable_hash();
+        let total: f64 = bindings.iter().map(|b| b.fraction).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let mut point = (hash as f64 / (u64::MAX as f64 + 1.0)) * total;
+        let mut idx = bindings.len() - 1;
+        for (i, b) in bindings.iter().enumerate() {
+            if point < b.fraction {
+                idx = i;
+                break;
+            }
+            point -= b.fraction;
+        }
+        let b = &bindings[idx];
+        let hop = b.first_hop.select(hash);
+        self.pins.insert(
+            packet.key,
+            Pin {
+                labels: b.labels,
+                hop,
+            },
+        );
+        Ok((packet.with_labels(b.labels), hop))
+    }
+
+    /// Egress processing: strip labels and tunnel for final delivery, and
+    /// learn the reverse pin — reverse packets of this connection entering
+    /// at this edge will go back to `from` carrying the same chain label.
+    pub fn egress(&mut self, packet: Packet, from: Addr) -> Packet {
+        if let Some(labels) = packet.labels {
+            self.pins.entry(packet.key.reversed()).or_insert(Pin {
+                labels,
+                hop: from,
+            });
+        }
+        packet.without_labels().decapsulated()
+    }
+
+    /// Forgets the pins of a completed connection (both directions).
+    pub fn expire(&mut self, key: FlowKey) {
+        self.pins.remove(&key);
+        self.pins.remove(&key.reversed());
+    }
+
+    /// Number of pinned flow keys.
+    #[must_use]
+    pub fn pinned(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+/// The edge controller: resolves customer attachments to edge sites and
+/// owns the edge instances (Section 3: "an edge service is comprised of
+/// edge instances and an edge controller").
+#[derive(Debug, Clone, Default)]
+pub struct EdgeController {
+    /// attachment name -> edge site.
+    attachments: HashMap<String, SiteId>,
+    /// Edge instances by id.
+    instances: HashMap<EdgeInstanceId, EdgeInstance>,
+    /// One designated instance per site.
+    site_instance: HashMap<SiteId, EdgeInstanceId>,
+    next_id: u64,
+}
+
+impl EdgeController {
+    /// Creates an empty edge controller.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a customer attachment (e.g. `"hq-router"`) at an edge
+    /// site, creating the site's edge instance when absent. Returns the
+    /// instance serving the attachment.
+    pub fn register_attachment(&mut self, name: impl Into<String>, site: SiteId) -> EdgeInstanceId {
+        let id = *self.site_instance.entry(site).or_insert_with(|| {
+            let id = EdgeInstanceId::new(self.next_id);
+            self.next_id += 1;
+            self.instances.insert(id, EdgeInstance::new(id, site));
+            id
+        });
+        self.attachments.insert(name.into(), site);
+        id
+    }
+
+    /// Resolves an attachment to its edge site (Figure 4, arrow 1: "Global
+    /// Switchboard obtains ingress and egress sites for the chain from
+    /// edge controllers").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownEntity`] for unregistered attachments.
+    pub fn resolve(&self, name: &str) -> Result<SiteId> {
+        self.attachments
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::unknown("attachment", name))
+    }
+
+    /// The edge instance at `site`, when one exists.
+    #[must_use]
+    pub fn instance_at(&self, site: SiteId) -> Option<&EdgeInstance> {
+        self.site_instance
+            .get(&site)
+            .and_then(|id| self.instances.get(id))
+    }
+
+    /// Mutable access to the edge instance at `site`.
+    pub fn instance_at_mut(&mut self, site: SiteId) -> Option<&mut EdgeInstance> {
+        let id = self.site_instance.get(&site)?;
+        self.instances.get_mut(id)
+    }
+
+    /// Mutable access by instance id.
+    pub fn instance_mut(&mut self, id: EdgeInstanceId) -> Option<&mut EdgeInstance> {
+        self.instances.get_mut(&id)
+    }
+
+    /// All sites with edge instances, sorted.
+    #[must_use]
+    pub fn sites(&self) -> Vec<SiteId> {
+        let mut s: Vec<_> = self.site_instance.keys().copied().collect();
+        s.sort();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_types::{ChainLabel, EgressLabel, ForwarderId};
+
+    fn labels() -> LabelPair {
+        LabelPair::new(ChainLabel::new(1), EgressLabel::new(2))
+    }
+
+    fn fwd(i: u64) -> Addr {
+        Addr::Forwarder(ForwarderId::new(i))
+    }
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::tcp([10, 0, 0, 1], port, [10, 9, 9, 9], 80)
+    }
+
+    #[test]
+    fn controller_resolves_attachments() {
+        let mut ec = EdgeController::new();
+        let e0 = ec.register_attachment("hq", SiteId::new(0));
+        let e1 = ec.register_attachment("branch", SiteId::new(1));
+        assert_ne!(e0, e1);
+        assert_eq!(ec.resolve("hq").unwrap(), SiteId::new(0));
+        assert!(ec.resolve("nowhere").is_err());
+        // Same site reuses the instance.
+        let e0b = ec.register_attachment("hq-2", SiteId::new(0));
+        assert_eq!(e0, e0b);
+        assert_eq!(ec.sites(), vec![SiteId::new(0), SiteId::new(1)]);
+    }
+
+    #[test]
+    fn ingress_applies_labels_and_pins() {
+        let mut e = EdgeInstance::new(EdgeInstanceId::new(0), SiteId::new(0));
+        e.install_route(
+            ChainId::new(1),
+            RouteId::new(1),
+            labels(),
+            WeightedChoice::new(vec![(fwd(1), 1.0), (fwd(2), 1.0)]).unwrap(),
+            1.0,
+        );
+        let pkt = Packet::unlabeled(key(1000), 500);
+        let (labeled, hop) = e.ingress(ChainId::new(1), pkt).unwrap();
+        assert_eq!(labeled.labels, Some(labels()));
+        for _ in 0..5 {
+            let (_, again) = e.ingress(ChainId::new(1), pkt).unwrap();
+            assert_eq!(again, hop, "connection must stay pinned");
+        }
+        assert_eq!(e.pinned(), 1);
+    }
+
+    #[test]
+    fn route_fractions_split_new_connections() {
+        let mut e = EdgeInstance::new(EdgeInstanceId::new(0), SiteId::new(0));
+        let labels2 = LabelPair::new(ChainLabel::new(9), EgressLabel::new(2));
+        e.install_route(
+            ChainId::new(1),
+            RouteId::new(1),
+            labels(),
+            WeightedChoice::single(fwd(1)),
+            0.5,
+        );
+        e.install_route(
+            ChainId::new(1),
+            RouteId::new(2),
+            labels2,
+            WeightedChoice::single(fwd(2)),
+            0.5,
+        );
+        assert_eq!(e.routes_for(ChainId::new(1)), 2);
+        let mut to_one = 0;
+        let n = 2000;
+        for p in 0..n {
+            let pkt = Packet::unlabeled(key(p), 64);
+            let (_, hop) = e.ingress(ChainId::new(1), pkt).unwrap();
+            if hop == fwd(1) {
+                to_one += 1;
+            }
+        }
+        let frac = f64::from(to_one) / f64::from(n);
+        assert!((frac - 0.5).abs() < 0.08, "route split skewed: {frac}");
+    }
+
+    #[test]
+    fn egress_learns_reverse_pin() {
+        let mut e = EdgeInstance::new(EdgeInstanceId::new(0), SiteId::new(1));
+        // A forward packet delivered here by forwarder 42.
+        let fwd_pkt = Packet::labeled(labels(), key(7), 64);
+        let out = e.egress(fwd_pkt, fwd(42));
+        assert!(out.labels.is_none());
+        // The reverse direction enters here and goes straight back to 42
+        // with the same chain label — no route binding required.
+        let rev = Packet::unlabeled(key(7).reversed(), 64);
+        let (labeled, hop) = e.ingress(ChainId::new(1), rev).unwrap();
+        assert_eq!(hop, fwd(42));
+        assert_eq!(labeled.labels, Some(labels()));
+    }
+
+    #[test]
+    fn route_update_does_not_move_pinned_connections() {
+        let mut e = EdgeInstance::new(EdgeInstanceId::new(0), SiteId::new(0));
+        e.install_route(
+            ChainId::new(1),
+            RouteId::new(1),
+            labels(),
+            WeightedChoice::single(fwd(1)),
+            1.0,
+        );
+        let pkt = Packet::unlabeled(key(7), 64);
+        let (_, before) = e.ingress(ChainId::new(1), pkt).unwrap();
+        e.install_route(
+            ChainId::new(1),
+            RouteId::new(1),
+            labels(),
+            WeightedChoice::single(fwd(9)),
+            1.0,
+        );
+        let (_, after) = e.ingress(ChainId::new(1), pkt).unwrap();
+        assert_eq!(before, after);
+        // New connections use the new first hop.
+        let (_, fresh) = e
+            .ingress(ChainId::new(1), Packet::unlabeled(key(8), 64))
+            .unwrap();
+        assert_eq!(fresh, fwd(9));
+    }
+
+    #[test]
+    fn egress_strips_labels_and_tunnel() {
+        let mut e = EdgeInstance::new(EdgeInstanceId::new(0), SiteId::new(0));
+        let pkt = Packet::labeled(labels(), key(1), 64).encapsulated(sb_dataplane::TunnelHeader {
+            vni: 1,
+            src_site: SiteId::new(0),
+            dst_site: SiteId::new(0),
+        });
+        let out = e.egress(pkt, fwd(1));
+        assert!(out.labels.is_none());
+        assert!(out.tunnel.is_none());
+    }
+
+    #[test]
+    fn unknown_chain_errors() {
+        let mut e = EdgeInstance::new(EdgeInstanceId::new(0), SiteId::new(0));
+        assert!(e
+            .ingress(ChainId::new(9), Packet::unlabeled(key(1), 64))
+            .is_err());
+    }
+
+    #[test]
+    fn expire_unpins_both_directions() {
+        let mut e = EdgeInstance::new(EdgeInstanceId::new(0), SiteId::new(0));
+        e.install_route(
+            ChainId::new(1),
+            RouteId::new(1),
+            labels(),
+            WeightedChoice::single(fwd(1)),
+            1.0,
+        );
+        e.ingress(ChainId::new(1), Packet::unlabeled(key(7), 64))
+            .unwrap();
+        e.egress(Packet::labeled(labels(), key(9), 64), fwd(2));
+        assert_eq!(e.pinned(), 2);
+        e.expire(key(7));
+        e.expire(key(9));
+        assert_eq!(e.pinned(), 0);
+    }
+}

@@ -1,0 +1,1289 @@
+//! Global Switchboard: the centralized controller and its deployment saga.
+//!
+//! [`ControlPlane`] wires every control-plane role together over the
+//! global message bus and drives the five-arrow chain-creation flow of
+//! Figure 4 on virtual time:
+//!
+//! 1. resolve ingress/egress sites from the edge controller;
+//! 2. compute wide-area routes (SB-DP against the live load state) and
+//!    allocate per-route labels;
+//! 3. two-phase commit the per-(VNF, site) reservations with the VNF
+//!    controllers, recomputing on rejection;
+//! 4. propagate route announcements; VNF controllers allocate instances
+//!    and publish them, Local Switchboards attach instances to forwarders
+//!    and publish forwarder records;
+//! 5. Local Switchboards combine routes and weights into load-balancing
+//!    rules and install them at forwarders; the ingress edge instance gets
+//!    its route bindings.
+//!
+//! Every step's virtual-time cost is recorded in a [`DeploymentReport`] —
+//! the data behind Figure 10a and Table 2.
+
+use crate::edge::EdgeController;
+use crate::local::LocalSwitchboard;
+use crate::messages::{ForwarderRecord, InstanceRecord, RouteAnnouncement};
+use crate::vnfctl::VnfController;
+use sb_dataplane::{Addr, WeightedChoice};
+use sb_msgbus::{BusTopology, DelayModel, Message, ProxyBus, SubscriberId, Topic};
+use sb_netsim::SimTime;
+use sb_te::dp::{self, DpConfig, LoadTracker};
+use sb_te::{ChainSpec, NetworkModel, RoutePath};
+use sb_types::{
+    ChainId, ChainLabel, EdgeInstanceId, EgressLabel, Error, ForwarderId, InstanceId, LabelPair,
+    Millis, Rate, Result, RouteId, SiteId, VnfId,
+};
+use std::collections::HashMap;
+
+/// The `(next hops, previous hops)` of one route stage, as installed.
+type StageHops = (Vec<(Addr, f64)>, Vec<(Addr, f64)>);
+
+/// Tuning knobs of the control plane.
+#[derive(Debug, Clone)]
+pub struct ControlPlaneConfig {
+    /// The site hosting Global Switchboard (and the edge controller).
+    pub gsb_site: SiteId,
+    /// VNF instances served by one forwarder before the pool grows.
+    pub instances_per_forwarder: usize,
+    /// Instances auto-created per VNF deployment site.
+    pub instances_per_site: usize,
+    /// SB-DP configuration for online route computation.
+    pub dp: DpConfig,
+    /// Route recomputation attempts after two-phase-commit rejections.
+    pub max_2pc_retries: usize,
+    /// Modeled route-computation time.
+    pub compute_time: Millis,
+    /// Modeled data-plane configuration time per element.
+    pub config_delay: Millis,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        Self {
+            gsb_site: SiteId::new(0),
+            instances_per_forwarder: 2,
+            instances_per_site: 2,
+            dp: DpConfig::default(),
+            max_2pc_retries: 3,
+            compute_time: Millis::new(5.0),
+            config_delay: Millis::new(30.0),
+        }
+    }
+}
+
+/// A customer's chain specification (the portal form of Section 2).
+#[derive(Debug, Clone)]
+pub struct ChainRequest {
+    /// Chain identifier.
+    pub id: ChainId,
+    /// Named ingress attachment (registered with the edge controller).
+    pub ingress_attachment: String,
+    /// Named egress attachment.
+    pub egress_attachment: String,
+    /// The ordered VNFs.
+    pub vnfs: Vec<VnfId>,
+    /// Estimated forward traffic per stage.
+    pub forward: Rate,
+    /// Estimated reverse traffic per stage.
+    pub reverse: Rate,
+}
+
+/// Per-step virtual-time latencies of one control-plane operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentReport {
+    /// `(step name, latency)` in execution order.
+    pub steps: Vec<(String, Millis)>,
+}
+
+impl DeploymentReport {
+    fn new() -> Self {
+        Self { steps: Vec::new() }
+    }
+
+    fn push(&mut self, name: impl Into<String>, latency: Millis) {
+        self.steps.push((name.into(), latency));
+    }
+
+    /// Total latency across steps.
+    #[must_use]
+    pub fn total(&self) -> Millis {
+        self.steps.iter().map(|&(_, d)| d).sum()
+    }
+}
+
+/// A deployed chain: its routes and the deployment timing.
+#[derive(Debug, Clone)]
+pub struct ChainHandle {
+    /// The chain.
+    pub chain: ChainId,
+    /// All active routes.
+    pub routes: Vec<RouteAnnouncement>,
+    /// The deployment timing report.
+    pub report: DeploymentReport,
+}
+
+/// Book-keeping for one deployed chain.
+#[derive(Debug, Clone)]
+struct ChainState {
+    request: ChainRequest,
+    ingress_site: SiteId,
+    egress_site: SiteId,
+    routes: Vec<RouteAnnouncement>,
+}
+
+/// The assembled Switchboard control plane; see the module docs above for
+/// the five-step deployment saga.
+pub struct ControlPlane {
+    config: ControlPlaneConfig,
+    /// Sites/VNF catalog/topology; chains are appended as they deploy.
+    base_model: NetworkModel,
+    delays: DelayModel,
+    bus: ProxyBus,
+    /// One bus endpoint per site (its Local Switchboard).
+    site_subs: HashMap<SiteId, SubscriberId>,
+    now: SimTime,
+    edge: EdgeController,
+    vnf_ctls: HashMap<VnfId, VnfController>,
+    locals: HashMap<SiteId, LocalSwitchboard>,
+    fwd_site: HashMap<ForwarderId, SiteId>,
+    tracker: LoadTracker,
+    chains: HashMap<ChainId, ChainState>,
+    /// Hop sets per (route, stage), for later rule amendments (mobility).
+    stage_hops: HashMap<(RouteId, usize), StageHops>,
+    next_label: u32,
+    next_route: u64,
+    next_instance: u64,
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("sites", &self.locals.len())
+            .field("vnfs", &self.vnf_ctls.len())
+            .field("chains", &self.chains.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl ControlPlane {
+    /// Builds the control plane over a traffic-engineering model (sites and
+    /// VNF catalog; its chain list is ignored) and a WAN delay model.
+    /// VNF controllers and instances are created for every deployment site
+    /// (Section 3, phase 1: services exist before chains are specified).
+    #[must_use]
+    pub fn new(model: NetworkModel, delays: DelayModel, config: ControlPlaneConfig) -> Self {
+        let base_model = model.with_chains(Vec::new());
+        let sites = base_model.sites();
+        let mut bus = ProxyBus::new(BusTopology::unbounded(sites.clone(), delays.clone()));
+        let mut site_subs = HashMap::new();
+        let mut locals = HashMap::new();
+        for &s in &sites {
+            site_subs.insert(s, bus.register_subscriber(s));
+            locals.insert(s, LocalSwitchboard::new(s, config.instances_per_forwarder));
+        }
+
+        let mut next_instance = 0u64;
+        let mut vnf_ctls = HashMap::new();
+        for vnf in base_model.vnfs() {
+            let vnf_sites = vnf.sites();
+            let home = vnf_sites.first().copied().unwrap_or(config.gsb_site);
+            let mut ctl = VnfController::new(vnf.id, home);
+            for s in vnf_sites {
+                let cap = vnf.site_capacity[&s];
+                let instances: Vec<InstanceRecord> = (0..config.instances_per_site)
+                    .map(|_| {
+                        let id = InstanceId::new(next_instance);
+                        next_instance += 1;
+                        InstanceRecord {
+                            instance: id,
+                            weight: 1.0,
+                            supports_labels: true,
+                        }
+                    })
+                    .collect();
+                ctl.deploy_at(s, cap, instances);
+            }
+            vnf_ctls.insert(vnf.id, ctl);
+        }
+
+        let tracker = LoadTracker::new(&base_model);
+        Self {
+            config,
+            base_model,
+            delays,
+            bus,
+            site_subs,
+            now: SimTime::ZERO,
+            edge: EdgeController::new(),
+            vnf_ctls,
+            locals,
+            fwd_site: HashMap::new(),
+            tracker,
+            chains: HashMap::new(),
+            stage_hops: HashMap::new(),
+            next_label: 1,
+            next_route: 1,
+            next_instance,
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The edge controller.
+    #[must_use]
+    pub fn edge(&self) -> &EdgeController {
+        &self.edge
+    }
+
+    /// Mutable edge controller (the data-plane harness drives edge
+    /// instances through this).
+    pub fn edge_mut(&mut self) -> &mut EdgeController {
+        &mut self.edge
+    }
+
+    /// The Local Switchboard at `site`.
+    #[must_use]
+    pub fn local(&self, site: SiteId) -> Option<&LocalSwitchboard> {
+        self.locals.get(&site)
+    }
+
+    /// Mutable Local Switchboard at `site`.
+    pub fn local_mut(&mut self, site: SiteId) -> Option<&mut LocalSwitchboard> {
+        self.locals.get_mut(&site)
+    }
+
+    /// The VNF controller of `vnf`.
+    #[must_use]
+    pub fn vnf_controller(&self, vnf: VnfId) -> Option<&VnfController> {
+        self.vnf_ctls.get(&vnf)
+    }
+
+    /// The site owning forwarder `id` (known after instance attachment).
+    #[must_use]
+    pub fn forwarder_site(&self, id: ForwarderId) -> Option<SiteId> {
+        self.fwd_site.get(&id).copied()
+    }
+
+    /// The routes of a deployed chain.
+    #[must_use]
+    pub fn routes_of(&self, chain: ChainId) -> Vec<RouteAnnouncement> {
+        self.chains
+            .get(&chain)
+            .map(|c| c.routes.clone())
+            .unwrap_or_default()
+    }
+
+    /// Registers a customer attachment at an edge site.
+    pub fn register_attachment(
+        &mut self,
+        name: impl Into<String>,
+        site: SiteId,
+    ) -> EdgeInstanceId {
+        self.edge.register_attachment(name, site)
+    }
+
+    /// Replaces the auto-created instances of `vnf` at `site` (e.g. to
+    /// register label-unaware instances or custom weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownEntity`] when the VNF or site is unknown.
+    pub fn set_instances(
+        &mut self,
+        vnf: VnfId,
+        site: SiteId,
+        instances: Vec<InstanceRecord>,
+    ) -> Result<()> {
+        let ctl = self
+            .vnf_ctls
+            .get_mut(&vnf)
+            .ok_or_else(|| Error::unknown("vnf", vnf))?;
+        if !ctl.sites().contains(&site) {
+            return Err(Error::unknown("vnf deployment site", site));
+        }
+        let cap = self.base_model.vnfs()[vnf.index()].site_capacity[&site];
+        ctl.deploy_at(site, cap, instances);
+        Ok(())
+    }
+
+    /// Allocates a fresh globally-unique instance id (for custom
+    /// registrations).
+    pub fn allocate_instance_id(&mut self) -> InstanceId {
+        let id = InstanceId::new(self.next_instance);
+        self.next_instance += 1;
+        id
+    }
+
+    /// Deploys a chain, computing its wide-area routes with SB-DP against
+    /// the live load state.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::UnknownEntity`] for unresolved attachments or VNFs.
+    /// - [`Error::Infeasible`] when no capacity remains for the chain.
+    /// - [`Error::CommitRejected`] when every recomputation attempt was
+    ///   vetoed in two-phase commit.
+    pub fn deploy_chain(&mut self, request: ChainRequest) -> Result<ChainHandle> {
+        self.deploy_chain_inner(request, None)
+    }
+
+    /// Deploys a chain over caller-specified routes (used by experiments
+    /// that compare routing schemes end-to-end: the scheme computes the
+    /// site sequences, the control plane installs them verbatim).
+    ///
+    /// # Errors
+    ///
+    /// As [`deploy_chain`](Self::deploy_chain); additionally rejects routes
+    /// whose site count mismatches the VNF count.
+    pub fn deploy_chain_via(
+        &mut self,
+        request: ChainRequest,
+        routes: Vec<(Vec<SiteId>, f64)>,
+    ) -> Result<ChainHandle> {
+        for (sites, _) in &routes {
+            if sites.len() != request.vnfs.len() {
+                return Err(Error::invalid_argument(
+                    "route site count must match chain VNF count",
+                ));
+            }
+        }
+        self.deploy_chain_inner(request, Some(routes))
+    }
+
+    fn chain_spec(&self, request: &ChainRequest, ingress: SiteId, egress: SiteId) -> ChainSpec {
+        ChainSpec::uniform(
+            request.id,
+            self.base_model.site_node(ingress),
+            self.base_model.site_node(egress),
+            request.vnfs.clone(),
+            request.forward,
+            request.reverse,
+        )
+    }
+
+    fn deploy_chain_inner(
+        &mut self,
+        request: ChainRequest,
+        forced_routes: Option<Vec<(Vec<SiteId>, f64)>>,
+    ) -> Result<ChainHandle> {
+        if self.chains.contains_key(&request.id) {
+            return Err(Error::duplicate("chain", request.id));
+        }
+        // A repeated VNF within one chain cannot be disambiguated by the
+        // (label, arrival-context) pair our data plane keys rules on; the
+        // paper's prototype needs per-label VNF interfaces for this case
+        // (Section 5.3), which an in-process data plane cannot express.
+        {
+            let mut seen = request.vnfs.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != request.vnfs.len() {
+                return Err(Error::invalid_chain(format!(
+                    "{}: a VNF appears more than once; repeated VNFs need \
+                     per-label interfaces (paper §5.3), which this data \
+                     plane does not model",
+                    request.id
+                )));
+            }
+        }
+        let mut report = DeploymentReport::new();
+
+        // (1) Resolve ingress/egress sites (edge controller co-located with
+        // Global Switchboard: one local round trip).
+        let ingress_site = self.edge.resolve(&request.ingress_attachment)?;
+        let egress_site = self.edge.resolve(&request.egress_attachment)?;
+        let dt = self.delays.local() * 2.0;
+        self.now += dt;
+        report.push("resolve ingress/egress sites", dt);
+
+        // (2) Compute routes + allocate labels.
+        let spec = self.chain_spec(&request, ingress_site, egress_site);
+        let mut paths: Vec<RoutePath> = match &forced_routes {
+            Some(routes) => routes
+                .iter()
+                .map(|(sites, fraction)| RoutePath {
+                    sites: sites.clone(),
+                    fraction: *fraction,
+                })
+                .collect(),
+            None => {
+                let model = self.base_model.with_chains(vec![spec.clone()]);
+                let mut trial_tracker = self.tracker.clone();
+                let paths =
+                    dp::route_chain(&model, &mut trial_tracker, &self.config.dp, &spec);
+                let routed: f64 = paths.iter().map(|p| p.fraction).sum();
+                if routed < 1.0 - 1e-6 {
+                    // Admission control: a chain is deployed only when its
+                    // full estimated demand can be placed.
+                    return Err(Error::infeasible(format!(
+                        "only {:.1}% of {} demand is placeable",
+                        routed * 100.0,
+                        request.id
+                    )));
+                }
+                paths
+            }
+        };
+        self.now += self.config.compute_time;
+        report.push("compute wide-area routes", self.config.compute_time);
+
+        // (3) Two-phase commit, with recomputation on veto.
+        let mut attempt = 0usize;
+        let mut excluded: Vec<(VnfId, SiteId)> = Vec::new();
+        let announcements = loop {
+            let announcements = self.announce(&request, ingress_site, egress_site, &paths);
+            match self.two_phase_commit(&spec, &announcements, &mut report) {
+                Ok(()) => break announcements,
+                Err(Error::CommitRejected {
+                    participant,
+                    reason,
+                }) if forced_routes.is_none() && attempt < self.config.max_2pc_retries => {
+                    attempt += 1;
+                    // Recompute excluding the rejecting deployment.
+                    if let Some((vnf, site)) = parse_participant(&participant) {
+                        excluded.push((vnf, site));
+                    } else {
+                        return Err(Error::CommitRejected {
+                            participant,
+                            reason,
+                        });
+                    }
+                    let mut model = self.base_model.with_chains(vec![spec.clone()]);
+                    for &(vnf, site) in &excluded {
+                        let mut caps = model.vnfs()[vnf.index()].site_capacity.clone();
+                        caps.remove(&site);
+                        model = model.with_vnf_sites(vnf, caps);
+                    }
+                    let mut trial_tracker = self.tracker.clone();
+                    paths = dp::route_chain(&model, &mut trial_tracker, &self.config.dp, &spec);
+                    if paths.is_empty() {
+                        return Err(Error::infeasible(format!(
+                            "no feasible route for {} after 2pc rejections",
+                            request.id
+                        )));
+                    }
+                    self.now += self.config.compute_time;
+                    report.push("recompute after 2pc rejection", self.config.compute_time);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+
+        // Account the committed load against the live tracker.
+        let model = self.base_model.with_chains(vec![spec.clone()]);
+        for ann in &announcements {
+            let coefs = dp::path_coefficients(&model, &spec, &ann.sites);
+            self.tracker.apply(&coefs, ann.fraction);
+        }
+
+        // (4)+(5) Propagate, allocate, install.
+        self.propagate_and_install(&announcements, ingress_site, egress_site, &mut report)?;
+
+        self.chains.insert(
+            request.id,
+            ChainState {
+                request,
+                ingress_site,
+                egress_site,
+                routes: announcements.clone(),
+            },
+        );
+        Ok(ChainHandle {
+            chain: announcements[0].chain,
+            routes: announcements,
+            report,
+        })
+    }
+
+    /// Builds route announcements with fresh labels/ids for a path set.
+    fn announce(
+        &mut self,
+        request: &ChainRequest,
+        ingress_site: SiteId,
+        egress_site: SiteId,
+        paths: &[RoutePath],
+    ) -> Vec<RouteAnnouncement> {
+        paths
+            .iter()
+            .map(|p| {
+                let labels = LabelPair::new(
+                    ChainLabel::new(self.next_label),
+                    EgressLabel::new(egress_site.value()),
+                );
+                self.next_label += 1;
+                let route = RouteId::new(self.next_route);
+                self.next_route += 1;
+                RouteAnnouncement {
+                    chain: request.id,
+                    route,
+                    labels,
+                    ingress_site,
+                    egress_site,
+                    vnfs: request.vnfs.clone(),
+                    sites: p.sites.clone(),
+                    fraction: p.fraction,
+                }
+            })
+            .collect()
+    }
+
+    /// Phase-1/phase-2 exchange with every VNF controller on the routes.
+    /// Virtual time advances by two round trips to the farthest
+    /// participant (prepares run in parallel, then commits).
+    fn two_phase_commit(
+        &mut self,
+        spec: &ChainSpec,
+        announcements: &[RouteAnnouncement],
+        report: &mut DeploymentReport,
+    ) -> Result<()> {
+        let mut prepared: Vec<(VnfId, ChainId, RouteId, SiteId)> = Vec::new();
+        let mut max_rtt = Millis::ZERO;
+        let mut failure: Option<Error> = None;
+
+        'outer: for ann in announcements {
+            for (z, (&vnf, &site)) in ann.vnfs.iter().zip(&ann.sites).enumerate() {
+                let load = self.base_model.vnfs()[vnf.index()].load_per_unit
+                    * (spec.stage_traffic(z) + spec.stage_traffic(z + 1))
+                    * ann.fraction;
+                let ctl = self
+                    .vnf_ctls
+                    .get_mut(&vnf)
+                    .ok_or_else(|| Error::unknown("vnf", vnf))?;
+                let rtt = self.delays.between(self.config.gsb_site, ctl.home_site()) * 2.0;
+                if rtt > max_rtt {
+                    max_rtt = rtt;
+                }
+                match ctl.prepare(ann.chain, ann.route, site, load) {
+                    Ok(()) => prepared.push((vnf, ann.chain, ann.route, site)),
+                    Err(e) => {
+                        failure = Some(e);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        // A chain may use the same VNF at the same site more than once (two
+        // stages of the same function): its reservations accumulate under
+        // one (chain, route) key at the controller, so abort/commit exactly
+        // once per distinct participant key.
+        prepared.sort_unstable_by_key(|&(vnf, chain, route, site)| {
+            (vnf.value(), chain.value(), route.value(), site.value())
+        });
+        prepared.dedup();
+
+        if let Some(e) = failure {
+            for (vnf, chain, route, site) in prepared {
+                self.vnf_ctls
+                    .get_mut(&vnf)
+                    .expect("prepared controller exists")
+                    .abort(chain, route, site);
+            }
+            self.now += max_rtt;
+            report.push("two-phase commit (rejected)", max_rtt);
+            return Err(e);
+        }
+
+        for (vnf, chain, route, site) in prepared {
+            self.vnf_ctls
+                .get_mut(&vnf)
+                .expect("prepared controller exists")
+                .commit(chain, route, site)?;
+        }
+        let dt = max_rtt * 2.0; // prepare RTT + commit RTT
+        self.now += dt;
+        report.push("two-phase commit", dt);
+        Ok(())
+    }
+
+    /// Arrows 3-5 of Figure 4 for a set of routes.
+    fn propagate_and_install(
+        &mut self,
+        announcements: &[RouteAnnouncement],
+        ingress_site: SiteId,
+        egress_site: SiteId,
+        report: &mut DeploymentReport,
+    ) -> Result<()> {
+        // (3) Route propagation: one publish per route on the GSB's route
+        // topic; every Local Switchboard is a subscriber (routes are
+        // replicated at every site, Section 6).
+        let t_start = self.now;
+        let route_topic = Topic::with_owner(
+            format!("/routes/site_{}_gsb", self.config.gsb_site.value()),
+            self.config.gsb_site,
+        );
+        for (&site, &sub) in &self.site_subs {
+            let _ = site;
+            self.bus.subscribe(sub, route_topic.clone());
+        }
+        let mut t_done = self.now;
+        for ann in announcements {
+            let out = self.bus.publish(
+                self.now,
+                self.config.gsb_site,
+                Message::json(route_topic.clone(), ann),
+            );
+            if let Some(t) = out.last_delivery {
+                t_done = t_done.max(t);
+            }
+            for local in self.locals.values_mut() {
+                local.store_route(ann.clone());
+            }
+        }
+        self.now = self.now.max(t_done);
+        report.push("propagate routes", self.now.since(t_start));
+
+        // (4) Instance allocation + announcements. For each stage of each
+        // route: the VNF controller publishes its instances at the site
+        // (from its home site, on the site-owned topic), the Local
+        // Switchboard attaches them to forwarders and publishes forwarder
+        // records. Publishes are concurrent; the step costs the slowest.
+        let t_start = self.now;
+        let mut t_done = self.now;
+        let mut stage_forwarders: HashMap<(RouteId, usize), Vec<ForwarderRecord>> =
+            HashMap::new();
+        for ann in announcements {
+            for (z, (&vnf, &site)) in ann.vnfs.iter().zip(&ann.sites).enumerate() {
+                let ctl = self
+                    .vnf_ctls
+                    .get(&vnf)
+                    .ok_or_else(|| Error::unknown("vnf", vnf))?;
+                let records = ctl.instances_at(site);
+                let inst_topic = Topic::vnf_instances(
+                    ann.labels.chain().value(),
+                    ann.labels.egress().value(),
+                    vnf.value(),
+                    site,
+                );
+                let sub = self.site_subs[&site];
+                self.bus.subscribe(sub, inst_topic.clone());
+                let out = self.bus.publish(
+                    t_start,
+                    ctl.home_site(),
+                    Message::json(inst_topic, &records),
+                );
+                if let Some(t) = out.last_delivery {
+                    t_done = t_done.max(t);
+                }
+
+                let local = self.locals.get_mut(&site).expect("site exists");
+                let fwd_records = local.attach_instances(vnf, &records);
+                for fr in &fwd_records {
+                    self.fwd_site.insert(fr.forwarder, site);
+                }
+                // Publish forwarder records on the Figure 6 topic; the
+                // adjacent stages' sites subscribe.
+                let fwd_topic = Topic::vnf_forwarders(
+                    ann.labels.chain().value(),
+                    ann.labels.egress().value(),
+                    vnf.value(),
+                    site,
+                );
+                let neighbors = [
+                    z.checked_sub(1).map(|pz| ann.sites[pz]),
+                    ann.sites.get(z + 1).copied(),
+                    Some(ann.ingress_site),
+                    Some(ann.egress_site),
+                ];
+                for n in neighbors.into_iter().flatten() {
+                    let sub = self.site_subs[&n];
+                    self.bus.subscribe(sub, fwd_topic.clone());
+                }
+                let out =
+                    self.bus
+                        .publish(t_start, site, Message::json(fwd_topic, &fwd_records));
+                if let Some(t) = out.last_delivery {
+                    t_done = t_done.max(t);
+                }
+                stage_forwarders.insert((ann.route, z), fwd_records);
+            }
+        }
+        self.now = self.now.max(t_done);
+        report.push(
+            "allocate instances and publish weights",
+            self.now.since(t_start),
+        );
+
+        // (5) Rule computation + installation.
+        let t_start = self.now;
+        let ingress_edge = self
+            .edge
+            .instance_at(ingress_site)
+            .ok_or_else(|| Error::unknown("edge instance at site", ingress_site))?
+            .addr();
+        let egress_edge = self
+            .edge
+            .instance_at(egress_site)
+            .ok_or_else(|| Error::unknown("edge instance at site", egress_site))?
+            .addr();
+        for ann in announcements {
+            let stages = ann.sites.len();
+            for z in 0..stages {
+                let next: Vec<(Addr, f64)> = if z + 1 < stages {
+                    stage_forwarders[&(ann.route, z + 1)]
+                        .iter()
+                        .map(|fr| (Addr::Forwarder(fr.forwarder), fr.weight))
+                        .collect()
+                } else {
+                    vec![(egress_edge, 1.0)]
+                };
+                let prev: Vec<(Addr, f64)> = if z == 0 {
+                    vec![(ingress_edge, 1.0)]
+                } else {
+                    stage_forwarders[&(ann.route, z - 1)]
+                        .iter()
+                        .map(|fr| (Addr::Forwarder(fr.forwarder), fr.weight))
+                        .collect()
+                };
+                self.stage_hops
+                    .insert((ann.route, z), (next.clone(), prev.clone()));
+                let site = ann.sites[z];
+                self.locals
+                    .get_mut(&site)
+                    .expect("site exists")
+                    .install_stage_rules(ann, z, next, prev)?;
+            }
+            // Ingress edge binding: first hop is the stage-0 forwarder set,
+            // or the egress edge for VNF-less chains.
+            let first_hop = if stages > 0 {
+                WeightedChoice::new(
+                    stage_forwarders[&(ann.route, 0)]
+                        .iter()
+                        .map(|fr| (Addr::Forwarder(fr.forwarder), fr.weight))
+                        .collect(),
+                )?
+            } else {
+                WeightedChoice::single(egress_edge)
+            };
+            self.edge
+                .instance_at_mut(ingress_site)
+                .expect("checked above")
+                .install_route(ann.chain, ann.route, ann.labels, first_hop, ann.fraction);
+        }
+        self.now += self.config.config_delay;
+        report.push(
+            "install load-balancing rules",
+            self.now.since(t_start),
+        );
+        Ok(())
+    }
+
+    /// Adds a new wide-area route to a deployed chain through the given
+    /// VNF sites, rebalancing traffic evenly across all routes — the
+    /// Figure 10 experiment ("requesting Global Switchboard to create a
+    /// new route via VNF instances in site B ... load is balanced evenly
+    /// on the two routes").
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::UnknownEntity`] for unknown chains.
+    /// - [`Error::CommitRejected`] when the new route's reservations are
+    ///   vetoed.
+    pub fn add_route_via(
+        &mut self,
+        chain: ChainId,
+        sites: Vec<SiteId>,
+    ) -> Result<(RouteAnnouncement, DeploymentReport)> {
+        let state = self
+            .chains
+            .get(&chain)
+            .ok_or_else(|| Error::unknown("chain", chain))?
+            .clone();
+        if sites.len() != state.request.vnfs.len() {
+            return Err(Error::invalid_argument(
+                "route site count must match chain VNF count",
+            ));
+        }
+        let mut report = DeploymentReport::new();
+        #[allow(clippy::cast_precision_loss)]
+        let new_fraction = 1.0 / (state.routes.len() as f64 + 1.0);
+
+        self.now += self.config.compute_time;
+        report.push("compute new route", self.config.compute_time);
+
+        let spec = self.chain_spec(&state.request, state.ingress_site, state.egress_site);
+        let paths = [RoutePath {
+            sites: sites.clone(),
+            fraction: new_fraction,
+        }];
+        let mut anns = self.announce(
+            &state.request,
+            state.ingress_site,
+            state.egress_site,
+            &paths,
+        );
+        self.two_phase_commit(&spec, &anns, &mut report)?;
+        let model = self.base_model.with_chains(vec![spec.clone()]);
+        let coefs = dp::path_coefficients(&model, &spec, &sites);
+        self.tracker.apply(&coefs, new_fraction);
+
+        self.propagate_and_install(
+            &anns,
+            state.ingress_site,
+            state.egress_site,
+            &mut report,
+        )?;
+        let ann = anns.pop().expect("one announcement built");
+
+        // Rebalance the existing routes' fractions at the ingress edge.
+        let n_routes = state.routes.len() + 1;
+        #[allow(clippy::cast_precision_loss)]
+        let even = 1.0 / n_routes as f64;
+        let mut updated_routes = Vec::with_capacity(n_routes);
+        for old in &state.routes {
+            let mut r = old.clone();
+            r.fraction = even;
+            updated_routes.push(r);
+        }
+        let mut new_ann = ann.clone();
+        new_ann.fraction = even;
+        updated_routes.push(new_ann.clone());
+        for r in &updated_routes {
+            let first_hop = if let Some(frs) = self.stage_hops.get(&(r.route, 0)) {
+                let _ = frs;
+                let records: Vec<(Addr, f64)> = self
+                    .stage_forwarder_addrs(r.route, 0)
+                    .unwrap_or_else(|| vec![(self.edge_addr(r.egress_site), 1.0)]);
+                WeightedChoice::new(records)?
+            } else {
+                WeightedChoice::single(self.edge_addr(r.egress_site))
+            };
+            self.edge
+                .instance_at_mut(state.ingress_site)
+                .expect("ingress edge exists")
+                .install_route(chain, r.route, r.labels, first_hop, even);
+        }
+        self.chains
+            .get_mut(&chain)
+            .expect("chain exists")
+            .routes = updated_routes;
+        Ok((new_ann, report))
+    }
+
+    fn edge_addr(&self, site: SiteId) -> Addr {
+        self.edge
+            .instance_at(site)
+            .map_or(Addr::Edge(EdgeInstanceId::new(u64::MAX)), |e| e.addr())
+    }
+
+    /// The forwarders of one route stage as `(addr, weight)` pairs, from
+    /// the data recorded at install time. `None` when the stage is
+    /// unknown. Stage 0's *previous* hop is the ingress edge, so this is
+    /// the forwarder set that serves the stage's VNF.
+    fn stage_forwarder_addrs(&self, route: RouteId, stage: usize) -> Option<Vec<(Addr, f64)>> {
+        // Recorded as the "prev" hops of stage+1, or the "next" hops of
+        // stage-1; stage 0 is also the edge's first hop.
+        if let Some((_, prev)) = self.stage_hops.get(&(route, stage + 1)) {
+            return Some(prev.clone());
+        }
+        // Single-stage routes: derive from the next hops of the stage
+        // itself only if they are forwarders (they are the egress edge for
+        // the last stage), so fall back to None.
+        None
+    }
+
+    /// Extends a chain to a new edge site (the user-mobility flow of
+    /// Section 6 and Table 2): the site's Local Switchboard picks the
+    /// least-latency existing route, learns the first VNF's forwarders
+    /// from the bus, and configures the data plane in both directions.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::UnknownEntity`] for unknown chains or sites.
+    /// - [`Error::InvalidChain`] for chains without VNFs (nothing to
+    ///   attach to).
+    pub fn add_edge_site(
+        &mut self,
+        chain: ChainId,
+        attachment: impl Into<String>,
+        site: SiteId,
+    ) -> Result<DeploymentReport> {
+        let state = self
+            .chains
+            .get(&chain)
+            .ok_or_else(|| Error::unknown("chain", chain))?
+            .clone();
+        if state.request.vnfs.is_empty() {
+            return Err(Error::invalid_chain(
+                "cannot extend a chain without VNFs to a new edge site",
+            ));
+        }
+        let mut report = DeploymentReport::new();
+
+        // Step 1: Local Switchboard chooses the first VNF's site among the
+        // replicated routes — pure local computation (0 ms in Table 2).
+        let base_model = &self.base_model;
+        let local = self
+            .locals
+            .get(&site)
+            .ok_or_else(|| Error::unknown("site", site))?;
+        let nearest = local
+            .nearest_route(chain, |a, b| {
+                base_model
+                    .latency(base_model.site_node(a), base_model.site_node(b))
+                    .value()
+            })
+            .ok_or_else(|| Error::unknown("replicated routes for chain", chain))?
+            .clone();
+        report.push("local SB chooses the 1st VNF's site", Millis::ZERO);
+        let first_site = nearest.sites[0];
+
+        // Step 2: the edge's forwarder receives the first VNF's forwarder
+        // info (one-way publish from the first VNF's site).
+        let fwd_topic = Topic::vnf_forwarders(
+            nearest.labels.chain().value(),
+            nearest.labels.egress().value(),
+            nearest.vnfs[0].value(),
+            first_site,
+        );
+        let sub = self.site_subs[&site];
+        self.bus.subscribe(sub, fwd_topic.clone());
+        let records = self
+            .locals
+            .get(&first_site)
+            .expect("route site exists")
+            .forwarder_records(nearest.vnfs[0]);
+        let t_start = self.now;
+        let out = self.bus.publish(
+            t_start,
+            first_site,
+            Message::json(fwd_topic, &records),
+        );
+        let t_recv = out.last_delivery.unwrap_or(t_start);
+        self.now = self.now.max(t_recv);
+        report.push(
+            "edge instance's fwrdr receives 1st VNF's info",
+            t_recv.since(t_start),
+        );
+
+        // Step 3: configure the edge data plane (route binding + tunnel).
+        let edge_id = self.edge.register_attachment(attachment, site);
+        let first_hop = WeightedChoice::new(
+            records
+                .iter()
+                .map(|fr| (Addr::Forwarder(fr.forwarder), fr.weight))
+                .collect(),
+        )?;
+        self.edge
+            .instance_mut(edge_id)
+            .expect("just registered")
+            .install_route(chain, nearest.route, nearest.labels, first_hop, 1.0);
+        self.now += self.config.config_delay;
+        report.push(
+            "edge instance's fwrdr dataplane configured",
+            self.config.config_delay,
+        );
+
+        // Step 4: the first VNF's forwarders receive the edge's info
+        // (one-way publish from the new edge site).
+        let edge_topic = Topic::with_owner(
+            format!("/c{}/edge/site_{}_forwarders", chain.value(), site.value()),
+            site,
+        );
+        let vnf_sub = self.site_subs[&first_site];
+        self.bus.subscribe(vnf_sub, edge_topic.clone());
+        let t_start = self.now;
+        let out = self.bus.publish(
+            t_start,
+            site,
+            Message::json(edge_topic, &vec![edge_id.value()]),
+        );
+        let t_recv = out.last_delivery.unwrap_or(t_start);
+        self.now = self.now.max(t_recv);
+        report.push(
+            "1st VNF's fwrdr receives edge's fwrdr info",
+            t_recv.since(t_start),
+        );
+
+        // Step 5: the first VNF's forwarders schedule reconfiguration
+        // (queueing behind in-flight rule updates).
+        self.now += self.config.config_delay;
+        report.push(
+            "1st VNF's fwrdr starts dataplane configuration",
+            self.config.config_delay,
+        );
+
+        // Step 6: reinstall stage-0 rules with the new edge as an extra
+        // previous hop, completing the reverse path.
+        let (next, mut prev) = self
+            .stage_hops
+            .get(&(nearest.route, 0))
+            .cloned()
+            .ok_or_else(|| Error::unknown("stage hops", nearest.route))?;
+        if !prev.iter().any(|&(a, _)| a == Addr::Edge(edge_id)) {
+            prev.push((Addr::Edge(edge_id), 1.0));
+        }
+        self.stage_hops
+            .insert((nearest.route, 0), (next.clone(), prev.clone()));
+        self.locals
+            .get_mut(&first_site)
+            .expect("route site exists")
+            .install_stage_rules(&nearest, 0, next, prev)?;
+        self.now += self.config.config_delay;
+        report.push(
+            "1st VNF's fwrdr finishes configuration",
+            self.config.config_delay,
+        );
+        Ok(report)
+    }
+
+    /// Tears down a chain: releases committed VNF capacity and removes its
+    /// route bindings. Established flows in the data plane keep their
+    /// flow-table entries (Section 5.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownEntity`] for unknown chains.
+    pub fn remove_chain(&mut self, chain: ChainId) -> Result<()> {
+        let state = self
+            .chains
+            .remove(&chain)
+            .ok_or_else(|| Error::unknown("chain", chain))?;
+        let spec = self.chain_spec(&state.request, state.ingress_site, state.egress_site);
+        for ann in &state.routes {
+            for (z, (&vnf, &site)) in ann.vnfs.iter().zip(&ann.sites).enumerate() {
+                let load = self.base_model.vnfs()[vnf.index()].load_per_unit
+                    * (spec.stage_traffic(z) + spec.stage_traffic(z + 1))
+                    * ann.fraction;
+                if let Some(ctl) = self.vnf_ctls.get_mut(&vnf) {
+                    ctl.release(site, load);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses the `"{vnf}@{site}"` participant string of a
+/// [`Error::CommitRejected`].
+fn parse_participant(s: &str) -> Option<(VnfId, SiteId)> {
+    let (vnf_s, site_s) = s.split_once('@')?;
+    let vnf = vnf_s.strip_prefix("vnf-")?.parse().ok()?;
+    let site = site_s.strip_prefix("site-")?.parse().ok()?;
+    Some((VnfId::new(vnf), SiteId::new(site)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_topology::TopologyBuilder;
+    use std::collections::HashMap as Map;
+
+    /// Line topology with sites at every node; one VNF at sites 1 and 2.
+    fn model() -> NetworkModel {
+        let mut tb = TopologyBuilder::new();
+        let n0 = tb.add_node("n0", (0.0, 0.0), 1.0);
+        let n1 = tb.add_node("n1", (0.0, 1.0), 1.0);
+        let n2 = tb.add_node("n2", (0.0, 2.0), 1.0);
+        let n3 = tb.add_node("n3", (0.0, 3.0), 1.0);
+        tb.add_duplex_link(n0, n1, 100.0, Millis::new(5.0));
+        tb.add_duplex_link(n1, n2, 100.0, Millis::new(10.0));
+        tb.add_duplex_link(n2, n3, 100.0, Millis::new(5.0));
+        let mut b = NetworkModel::builder(tb.build());
+        let s0 = b.add_site(n0, 1000.0);
+        let s1 = b.add_site(n1, 1000.0);
+        let s2 = b.add_site(n2, 1000.0);
+        let s3 = b.add_site(n3, 1000.0);
+        let _ = (s0, s3);
+        b.add_vnf(Map::from([(s1, 100.0), (s2, 100.0)]), 1.0);
+        b.build().unwrap()
+    }
+
+    fn control_plane() -> ControlPlane {
+        let delays = DelayModel::uniform(Millis::new(0.1), Millis::new(30.0));
+        ControlPlane::new(model(), delays, ControlPlaneConfig::default())
+    }
+
+    fn request(id: u64) -> ChainRequest {
+        ChainRequest {
+            id: ChainId::new(id),
+            ingress_attachment: "customer-in".into(),
+            egress_attachment: "customer-out".into(),
+            vnfs: vec![VnfId::new(0)],
+            forward: 10.0,
+            reverse: 2.0,
+        }
+    }
+
+    #[test]
+    fn deploy_chain_end_to_end() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        let handle = cp.deploy_chain(request(1)).unwrap();
+        assert_eq!(handle.routes.len(), 1);
+        let route = &handle.routes[0];
+        assert_eq!(route.sites.len(), 1);
+        assert!((route.fraction - 1.0).abs() < 1e-9);
+        // Timing: positive, sub-second (Figure 10a's regime).
+        let total = handle.report.total();
+        assert!(total.value() > 50.0, "{total}");
+        assert!(total.value() < 1000.0, "{total}");
+        // Steps include the Figure 4 arrows.
+        let names: Vec<_> = handle.report.steps.iter().map(|(n, _)| n.clone()).collect();
+        assert!(names.iter().any(|n| n.contains("two-phase commit")));
+        assert!(names.iter().any(|n| n.contains("propagate routes")));
+    }
+
+    #[test]
+    fn deploy_requires_registered_attachments() {
+        let mut cp = control_plane();
+        assert!(matches!(
+            cp.deploy_chain(request(1)),
+            Err(Error::UnknownEntity { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_chain_rejected() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        cp.deploy_chain(request(1)).unwrap();
+        assert!(matches!(
+            cp.deploy_chain(request(1)),
+            Err(Error::DuplicateEntity { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_is_committed_through_2pc() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        let handle = cp.deploy_chain(request(1)).unwrap();
+        let site = handle.routes[0].sites[0];
+        let ctl = cp.vnf_controller(VnfId::new(0)).unwrap();
+        // Chain load: l_f * (12 + 12) = 24 committed at the chosen site.
+        assert!((ctl.available_at(site) - 76.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejection_triggers_recomputation_to_other_site() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        // Fill site 1 and site 2 alternately: each chain takes 24 load, so
+        // 4 chains fit per site (cap 100). Deploy many chains; all must
+        // succeed until both sites are full (8 chains), then fail.
+        let mut deployed = 0;
+        for i in 0..9 {
+            let mut req = request(i);
+            req.ingress_attachment = "customer-in".into();
+            req.egress_attachment = "customer-out".into();
+            match cp.deploy_chain(req) {
+                Ok(_) => deployed += 1,
+                Err(e) => {
+                    assert!(
+                        matches!(e, Error::Infeasible { .. } | Error::CommitRejected { .. }),
+                        "unexpected error: {e}"
+                    );
+                    break;
+                }
+            }
+        }
+        assert_eq!(deployed, 8, "both sites should fill before failure");
+    }
+
+    #[test]
+    fn forwarders_get_rules_installed() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        let handle = cp.deploy_chain(request(1)).unwrap();
+        let site = handle.routes[0].sites[0];
+        let local = cp.local(site).unwrap();
+        assert!(local.num_forwarders() >= 1);
+        // The ingress edge has a route binding.
+        let edge = cp.edge().instance_at(SiteId::new(0)).unwrap();
+        assert_eq!(edge.routes_for(ChainId::new(1)), 1);
+    }
+
+    #[test]
+    fn add_route_rebalances_fractions() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        let handle = cp.deploy_chain(request(1)).unwrap();
+        let first_site = handle.routes[0].sites[0];
+        let other = if first_site == SiteId::new(1) {
+            SiteId::new(2)
+        } else {
+            SiteId::new(1)
+        };
+        let (ann, report) = cp.add_route_via(ChainId::new(1), vec![other]).unwrap();
+        assert_eq!(ann.sites, vec![other]);
+        assert!((ann.fraction - 0.5).abs() < 1e-9);
+        let routes = cp.routes_of(ChainId::new(1));
+        assert_eq!(routes.len(), 2);
+        assert!(routes.iter().all(|r| (r.fraction - 0.5).abs() < 1e-9));
+        // Figure 10a: the update completes in well under a second.
+        assert!(report.total().value() < 1000.0);
+        assert!(report.total().value() > 10.0);
+    }
+
+    #[test]
+    fn add_edge_site_reports_table2_steps() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        cp.deploy_chain(request(1)).unwrap();
+        let report = cp
+            .add_edge_site(ChainId::new(1), "mobile-user", SiteId::new(2))
+            .unwrap();
+        assert_eq!(report.steps.len(), 6);
+        assert_eq!(report.steps[0].1, Millis::ZERO, "step 1 is local");
+        // Total under 600 ms, as in Table 2.
+        assert!(report.total().value() < 600.0, "{}", report.total());
+        // The new edge instance has a binding for the chain.
+        let edge = cp.edge().instance_at(SiteId::new(2)).unwrap();
+        assert_eq!(edge.routes_for(ChainId::new(1)), 1);
+    }
+
+    #[test]
+    fn remove_chain_releases_capacity() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        let handle = cp.deploy_chain(request(1)).unwrap();
+        let site = handle.routes[0].sites[0];
+        cp.remove_chain(ChainId::new(1)).unwrap();
+        let ctl = cp.vnf_controller(VnfId::new(0)).unwrap();
+        assert!((ctl.available_at(site) - 100.0).abs() < 1e-9);
+        assert!(cp.routes_of(ChainId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn forced_routes_are_installed_verbatim() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        let handle = cp
+            .deploy_chain_via(
+                request(1),
+                vec![
+                    (vec![SiteId::new(1)], 0.7),
+                    (vec![SiteId::new(2)], 0.3),
+                ],
+            )
+            .unwrap();
+        assert_eq!(handle.routes.len(), 2);
+        assert!((handle.routes[0].fraction - 0.7).abs() < 1e-9);
+        assert_eq!(handle.routes[1].sites, vec![SiteId::new(2)]);
+        // Labels are distinct per route.
+        assert_ne!(handle.routes[0].labels, handle.routes[1].labels);
+    }
+
+    #[test]
+    fn participant_string_round_trips() {
+        assert_eq!(
+            parse_participant("vnf-3@site-7"),
+            Some((VnfId::new(3), SiteId::new(7)))
+        );
+        assert_eq!(parse_participant("garbage"), None);
+    }
+}

@@ -1,0 +1,386 @@
+//! The per-site Local Switchboard.
+//!
+//! Section 3: "the local Switchboard controls the horizontal scaling of
+//! forwarders at the site and performs aggregation of messages sent either
+//! by or to forwarders". Section 5.2 / Figure 6: it subscribes to the
+//! instance and forwarder topics of the chains routed through its site and
+//! combines the wide-area route with the published weights into the three
+//! rule sets installed at each forwarder.
+//!
+//! One deliberate simplification relative to Figure 5: forwarder pools are
+//! per-VNF (a forwarder serves instances of a single VNF), so a packet's
+//! (label, arrival-context) pair uniquely identifies its chain stage at a
+//! forwarder. The paper's prototype disambiguates stages by input
+//! interface, which has no equivalent in our in-process data plane.
+
+use crate::messages::{ForwarderRecord, InstanceRecord, RouteAnnouncement};
+use sb_dataplane::{Addr, Forwarder, ForwarderMode, RuleSet, WeightedChoice};
+use sb_types::{Error, ForwarderId, InstanceId, LabelPair, Result, RouteId, SiteId, VnfId};
+use std::collections::HashMap;
+
+/// The Local Switchboard of one site.
+#[derive(Debug)]
+pub struct LocalSwitchboard {
+    site: SiteId,
+    /// Forwarder id allocation base (globally unique per site).
+    id_base: u64,
+    next_idx: u64,
+    /// Max VNF instances served by one forwarder before the pool grows.
+    instances_per_forwarder: usize,
+    forwarders: HashMap<ForwarderId, Forwarder>,
+    /// Per-VNF forwarder pool at this site.
+    pools: HashMap<VnfId, Vec<ForwarderId>>,
+    /// Instances assigned to each forwarder.
+    assigned: HashMap<ForwarderId, Vec<InstanceRecord>>,
+    /// Which forwarder serves each instance.
+    instance_fwd: HashMap<InstanceId, ForwarderId>,
+    /// Replicated wide-area routes for all chains (Section 6: replicated
+    /// "in Local Switchboard at every site" to support edge-site addition).
+    routes: HashMap<RouteId, RouteAnnouncement>,
+}
+
+impl LocalSwitchboard {
+    /// Creates the Local Switchboard for `site`. Forwarder identifiers are
+    /// allocated from `site.value() * 1_000_000` upward, keeping them
+    /// globally unique without coordination.
+    #[must_use]
+    pub fn new(site: SiteId, instances_per_forwarder: usize) -> Self {
+        Self {
+            site,
+            id_base: u64::from(site.value()) * 1_000_000,
+            next_idx: 0,
+            instances_per_forwarder: instances_per_forwarder.max(1),
+            forwarders: HashMap::new(),
+            pools: HashMap::new(),
+            assigned: HashMap::new(),
+            instance_fwd: HashMap::new(),
+            routes: HashMap::new(),
+        }
+    }
+
+    /// The site this Local Switchboard runs at.
+    #[must_use]
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Number of forwarders in the pool.
+    #[must_use]
+    pub fn num_forwarders(&self) -> usize {
+        self.forwarders.len()
+    }
+
+    /// Access a forwarder by id.
+    #[must_use]
+    pub fn forwarder(&self, id: ForwarderId) -> Option<&Forwarder> {
+        self.forwarders.get(&id)
+    }
+
+    /// Mutable access to a forwarder by id (the data-plane harness moves
+    /// packets through this).
+    pub fn forwarder_mut(&mut self, id: ForwarderId) -> Option<&mut Forwarder> {
+        self.forwarders.get_mut(&id)
+    }
+
+    /// All forwarder ids, sorted.
+    #[must_use]
+    pub fn forwarder_ids(&self) -> Vec<ForwarderId> {
+        let mut ids: Vec<_> = self.forwarders.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Attaches VNF instances to forwarders, growing the per-VNF pool
+    /// elastically (Section 5.1: "As more VNF instances are added at the
+    /// site, the Local Switchboard scales the number of forwarders").
+    /// Returns the forwarder records (id + aggregate weight) to publish on
+    /// the bus — the payload of the `.../site_X_forwarders` topic.
+    pub fn attach_instances(
+        &mut self,
+        vnf: VnfId,
+        records: &[InstanceRecord],
+    ) -> Vec<ForwarderRecord> {
+        for rec in records {
+            if self.instance_fwd.contains_key(&rec.instance) {
+                continue;
+            }
+            // Least-loaded forwarder of this VNF's pool with spare slots.
+            let pool = self.pools.entry(vnf).or_default();
+            let target = pool
+                .iter()
+                .copied()
+                .filter(|f| {
+                    self.assigned.get(f).map_or(0, Vec::len) < self.instances_per_forwarder
+                })
+                .min_by_key(|f| self.assigned.get(f).map_or(0, Vec::len));
+            let fwd_id = match target {
+                Some(f) => f,
+                None => {
+                    let id = ForwarderId::new(self.id_base + self.next_idx);
+                    self.next_idx += 1;
+                    self.forwarders.insert(
+                        id,
+                        Forwarder::new(id, self.site, ForwarderMode::Affinity),
+                    );
+                    pool.push(id);
+                    id
+                }
+            };
+            self.assigned.entry(fwd_id).or_default().push(*rec);
+            self.instance_fwd.insert(rec.instance, fwd_id);
+        }
+        self.forwarder_records(vnf)
+    }
+
+    /// The forwarders serving `vnf` at this site, with their aggregate
+    /// weights (sum of assigned instance weights, Section 5.2).
+    #[must_use]
+    pub fn forwarder_records(&self, vnf: VnfId) -> Vec<ForwarderRecord> {
+        let Some(pool) = self.pools.get(&vnf) else {
+            return Vec::new();
+        };
+        pool.iter()
+            .map(|f| ForwarderRecord {
+                forwarder: *f,
+                weight: self
+                    .assigned
+                    .get(f)
+                    .map_or(0.0, |recs| recs.iter().map(|r| r.weight).sum()),
+            })
+            .collect()
+    }
+
+    /// Stores a replicated route announcement (every site receives all
+    /// routes; Section 6).
+    pub fn store_route(&mut self, route: RouteAnnouncement) {
+        self.routes.insert(route.route, route);
+    }
+
+    /// The replicated routes for `chain`, in route-id order.
+    #[must_use]
+    pub fn routes_for_chain(&self, chain: sb_types::ChainId) -> Vec<&RouteAnnouncement> {
+        let mut v: Vec<_> = self.routes.values().filter(|r| r.chain == chain).collect();
+        v.sort_by_key(|r| r.route);
+        v
+    }
+
+    /// Installs the stage-`z` rules of `route` at every forwarder serving
+    /// the stage's VNF here: load-balance among its own instances, forward
+    /// onward to `next_hops`, backward to `prev_hops` (Figure 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownEntity`] when the stage VNF has no
+    /// instances attached at this site, or [`Error::InvalidArgument`] when
+    /// a hop set is empty.
+    pub fn install_stage_rules(
+        &mut self,
+        route: &RouteAnnouncement,
+        stage: usize,
+        next_hops: Vec<(Addr, f64)>,
+        prev_hops: Vec<(Addr, f64)>,
+    ) -> Result<()> {
+        let vnf = route.vnfs[stage];
+        let pool = self
+            .pools
+            .get(&vnf)
+            .cloned()
+            .ok_or_else(|| Error::unknown("vnf pool at site", format!("{vnf}@{}", self.site)))?;
+        let to_next = WeightedChoice::new(next_hops)?;
+        let to_prev = WeightedChoice::new(prev_hops)?;
+        for fwd_id in pool {
+            let recs = self.assigned.get(&fwd_id).cloned().unwrap_or_default();
+            if recs.is_empty() {
+                continue;
+            }
+            let to_vnf = WeightedChoice::new(
+                recs.iter()
+                    .map(|r| (Addr::Vnf(r.instance), r.weight))
+                    .collect(),
+            )?;
+            let fwd = self
+                .forwarders
+                .get_mut(&fwd_id)
+                .expect("pool members exist");
+            fwd.install_rules(
+                route.labels,
+                RuleSet {
+                    to_vnf,
+                    to_next: to_next.clone(),
+                    to_prev: to_prev.clone(),
+                },
+            );
+            for r in &recs {
+                if !r.supports_labels {
+                    fwd.register_label_unaware_vnf(r.instance, route.labels);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// For the mobility flow (Section 6): picks, among the replicated
+    /// routes of `chain`, the one whose first-VNF site has the least
+    /// latency from this site according to `latency`, and returns it.
+    #[must_use]
+    pub fn nearest_route(
+        &self,
+        chain: sb_types::ChainId,
+        latency: impl Fn(SiteId, SiteId) -> f64,
+    ) -> Option<&RouteAnnouncement> {
+        self.routes
+            .values()
+            .filter(|r| r.chain == chain)
+            .min_by(|a, b| {
+                let la = a
+                    .sites
+                    .first()
+                    .map_or(0.0, |&s| latency(self.site, s));
+                let lb = b
+                    .sites
+                    .first()
+                    .map_or(0.0, |&s| latency(self.site, s));
+                la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// The forwarder serving `instance`, when attached here.
+    #[must_use]
+    pub fn forwarder_of_instance(&self, instance: InstanceId) -> Option<ForwarderId> {
+        self.instance_fwd.get(&instance).copied()
+    }
+
+    /// The labels every forwarder currently has rules for (diagnostics).
+    #[must_use]
+    pub fn installed_labels(&self) -> Vec<LabelPair> {
+        let mut labels: Vec<LabelPair> = self.routes.values().map(|r| r.labels).collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_types::{ChainId, ChainLabel, EgressLabel};
+
+    fn rec(i: u64, weight: f64) -> InstanceRecord {
+        InstanceRecord {
+            instance: InstanceId::new(i),
+            weight,
+            supports_labels: true,
+        }
+    }
+
+    fn route(chain: u64, route_id: u64, vnf: u32, site: u32) -> RouteAnnouncement {
+        RouteAnnouncement {
+            chain: ChainId::new(chain),
+            route: sb_types::RouteId::new(route_id),
+            labels: LabelPair::new(
+                ChainLabel::new(u32::try_from(route_id).unwrap()),
+                EgressLabel::new(1),
+            ),
+            ingress_site: SiteId::new(0),
+            egress_site: SiteId::new(1),
+            vnfs: vec![VnfId::new(vnf)],
+            sites: vec![SiteId::new(site)],
+            fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn pool_scales_elastically() {
+        let mut l = LocalSwitchboard::new(SiteId::new(3), 2);
+        let vnf = VnfId::new(1);
+        let records = l.attach_instances(vnf, &[rec(1, 1.0), rec(2, 1.0)]);
+        assert_eq!(l.num_forwarders(), 1, "two instances fit one forwarder");
+        assert_eq!(records.len(), 1);
+        assert!((records[0].weight - 2.0).abs() < 1e-12);
+
+        let records = l.attach_instances(vnf, &[rec(3, 0.5)]);
+        assert_eq!(l.num_forwarders(), 2, "third instance grows the pool");
+        assert_eq!(records.len(), 2);
+        // Forwarder ids are namespaced by site.
+        assert!(records.iter().all(|r| r.forwarder.value() >= 3_000_000));
+    }
+
+    #[test]
+    fn reattaching_same_instance_is_idempotent() {
+        let mut l = LocalSwitchboard::new(SiteId::new(0), 2);
+        let vnf = VnfId::new(1);
+        l.attach_instances(vnf, &[rec(1, 1.0)]);
+        let records = l.attach_instances(vnf, &[rec(1, 1.0)]);
+        assert_eq!(l.num_forwarders(), 1);
+        assert!((records[0].weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_vnfs_use_disjoint_pools() {
+        let mut l = LocalSwitchboard::new(SiteId::new(0), 4);
+        l.attach_instances(VnfId::new(1), &[rec(1, 1.0)]);
+        l.attach_instances(VnfId::new(2), &[rec(2, 1.0)]);
+        assert_eq!(l.num_forwarders(), 2);
+        let f1 = l.forwarder_of_instance(InstanceId::new(1)).unwrap();
+        let f2 = l.forwarder_of_instance(InstanceId::new(2)).unwrap();
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn stage_rules_reach_all_pool_forwarders() {
+        let mut l = LocalSwitchboard::new(SiteId::new(0), 1);
+        let vnf = VnfId::new(1);
+        l.attach_instances(vnf, &[rec(1, 1.0), rec(2, 1.0)]); // two forwarders
+        let r = route(1, 1, 1, 0);
+        l.store_route(r.clone());
+        l.install_stage_rules(
+            &r,
+            0,
+            vec![(Addr::Edge(sb_types::EdgeInstanceId::new(9)), 1.0)],
+            vec![(Addr::Edge(sb_types::EdgeInstanceId::new(8)), 1.0)],
+        )
+        .unwrap();
+        // Both forwarders can now process packets with the route's labels.
+        for id in l.forwarder_ids() {
+            let fwd = l.forwarder_mut(id).unwrap();
+            let key = sb_types::FlowKey::tcp([1, 1, 1, 1], 5, [2, 2, 2, 2], 6);
+            let pkt = sb_dataplane::Packet::labeled(r.labels, key, 64);
+            let (_, hop) = fwd
+                .process(pkt, Addr::Edge(sb_types::EdgeInstanceId::new(8)))
+                .unwrap();
+            assert!(matches!(hop, Addr::Vnf(_)));
+        }
+    }
+
+    #[test]
+    fn stage_rules_without_pool_fail() {
+        let mut l = LocalSwitchboard::new(SiteId::new(0), 1);
+        let r = route(1, 1, 1, 0);
+        assert!(l
+            .install_stage_rules(&r, 0, vec![(Addr::Edge(sb_types::EdgeInstanceId::new(9)), 1.0)], vec![(Addr::Edge(sb_types::EdgeInstanceId::new(8)), 1.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn nearest_route_picks_least_latency_first_site() {
+        let mut l = LocalSwitchboard::new(SiteId::new(5), 1);
+        l.store_route(route(1, 1, 1, 2)); // first VNF at site 2
+        l.store_route(route(1, 2, 1, 7)); // first VNF at site 7
+        let nearest = l
+            .nearest_route(ChainId::new(1), |from, to| {
+                // site 7 is closer to site 5 than site 2 is.
+                f64::from(from.value().abs_diff(to.value()))
+            })
+            .unwrap();
+        assert_eq!(nearest.route, sb_types::RouteId::new(2));
+        assert_eq!(l.routes_for_chain(ChainId::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn installed_labels_deduplicate() {
+        let mut l = LocalSwitchboard::new(SiteId::new(0), 1);
+        l.store_route(route(1, 1, 1, 0));
+        l.store_route(route(2, 2, 1, 0));
+        assert_eq!(l.installed_labels().len(), 2);
+    }
+}

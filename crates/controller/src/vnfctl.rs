@@ -1,0 +1,254 @@
+//! The per-VNF controller: instance ownership and two-phase commit voting.
+
+use crate::messages::InstanceRecord;
+use sb_types::{ChainId, Error, LoadUnits, Result, RouteId, SiteId, VnfId};
+use std::collections::HashMap;
+
+/// One site's pool of instances for a VNF.
+#[derive(Debug, Clone)]
+struct SitePool {
+    capacity: LoadUnits,
+    committed: LoadUnits,
+    prepared: HashMap<(ChainId, RouteId), LoadUnits>,
+    instances: Vec<InstanceRecord>,
+}
+
+/// The controller of one VNF service (Section 3: "A VNF service is a
+/// multi-site, multi-tenant service comprised of VNF instances at each site
+/// and a centralized VNF controller").
+///
+/// The controller is the two-phase-commit participant for its VNF: a
+/// `prepare` reserves capacity for a chain route at a site (vetoing when
+/// short — the paper's reason for using 2PC), `commit` makes it durable,
+/// `abort` releases it.
+#[derive(Debug, Clone)]
+pub struct VnfController {
+    vnf: VnfId,
+    /// The site whose proxy this controller publishes from (its home).
+    home_site: SiteId,
+    pools: HashMap<SiteId, SitePool>,
+}
+
+impl VnfController {
+    /// Creates a controller for `vnf` homed at `home_site`, with no
+    /// deployments yet.
+    #[must_use]
+    pub fn new(vnf: VnfId, home_site: SiteId) -> Self {
+        Self {
+            vnf,
+            home_site,
+            pools: HashMap::new(),
+        }
+    }
+
+    /// The VNF this controller manages.
+    #[must_use]
+    pub fn vnf(&self) -> VnfId {
+        self.vnf
+    }
+
+    /// The controller's home site.
+    #[must_use]
+    pub fn home_site(&self) -> SiteId {
+        self.home_site
+    }
+
+    /// Registers a deployment at `site` with `capacity` and a set of
+    /// instances (Section 3, phase 1: instances register before chains are
+    /// specified).
+    pub fn deploy_at(
+        &mut self,
+        site: SiteId,
+        capacity: LoadUnits,
+        instances: Vec<InstanceRecord>,
+    ) {
+        self.pools.insert(
+            site,
+            SitePool {
+                capacity,
+                committed: 0.0,
+                prepared: HashMap::new(),
+                instances,
+            },
+        );
+    }
+
+    /// The deployment sites, sorted.
+    #[must_use]
+    pub fn sites(&self) -> Vec<SiteId> {
+        let mut s: Vec<_> = self.pools.keys().copied().collect();
+        s.sort();
+        s
+    }
+
+    /// The instances at `site` (the payload of the Figure 6
+    /// `.../site_X_instances` topic).
+    #[must_use]
+    pub fn instances_at(&self, site: SiteId) -> Vec<InstanceRecord> {
+        self.pools
+            .get(&site)
+            .map(|p| p.instances.clone())
+            .unwrap_or_default()
+    }
+
+    /// Remaining uncommitted capacity at `site`.
+    #[must_use]
+    pub fn available_at(&self, site: SiteId) -> LoadUnits {
+        self.pools.get(&site).map_or(0.0, |p| {
+            let pending: LoadUnits = p.prepared.values().sum();
+            p.capacity - p.committed - pending
+        })
+    }
+
+    /// Two-phase commit, phase 1: reserve `load` at `site` for a chain
+    /// route. The paper: "Two-phase commit allows Global Switchboard to
+    /// recompute the route if the proposed route is rejected by a VNF
+    /// controller due to resource shortage."
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::UnknownEntity`] when the VNF is not deployed at `site`.
+    /// - [`Error::CommitRejected`] when remaining capacity is insufficient.
+    pub fn prepare(
+        &mut self,
+        chain: ChainId,
+        route: RouteId,
+        site: SiteId,
+        load: LoadUnits,
+    ) -> Result<()> {
+        let vnf = self.vnf;
+        let available = self.available_at(site);
+        let pool = self
+            .pools
+            .get_mut(&site)
+            .ok_or_else(|| Error::unknown("vnf deployment site", site))?;
+        if load > available + 1e-9 {
+            return Err(Error::CommitRejected {
+                participant: format!("{vnf}@{site}"),
+                reason: format!("need {load:.3} load units, only {available:.3} available"),
+            });
+        }
+        *pool.prepared.entry((chain, route)).or_insert(0.0) += load;
+        Ok(())
+    }
+
+    /// Two-phase commit, phase 2: make the reservation durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownEntity`] when nothing was prepared for this
+    /// chain route at `site`.
+    pub fn commit(&mut self, chain: ChainId, route: RouteId, site: SiteId) -> Result<()> {
+        let pool = self
+            .pools
+            .get_mut(&site)
+            .ok_or_else(|| Error::unknown("vnf deployment site", site))?;
+        let load = pool
+            .prepared
+            .remove(&(chain, route))
+            .ok_or_else(|| Error::unknown("prepared reservation", format!("{chain}/{route}")))?;
+        pool.committed += load;
+        Ok(())
+    }
+
+    /// Two-phase commit: release a reservation (vote-no cleanup).
+    pub fn abort(&mut self, chain: ChainId, route: RouteId, site: SiteId) {
+        if let Some(pool) = self.pools.get_mut(&site) {
+            pool.prepared.remove(&(chain, route));
+        }
+    }
+
+    /// Releases committed capacity (chain teardown).
+    pub fn release(&mut self, site: SiteId, load: LoadUnits) {
+        if let Some(pool) = self.pools.get_mut(&site) {
+            pool.committed = (pool.committed - load).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_types::InstanceId;
+
+    fn ctl() -> VnfController {
+        let mut c = VnfController::new(VnfId::new(1), SiteId::new(0));
+        c.deploy_at(
+            SiteId::new(0),
+            10.0,
+            vec![InstanceRecord {
+                instance: InstanceId::new(1),
+                weight: 1.0,
+                supports_labels: true,
+            }],
+        );
+        c
+    }
+
+    #[test]
+    fn prepare_commit_consumes_capacity() {
+        let mut c = ctl();
+        assert_eq!(c.available_at(SiteId::new(0)), 10.0);
+        c.prepare(ChainId::new(1), RouteId::new(1), SiteId::new(0), 6.0)
+            .unwrap();
+        assert!((c.available_at(SiteId::new(0)) - 4.0).abs() < 1e-12);
+        c.commit(ChainId::new(1), RouteId::new(1), SiteId::new(0))
+            .unwrap();
+        assert!((c.available_at(SiteId::new(0)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_capacity_prepare_is_rejected() {
+        let mut c = ctl();
+        c.prepare(ChainId::new(1), RouteId::new(1), SiteId::new(0), 6.0)
+            .unwrap();
+        let err = c
+            .prepare(ChainId::new(2), RouteId::new(2), SiteId::new(0), 6.0)
+            .unwrap_err();
+        assert!(matches!(err, Error::CommitRejected { .. }));
+    }
+
+    #[test]
+    fn abort_releases_reservation() {
+        let mut c = ctl();
+        c.prepare(ChainId::new(1), RouteId::new(1), SiteId::new(0), 6.0)
+            .unwrap();
+        c.abort(ChainId::new(1), RouteId::new(1), SiteId::new(0));
+        assert_eq!(c.available_at(SiteId::new(0)), 10.0);
+        // A fresh prepare now succeeds.
+        c.prepare(ChainId::new(2), RouteId::new(2), SiteId::new(0), 9.0)
+            .unwrap();
+    }
+
+    #[test]
+    fn unknown_site_is_reported() {
+        let mut c = ctl();
+        assert!(c
+            .prepare(ChainId::new(1), RouteId::new(1), SiteId::new(9), 1.0)
+            .is_err());
+        assert!(c
+            .commit(ChainId::new(1), RouteId::new(1), SiteId::new(9))
+            .is_err());
+        assert_eq!(c.available_at(SiteId::new(9)), 0.0);
+        assert!(c.instances_at(SiteId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn commit_without_prepare_fails() {
+        let mut c = ctl();
+        assert!(c
+            .commit(ChainId::new(1), RouteId::new(1), SiteId::new(0))
+            .is_err());
+    }
+
+    #[test]
+    fn release_returns_committed_capacity() {
+        let mut c = ctl();
+        c.prepare(ChainId::new(1), RouteId::new(1), SiteId::new(0), 8.0)
+            .unwrap();
+        c.commit(ChainId::new(1), RouteId::new(1), SiteId::new(0))
+            .unwrap();
+        c.release(SiteId::new(0), 8.0);
+        assert_eq!(c.available_at(SiteId::new(0)), 10.0);
+    }
+}

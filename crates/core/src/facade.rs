@@ -1,0 +1,443 @@
+//! The [`Switchboard`] facade: control plane + data plane + VNF behaviors
+//! assembled into one runnable system.
+
+use crate::runner::{Passthrough, Transit};
+use sb_controller::{
+    ChainHandle, ChainRequest, ControlPlane, ControlPlaneConfig, DeploymentReport,
+    RouteAnnouncement,
+};
+use sb_dataplane::{Addr, Packet};
+use sb_msgbus::DelayModel;
+use sb_te::NetworkModel;
+use sb_types::{ChainId, Error, InstanceId, Millis, Result, SiteId};
+use sb_vnfs::VnfBehavior;
+use std::collections::HashMap;
+
+/// Configuration of a [`Switchboard`] deployment.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchboardConfig {
+    /// Control-plane configuration (routing heuristic, timing model…).
+    pub control: ControlPlaneConfig,
+    /// Safety bound on data-plane hops per packet (loops indicate broken
+    /// rules and are reported as forwarding errors).
+    pub max_hops: usize,
+}
+
+/// The assembled Switchboard middleware. See the [crate docs](crate) for a
+/// worked example.
+pub struct Switchboard {
+    cp: ControlPlane,
+    model: NetworkModel,
+    behaviors: HashMap<InstanceId, Box<dyn VnfBehavior>>,
+    passthrough_default: bool,
+    max_hops: usize,
+}
+
+impl std::fmt::Debug for Switchboard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Switchboard")
+            .field("behaviors", &self.behaviors.len())
+            .field("control_plane", &self.cp)
+            .finish()
+    }
+}
+
+impl Switchboard {
+    /// Builds a Switchboard over a network model (topology, sites, VNF
+    /// catalog) and a control-plane WAN delay model.
+    #[must_use]
+    pub fn new(model: NetworkModel, delays: DelayModel, config: SwitchboardConfig) -> Self {
+        let max_hops = if config.max_hops == 0 {
+            64
+        } else {
+            config.max_hops
+        };
+        let cp = ControlPlane::new(model.clone(), delays, config.control);
+        Self {
+            cp,
+            model,
+            behaviors: HashMap::new(),
+            passthrough_default: false,
+            max_hops,
+        }
+    }
+
+    /// The underlying control plane.
+    #[must_use]
+    pub fn control_plane(&self) -> &ControlPlane {
+        &self.cp
+    }
+
+    /// Mutable access to the control plane (advanced wiring).
+    pub fn control_plane_mut(&mut self) -> &mut ControlPlane {
+        &mut self.cp
+    }
+
+    /// The traffic-engineering model this deployment was built from.
+    #[must_use]
+    pub fn model(&self) -> &NetworkModel {
+        &self.model
+    }
+
+    /// Binds a concrete behavior (firewall, NAT, cache…) to its VNF
+    /// instance. Packets reaching an unbound instance are an error unless
+    /// [`use_passthrough_behaviors`](Self::use_passthrough_behaviors) is
+    /// set.
+    pub fn register_behavior(&mut self, behavior: Box<dyn VnfBehavior>) {
+        self.behaviors.insert(behavior.instance(), behavior);
+    }
+
+    /// Treats unbound VNF instances as no-op passthroughs (convenient for
+    /// routing-only experiments).
+    pub fn use_passthrough_behaviors(&mut self) {
+        self.passthrough_default = true;
+    }
+
+    /// The behavior bound to `instance`, for reading stats after a run.
+    #[must_use]
+    pub fn behavior(&self, instance: InstanceId) -> Option<&dyn VnfBehavior> {
+        self.behaviors.get(&instance).map(AsRef::as_ref)
+    }
+
+    /// Registers a customer attachment at an edge site.
+    pub fn register_attachment(
+        &mut self,
+        name: impl Into<String>,
+        site: SiteId,
+    ) -> sb_types::EdgeInstanceId {
+        self.cp.register_attachment(name, site)
+    }
+
+    /// Deploys a chain with SB-DP routing. See
+    /// [`ControlPlane::deploy_chain`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-plane errors (unknown attachments, infeasible
+    /// demand, two-phase-commit rejection).
+    pub fn deploy_chain(&mut self, request: ChainRequest) -> Result<ChainHandle> {
+        self.cp.deploy_chain(request)
+    }
+
+    /// Deploys a chain over explicit routes. See
+    /// [`ControlPlane::deploy_chain_via`].
+    ///
+    /// # Errors
+    ///
+    /// As [`deploy_chain`](Self::deploy_chain), plus arity mismatches.
+    pub fn deploy_chain_via(
+        &mut self,
+        request: ChainRequest,
+        routes: Vec<(Vec<SiteId>, f64)>,
+    ) -> Result<ChainHandle> {
+        self.cp.deploy_chain_via(request, routes)
+    }
+
+    /// Adds a route to a deployed chain. See
+    /// [`ControlPlane::add_route_via`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-plane errors.
+    pub fn add_route_via(
+        &mut self,
+        chain: ChainId,
+        sites: Vec<SiteId>,
+    ) -> Result<(RouteAnnouncement, DeploymentReport)> {
+        self.cp.add_route_via(chain, sites)
+    }
+
+    /// Extends a chain to a new edge site. See
+    /// [`ControlPlane::add_edge_site`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-plane errors.
+    pub fn add_edge_site(
+        &mut self,
+        chain: ChainId,
+        attachment: impl Into<String>,
+        site: SiteId,
+    ) -> Result<DeploymentReport> {
+        self.cp.add_edge_site(chain, attachment, site)
+    }
+
+    /// The routes of a deployed chain.
+    #[must_use]
+    pub fn routes_of(&self, chain: ChainId) -> Vec<RouteAnnouncement> {
+        self.cp.routes_of(chain)
+    }
+
+    /// Propagation latency between two sites' nodes.
+    fn prop(&self, a: SiteId, b: SiteId) -> Result<Millis> {
+        let d = self
+            .model
+            .latency(self.model.site_node(a), self.model.site_node(b));
+        if d.value().is_finite() {
+            Ok(d)
+        } else {
+            Err(Error::forwarding(format!("no path between {a} and {b}")))
+        }
+    }
+
+    /// Injects a packet into `chain` at the edge instance of
+    /// `ingress_site` and walks it through the data plane until it leaves
+    /// at an egress edge, a VNF drops it, or the hop bound trips.
+    ///
+    /// Reverse-direction packets are injected the same way at the original
+    /// egress site; the edge's learned pins and the forwarders' reverse
+    /// flow-table entries retrace the forward path backwards.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::Forwarding`] on missing rules, unbound instances (without
+    ///   passthrough default), unknown forwarders, or loops.
+    pub fn send(&mut self, chain: ChainId, ingress_site: SiteId, packet: Packet) -> Result<Transit> {
+        let edge = self
+            .cp
+            .edge_mut()
+            .instance_at_mut(ingress_site)
+            .ok_or_else(|| Error::unknown("edge instance at site", ingress_site))?;
+        let edge_addr = edge.addr();
+        let (mut pkt, mut hop) = edge.ingress(chain, packet)?;
+
+        let mut hops = vec![edge_addr];
+        let mut latency = Millis::ZERO;
+        let mut current_site = ingress_site;
+        let mut from = edge_addr;
+
+        for _ in 0..self.max_hops {
+            match hop {
+                Addr::Forwarder(f) => {
+                    let site = self
+                        .cp
+                        .forwarder_site(f)
+                        .ok_or_else(|| Error::unknown("forwarder", f))?;
+                    if site != current_site {
+                        latency += self.prop(current_site, site)?;
+                        current_site = site;
+                    }
+                    let fw = self
+                        .cp
+                        .local_mut(site)
+                        .and_then(|l| l.forwarder_mut(f))
+                        .ok_or_else(|| Error::unknown("forwarder", f))?;
+                    let (out, next) = fw.process(pkt, from)?;
+                    hops.push(Addr::Forwarder(f));
+                    pkt = out;
+                    from = Addr::Forwarder(f);
+                    hop = next;
+                }
+                Addr::Vnf(instance) => {
+                    hops.push(Addr::Vnf(instance));
+                    let passthrough_default = self.passthrough_default;
+                    let behavior = match self.behaviors.entry(instance) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            if passthrough_default {
+                                v.insert(Box::new(Passthrough::new(instance)))
+                            } else {
+                                return Err(Error::forwarding(format!(
+                                    "no behavior bound to {instance}"
+                                )));
+                            }
+                        }
+                    };
+                    latency += behavior.processing_delay();
+                    let Some(out) = behavior.process(pkt) else {
+                        // Dropped by the VNF (firewall deny, NAT miss).
+                        return Ok(Transit {
+                            hops,
+                            latency,
+                            delivered: false,
+                            output: None,
+                        });
+                    };
+                    pkt = out;
+                    // Back to the forwarder serving this instance.
+                    let fid = self
+                        .cp
+                        .local(current_site)
+                        .and_then(|l| l.forwarder_of_instance(instance))
+                        .ok_or_else(|| {
+                            Error::unknown("forwarder of instance", instance)
+                        })?;
+                    from = Addr::Vnf(instance);
+                    hop = Addr::Forwarder(fid);
+                }
+                Addr::Edge(e) => {
+                    let edge_site = self
+                        .cp
+                        .edge()
+                        .sites()
+                        .into_iter()
+                        .find(|&s| {
+                            self.cp
+                                .edge()
+                                .instance_at(s)
+                                .is_some_and(|i| i.id() == e)
+                        })
+                        .ok_or_else(|| Error::unknown("edge instance", e))?;
+                    if edge_site != current_site {
+                        latency += self.prop(current_site, edge_site)?;
+                    }
+                    let edge = self
+                        .cp
+                        .edge_mut()
+                        .instance_mut(e)
+                        .ok_or_else(|| Error::unknown("edge instance", e))?;
+                    let out = edge.egress(pkt, from);
+                    hops.push(Addr::Edge(e));
+                    return Ok(Transit {
+                        hops,
+                        latency,
+                        delivered: true,
+                        output: Some(out),
+                    });
+                }
+            }
+        }
+        Err(Error::forwarding(format!(
+            "hop bound ({}) exceeded — forwarding loop?",
+            self.max_hops
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use sb_types::{FlowKey, VnfId};
+
+    fn two_vnf_chain() -> (Switchboard, ChainId, SiteId, SiteId) {
+        let (model, sites) = scenarios::line_testbed();
+        let mut sb = Switchboard::new(
+            model,
+            DelayModel::uniform(Millis::new(0.1), Millis::new(10.0)),
+            SwitchboardConfig::default(),
+        );
+        sb.use_passthrough_behaviors();
+        sb.register_attachment("in", sites[0]);
+        sb.register_attachment("out", sites[3]);
+        let chain = ChainId::new(1);
+        sb.deploy_chain(ChainRequest {
+            id: chain,
+            ingress_attachment: "in".into(),
+            egress_attachment: "out".into(),
+            vnfs: vec![VnfId::new(0), VnfId::new(1)],
+            forward: 5.0,
+            reverse: 1.0,
+        })
+        .unwrap();
+        (sb, chain, sites[0], sites[3])
+    }
+
+    #[test]
+    fn packet_traverses_both_vnfs_in_order() {
+        let (mut sb, chain, ingress, _) = two_vnf_chain();
+        let key = FlowKey::tcp([10, 0, 0, 1], 5000, [10, 9, 9, 9], 80);
+        let t = sb.send(chain, ingress, Packet::unlabeled(key, 500)).unwrap();
+        assert!(t.delivered);
+        assert_eq!(t.vnf_instances().len(), 2, "{:?}", t.hops);
+        // Output is unlabeled (egress stripped).
+        assert!(t.output.unwrap().labels.is_none());
+        assert!(t.latency.value() > 0.0);
+    }
+
+    #[test]
+    fn flow_affinity_across_packets() {
+        let (mut sb, chain, ingress, _) = two_vnf_chain();
+        let key = FlowKey::tcp([10, 0, 0, 1], 5000, [10, 9, 9, 9], 80);
+        let first = sb
+            .send(chain, ingress, Packet::unlabeled(key, 500))
+            .unwrap();
+        for _ in 0..5 {
+            let again = sb
+                .send(chain, ingress, Packet::unlabeled(key, 500))
+                .unwrap();
+            assert_eq!(again.vnf_instances(), first.vnf_instances());
+            assert_eq!(again.forwarders(), first.forwarders());
+        }
+    }
+
+    #[test]
+    fn symmetric_return_retraces_instances() {
+        let (mut sb, chain, ingress, egress) = two_vnf_chain();
+        let key = FlowKey::tcp([10, 0, 0, 1], 5000, [10, 9, 9, 9], 80);
+        let fwd = sb
+            .send(chain, ingress, Packet::unlabeled(key, 500))
+            .unwrap();
+        let rev = sb
+            .send(chain, egress, Packet::unlabeled(key.reversed(), 500))
+            .unwrap();
+        assert!(rev.delivered);
+        let mut expect = fwd.vnf_instances();
+        expect.reverse();
+        assert_eq!(rev.vnf_instances(), expect, "reverse must retrace");
+    }
+
+    #[test]
+    fn unbound_instance_without_passthrough_errors() {
+        let (model, sites) = scenarios::line_testbed();
+        let mut sb = Switchboard::new(
+            model,
+            DelayModel::uniform(Millis::new(0.1), Millis::new(10.0)),
+            SwitchboardConfig::default(),
+        );
+        sb.register_attachment("in", sites[0]);
+        sb.register_attachment("out", sites[3]);
+        let chain = ChainId::new(1);
+        sb.deploy_chain(ChainRequest {
+            id: chain,
+            ingress_attachment: "in".into(),
+            egress_attachment: "out".into(),
+            vnfs: vec![VnfId::new(0)],
+            forward: 1.0,
+            reverse: 0.0,
+        })
+        .unwrap();
+        let key = FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
+        assert!(sb.send(chain, sites[0], Packet::unlabeled(key, 64)).is_err());
+    }
+
+    #[test]
+    fn vnf_drop_is_reported_not_error() {
+        let (model, sites) = scenarios::line_testbed();
+        let mut sb = Switchboard::new(
+            model,
+            DelayModel::uniform(Millis::new(0.1), Millis::new(10.0)),
+            SwitchboardConfig::default(),
+        );
+        sb.register_attachment("in", sites[0]);
+        sb.register_attachment("out", sites[3]);
+        let chain = ChainId::new(1);
+        let handle = sb
+            .deploy_chain(ChainRequest {
+                id: chain,
+                ingress_attachment: "in".into(),
+                egress_attachment: "out".into(),
+                vnfs: vec![VnfId::new(0)],
+                forward: 1.0,
+                reverse: 0.0,
+            })
+            .unwrap();
+        // Bind deny-all firewalls to every instance of the first VNF at the
+        // chosen site.
+        let site = handle.routes[0].sites[0];
+        let ctl = sb.control_plane().vnf_controller(VnfId::new(0)).unwrap();
+        let instances = ctl.instances_at(site);
+        for rec in instances {
+            sb.register_behavior(Box::new(sb_vnfs::Firewall::new(
+                rec.instance,
+                vec![sb_vnfs::FirewallRule::deny_all()],
+            )));
+        }
+        let key = FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
+        let t = sb
+            .send(chain, sites[0], Packet::unlabeled(key, 64))
+            .unwrap();
+        assert!(!t.delivered);
+        assert!(t.output.is_none());
+    }
+}

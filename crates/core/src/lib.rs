@@ -1,0 +1,112 @@
+//! # Switchboard — a middleware for wide-area service chaining
+//!
+//! A from-scratch Rust reproduction of *"Switchboard: A Middleware for
+//! Wide-Area Service Chaining"* (ACM Middleware 2019). Switchboard lets
+//! customers stitch virtual network functions (VNFs) hosted on
+//! heterogeneous cloud sites — customer premises, edge clouds, central
+//! data centers — into service chains, and globally optimizes the
+//! wide-area routes those chains take.
+//!
+//! The system splits across three planes, each its own crate and all
+//! re-exported here:
+//!
+//! - **Traffic engineering** ([`te`]): the Table 1 network model; the
+//!   optimal chain-routing LP (SB-LP) on a built-in simplex solver
+//!   ([`lp_solver`]); the fast SB-DP dynamic-programming heuristic; the
+//!   Anycast/Compute-Aware/OneHop baselines; capacity planning.
+//! - **Control plane** ([`controller`], [`msgbus`]): Global Switchboard,
+//!   per-site Local Switchboards, edge and VNF controllers, two-phase
+//!   commit route installation, and the proxy-topology publish-subscribe
+//!   bus — all on deterministic virtual time.
+//! - **Data plane** ([`dataplane`], [`vnfs`]): label-switched forwarders
+//!   with hierarchical weighted load balancing, per-connection flow
+//!   affinity and symmetric return; sample VNFs (stateful firewall, NAT,
+//!   LRU web cache, transform).
+//!
+//! The [`Switchboard`] facade assembles all of it into a runnable system:
+//! deploy chains, then inject packets and watch them traverse the right
+//! VNF instances across sites.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use switchboard::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 3-node line topology with a cloud site in the middle.
+//! let mut tb = TopologyBuilder::new();
+//! let src = tb.add_node("src", (0.0, 0.0), 1.0);
+//! let mid = tb.add_node("mid", (0.0, 1.0), 1.0);
+//! let dst = tb.add_node("dst", (0.0, 2.0), 1.0);
+//! tb.add_duplex_link(src, mid, 100.0, Millis::new(5.0));
+//! tb.add_duplex_link(mid, dst, 100.0, Millis::new(5.0));
+//!
+//! let mut b = NetworkModel::builder(tb.build());
+//! let s_src = b.add_site(src, 100.0);
+//! let s_mid = b.add_site(mid, 100.0);
+//! let s_dst = b.add_site(dst, 100.0);
+//! let fw = b.add_vnf(HashMap::from([(s_mid, 100.0)]), 1.0);
+//! let model = b.build()?;
+//!
+//! let mut sb = Switchboard::new(
+//!     model,
+//!     DelayModel::uniform(Millis::new(0.1), Millis::new(10.0)),
+//!     SwitchboardConfig::default(),
+//! );
+//! sb.use_passthrough_behaviors();
+//! sb.register_attachment("office", s_src);
+//! sb.register_attachment("internet", s_dst);
+//!
+//! let handle = sb.deploy_chain(ChainRequest {
+//!     id: ChainId::new(1),
+//!     ingress_attachment: "office".into(),
+//!     egress_attachment: "internet".into(),
+//!     vnfs: vec![fw],
+//!     forward: 10.0,
+//!     reverse: 2.0,
+//! })?;
+//! assert_eq!(handle.routes.len(), 1);
+//!
+//! // Packets traverse the chain's VNF and come out at the egress.
+//! let key = FlowKey::tcp([10, 0, 0, 1], 5000, [8, 8, 8, 8], 80);
+//! let transit = sb.send(ChainId::new(1), s_src, Packet::unlabeled(key, 500))?;
+//! assert!(transit.delivered);
+//! assert_eq!(transit.vnf_instances().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod facade;
+mod runner;
+pub mod scenarios;
+
+pub use facade::{Switchboard, SwitchboardConfig};
+pub use runner::{Passthrough, Transit};
+
+pub use sb_controller as controller;
+pub use sb_dataplane as dataplane;
+pub use sb_lp as lp_solver;
+pub use sb_msgbus as msgbus;
+pub use sb_netsim as netsim;
+pub use sb_te as te;
+pub use sb_topology as topology;
+pub use sb_types as types;
+pub use sb_vnfs as vnfs;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use crate::{Passthrough, Switchboard, SwitchboardConfig, Transit};
+    pub use sb_controller::{ChainRequest, ControlPlaneConfig, DeploymentReport};
+    pub use sb_dataplane::{Addr, Packet};
+    pub use sb_msgbus::DelayModel;
+    pub use sb_te::{ChainSpec, NetworkModel};
+    pub use sb_topology::{tier1, Routing, TopologyBuilder, TrafficMatrix};
+    pub use sb_types::{
+        ChainId, FlowKey, InstanceId, LabelPair, Millis, NodeId, SiteId, VnfId,
+    };
+    pub use sb_vnfs::{Firewall, FirewallAction, FirewallRule, Nat, Transform, VnfBehavior, WebCache};
+}

@@ -1,0 +1,145 @@
+//! The end-to-end packet runner: moves packets between edge instances,
+//! forwarders and VNF behaviors, accumulating the transit record.
+
+use sb_dataplane::{Addr, Packet};
+use sb_types::{InstanceId, Millis};
+use sb_vnfs::VnfBehavior;
+
+/// The record of one packet's journey through a chain.
+#[derive(Debug, Clone)]
+pub struct Transit {
+    /// Every element the packet visited, in order (forwarders, VNF
+    /// instances, edges).
+    pub hops: Vec<Addr>,
+    /// Accumulated propagation + VNF-processing latency.
+    pub latency: Millis,
+    /// Whether the packet reached the egress (false: dropped en route).
+    pub delivered: bool,
+    /// The packet as it left the chain (labels stripped) when delivered.
+    pub output: Option<Packet>,
+}
+
+impl Transit {
+    /// The VNF instances traversed, in order — the sequence checked by the
+    /// conformity property (Section 5.3).
+    #[must_use]
+    pub fn vnf_instances(&self) -> Vec<InstanceId> {
+        self.hops
+            .iter()
+            .filter_map(|h| match h {
+                Addr::Vnf(i) => Some(*i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The forwarders traversed, in order.
+    #[must_use]
+    pub fn forwarders(&self) -> Vec<sb_types::ForwarderId> {
+        self.hops
+            .iter()
+            .filter_map(|h| match h {
+                Addr::Forwarder(f) => Some(*f),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A no-op VNF behavior used when the experiment only cares about
+/// forwarding (conformity/affinity tests, throughput studies).
+#[derive(Debug, Clone)]
+pub struct Passthrough {
+    instance: InstanceId,
+    delay: Millis,
+    processed: u64,
+}
+
+impl Passthrough {
+    /// Creates a passthrough behavior for `instance`.
+    #[must_use]
+    pub fn new(instance: InstanceId) -> Self {
+        Self {
+            instance,
+            delay: Millis::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Creates a passthrough that charges a fixed processing delay.
+    #[must_use]
+    pub fn with_delay(instance: InstanceId, delay: Millis) -> Self {
+        Self {
+            instance,
+            delay,
+            processed: 0,
+        }
+    }
+
+    /// Packets processed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+impl VnfBehavior for Passthrough {
+    fn instance(&self) -> InstanceId {
+        self.instance
+    }
+
+    fn kind(&self) -> &'static str {
+        "passthrough"
+    }
+
+    fn process(&mut self, packet: Packet) -> Option<Packet> {
+        self.processed += 1;
+        Some(packet)
+    }
+
+    fn processing_delay(&self) -> Millis {
+        self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_types::{FlowKey, ForwarderId};
+
+    #[test]
+    fn transit_extracts_vnfs_and_forwarders() {
+        let t = Transit {
+            hops: vec![
+                Addr::Forwarder(ForwarderId::new(1)),
+                Addr::Vnf(InstanceId::new(10)),
+                Addr::Forwarder(ForwarderId::new(2)),
+                Addr::Vnf(InstanceId::new(20)),
+                Addr::Edge(sb_types::EdgeInstanceId::new(0)),
+            ],
+            latency: Millis::new(12.0),
+            delivered: true,
+            output: None,
+        };
+        assert_eq!(
+            t.vnf_instances(),
+            vec![InstanceId::new(10), InstanceId::new(20)]
+        );
+        assert_eq!(
+            t.forwarders(),
+            vec![ForwarderId::new(1), ForwarderId::new(2)]
+        );
+    }
+
+    #[test]
+    fn passthrough_counts_and_delays() {
+        let mut p = Passthrough::with_delay(InstanceId::new(1), Millis::new(3.0));
+        let key = FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
+        let pkt = Packet::unlabeled(key, 64);
+        assert_eq!(p.process(pkt), Some(pkt));
+        assert_eq!(p.processed(), 1);
+        assert_eq!(p.processing_delay(), Millis::new(3.0));
+        assert_eq!(p.kind(), "passthrough");
+        assert_eq!(Passthrough::new(InstanceId::new(2)).processing_delay(), Millis::ZERO);
+    }
+}

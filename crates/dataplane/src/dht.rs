@@ -1,0 +1,495 @@
+//! A replicated, consistent-hashing flow table shared by a forwarder group.
+//!
+//! Section 5.3 of the paper: "elastic scaling or failure of a forwarder
+//! may remap a VNF instance to another forwarder, violating flow affinity
+//! ... We are developing a solution that supports elastic scaling and
+//! fault tolerance of forwarders by maintaining the flow table as a
+//! replicated distributed hash table across forwarder nodes. A discussion
+//! of the DHT-based forwarder is beyond the scope of this paper."
+//!
+//! This module implements that deferred design:
+//!
+//! - [`HashRing`]: consistent hashing with virtual nodes, mapping each
+//!   flow key to an ordered preference list of forwarder nodes;
+//! - [`DhtFlowTable`]: a flow table whose entries are replicated on the
+//!   first `replication` nodes of each key's preference list. Lookups try
+//!   replicas in order, so losing up to `replication - 1` nodes never
+//!   loses an entry; joins trigger targeted re-replication rather than a
+//!   full rebuild.
+//!
+//! The table stores the same `(chain label, 5-tuple, context) → next hop`
+//! association as [`FlowTable`](crate::FlowTable); a group of forwarders
+//! backed by a `DhtFlowTable` preserves flow affinity and symmetric
+//! return across forwarder churn.
+
+use crate::flow_table::FlowTableKey;
+use crate::packet::Addr;
+use sb_types::{Error, ForwarderId, Result};
+use std::collections::{BTreeMap, HashMap};
+
+/// A consistent-hash ring over forwarder nodes with virtual nodes.
+///
+/// # Examples
+///
+/// ```
+/// use sb_dataplane::dht::HashRing;
+/// use sb_types::ForwarderId;
+///
+/// let mut ring = HashRing::new(64);
+/// ring.add_node(ForwarderId::new(1));
+/// ring.add_node(ForwarderId::new(2));
+/// ring.add_node(ForwarderId::new(3));
+/// let prefs = ring.preference_list(42, 2);
+/// assert_eq!(prefs.len(), 2);
+/// assert_ne!(prefs[0], prefs[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Ring position → owning node.
+    ring: BTreeMap<u64, ForwarderId>,
+    /// Virtual nodes per physical node.
+    vnodes: usize,
+    nodes: Vec<ForwarderId>,
+}
+
+fn mix(x: u64) -> u64 {
+    // splitmix64 finalizer.
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl HashRing {
+    /// Creates an empty ring with `vnodes` virtual nodes per member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero.
+    #[must_use]
+    pub fn new(vnodes: usize) -> Self {
+        assert!(vnodes > 0, "need at least one virtual node");
+        Self {
+            ring: BTreeMap::new(),
+            vnodes,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a node (idempotent).
+    pub fn add_node(&mut self, node: ForwarderId) {
+        if self.nodes.contains(&node) {
+            return;
+        }
+        self.nodes.push(node);
+        for v in 0..self.vnodes {
+            let pos = mix(node.value().wrapping_mul(0x0000_0100_0000_01b3) ^ v as u64);
+            self.ring.insert(pos, node);
+        }
+    }
+
+    /// Removes a node (idempotent).
+    pub fn remove_node(&mut self, node: ForwarderId) {
+        self.nodes.retain(|&n| n != node);
+        for v in 0..self.vnodes {
+            let pos = mix(node.value().wrapping_mul(0x0000_0100_0000_01b3) ^ v as u64);
+            self.ring.remove(&pos);
+        }
+    }
+
+    /// Current members, in insertion order.
+    #[must_use]
+    pub fn nodes(&self) -> &[ForwarderId] {
+        &self.nodes
+    }
+
+    /// The first `n` *distinct* nodes clockwise from the key's position.
+    #[must_use]
+    pub fn preference_list(&self, key_hash: u64, n: usize) -> Vec<ForwarderId> {
+        let mut out = Vec::with_capacity(n.min(self.nodes.len()));
+        if self.ring.is_empty() {
+            return out;
+        }
+        let start = mix(key_hash);
+        for (_, &node) in self.ring.range(start..).chain(self.ring.range(..start)) {
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == n.min(self.nodes.len()) {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One node's local shard of the replicated table.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    entries: HashMap<FlowTableKey, Addr>,
+}
+
+/// The replicated flow table of one forwarder group.
+///
+/// # Examples
+///
+/// Entries survive the loss of a replica:
+///
+/// ```
+/// use sb_dataplane::dht::DhtFlowTable;
+/// use sb_dataplane::{Addr, FlowContext, FlowTableKey};
+/// use sb_types::{ChainLabel, FlowKey, ForwarderId, InstanceId};
+///
+/// let nodes: Vec<_> = (0..4).map(ForwarderId::new).collect();
+/// let mut dht = DhtFlowTable::new(nodes.clone(), 2, 64).unwrap();
+/// let key = FlowTableKey {
+///     chain: ChainLabel::new(1),
+///     key: FlowKey::tcp([10, 0, 0, 1], 5000, [10, 0, 0, 2], 80),
+///     context: FlowContext::FromWire,
+/// };
+/// dht.insert(key, Addr::Vnf(InstanceId::new(9))).unwrap();
+/// dht.fail_node(nodes[0]);
+/// assert_eq!(dht.get(&key), Some(Addr::Vnf(InstanceId::new(9))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DhtFlowTable {
+    ring: HashRing,
+    replication: usize,
+    shards: HashMap<ForwarderId, Shard>,
+    /// Entries re-replicated after membership changes (metric).
+    migrated: u64,
+}
+
+impl DhtFlowTable {
+    /// Creates a replicated table over `nodes` with `replication` copies
+    /// of every entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `nodes` is empty, contains
+    /// duplicates, or `replication` is zero or exceeds the node count.
+    pub fn new(nodes: Vec<ForwarderId>, replication: usize, vnodes: usize) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(Error::invalid_argument("dht needs at least one node"));
+        }
+        if replication == 0 || replication > nodes.len() {
+            return Err(Error::invalid_argument(format!(
+                "replication {replication} must be in 1..={}",
+                nodes.len()
+            )));
+        }
+        let mut ring = HashRing::new(vnodes);
+        let mut shards = HashMap::new();
+        for &n in &nodes {
+            if shards.insert(n, Shard::default()).is_some() {
+                return Err(Error::invalid_argument(format!("duplicate node {n}")));
+            }
+            ring.add_node(n);
+        }
+        Ok(Self {
+            ring,
+            replication,
+            shards,
+            migrated: 0,
+        })
+    }
+
+    fn key_hash(key: &FlowTableKey) -> u64 {
+        let ctx = match key.context {
+            crate::FlowContext::FromWire => 0u64,
+            crate::FlowContext::FromVnf => 1u64,
+        };
+        key.key
+            .stable_hash()
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (u64::from(key.chain.value()) << 1)
+            ^ ctx
+    }
+
+    /// Members currently serving the table.
+    #[must_use]
+    pub fn nodes(&self) -> &[ForwarderId] {
+        self.ring.nodes()
+    }
+
+    /// The replica set responsible for `key` right now.
+    #[must_use]
+    pub fn replicas_of(&self, key: &FlowTableKey) -> Vec<ForwarderId> {
+        self.ring
+            .preference_list(Self::key_hash(key), self.replication)
+    }
+
+    /// Inserts (or overwrites) an entry on all its replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ResourceExhausted`] when the group has no members.
+    pub fn insert(&mut self, key: FlowTableKey, next: Addr) -> Result<()> {
+        let replicas = self.replicas_of(&key);
+        if replicas.is_empty() {
+            return Err(Error::ResourceExhausted {
+                resource: "dht flow table nodes",
+            });
+        }
+        for node in replicas {
+            self.shards
+                .get_mut(&node)
+                .expect("replica is a member")
+                .entries
+                .insert(key, next);
+        }
+        Ok(())
+    }
+
+    /// Looks `key` up, trying replicas in preference order.
+    #[must_use]
+    pub fn get(&self, key: &FlowTableKey) -> Option<Addr> {
+        for node in self.replicas_of(key) {
+            if let Some(&a) = self.shards.get(&node).and_then(|s| s.entries.get(key)) {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    /// Removes an entry from all replicas; returns whether it existed.
+    pub fn remove(&mut self, key: &FlowTableKey) -> bool {
+        let mut found = false;
+        for node in self.replicas_of(key) {
+            if let Some(shard) = self.shards.get_mut(&node) {
+                found |= shard.entries.remove(key).is_some();
+            }
+        }
+        found
+    }
+
+    /// Total entries across shards (each entry counted once per replica).
+    #[must_use]
+    pub fn replica_entries(&self) -> usize {
+        self.shards.values().map(|s| s.entries.len()).sum()
+    }
+
+    /// Entries re-replicated by membership changes so far.
+    #[must_use]
+    pub fn migrated(&self) -> u64 {
+        self.migrated
+    }
+
+    /// Handles a crashed node: its shard is lost, membership shrinks, and
+    /// every surviving entry whose replica set changed is re-replicated to
+    /// restore the replication factor. Entries survive as long as at
+    /// least one replica survives — i.e. any `replication - 1`
+    /// simultaneous failures are tolerated.
+    pub fn fail_node(&mut self, node: ForwarderId) {
+        if !self.ring.nodes().contains(&node) {
+            return;
+        }
+        self.ring.remove_node(node);
+        self.shards.remove(&node);
+        self.rebalance();
+    }
+
+    /// Handles a graceful join: membership grows and affected entries are
+    /// copied onto the new node (and dropped from nodes that fell off
+    /// their replica sets).
+    pub fn join_node(&mut self, node: ForwarderId) {
+        if self.ring.nodes().contains(&node) {
+            return;
+        }
+        self.ring.add_node(node);
+        self.shards.insert(node, Shard::default());
+        self.rebalance();
+    }
+
+    /// Re-establishes the invariant "every entry lives on exactly its
+    /// replica set".
+    fn rebalance(&mut self) {
+        // Collect the surviving view of every entry.
+        let mut all: HashMap<FlowTableKey, Addr> = HashMap::new();
+        for shard in self.shards.values() {
+            for (&k, &v) in &shard.entries {
+                all.insert(k, v);
+            }
+        }
+        // Rewrite shards to match the new ring.
+        let mut new_shards: HashMap<ForwarderId, Shard> = self
+            .shards
+            .keys()
+            .map(|&n| (n, Shard::default()))
+            .collect();
+        for (k, v) in all {
+            for node in self
+                .ring
+                .preference_list(Self::key_hash(&k), self.replication)
+            {
+                let shard = new_shards.get_mut(&node).expect("member");
+                let moved = !self
+                    .shards
+                    .get(&node)
+                    .is_some_and(|old| old.entries.contains_key(&k));
+                if moved {
+                    self.migrated += 1;
+                }
+                shard.entries.insert(k, v);
+            }
+        }
+        self.shards = new_shards;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowContext;
+    use sb_types::{ChainLabel, FlowKey, InstanceId};
+
+    fn nodes(n: u64) -> Vec<ForwarderId> {
+        (0..n).map(ForwarderId::new).collect()
+    }
+
+    fn ftk(port: u16) -> FlowTableKey {
+        FlowTableKey {
+            chain: ChainLabel::new(1),
+            key: FlowKey::tcp([10, 0, 0, 1], port, [10, 0, 0, 2], 80),
+            context: FlowContext::FromWire,
+        }
+    }
+
+    fn vnf(i: u64) -> Addr {
+        Addr::Vnf(InstanceId::new(i))
+    }
+
+    #[test]
+    fn construction_validates_arguments() {
+        assert!(DhtFlowTable::new(vec![], 1, 8).is_err());
+        assert!(DhtFlowTable::new(nodes(2), 0, 8).is_err());
+        assert!(DhtFlowTable::new(nodes(2), 3, 8).is_err());
+        assert!(DhtFlowTable::new(
+            vec![ForwarderId::new(1), ForwarderId::new(1)],
+            1,
+            8
+        )
+        .is_err());
+        assert!(DhtFlowTable::new(nodes(3), 2, 8).is_ok());
+    }
+
+    #[test]
+    fn entries_are_replicated_exactly_r_times() {
+        let mut dht = DhtFlowTable::new(nodes(5), 3, 32).unwrap();
+        for p in 0..100 {
+            dht.insert(ftk(p), vnf(u64::from(p))).unwrap();
+        }
+        assert_eq!(dht.replica_entries(), 300);
+        for p in 0..100 {
+            assert_eq!(dht.get(&ftk(p)), Some(vnf(u64::from(p))));
+        }
+    }
+
+    #[test]
+    fn single_failure_loses_nothing_at_r2() {
+        let ns = nodes(4);
+        let mut dht = DhtFlowTable::new(ns.clone(), 2, 32).unwrap();
+        for p in 0..200 {
+            dht.insert(ftk(p), vnf(u64::from(p))).unwrap();
+        }
+        dht.fail_node(ns[2]);
+        for p in 0..200 {
+            assert_eq!(dht.get(&ftk(p)), Some(vnf(u64::from(p))), "lost flow {p}");
+        }
+        // Replication factor is restored.
+        assert_eq!(dht.replica_entries(), 400);
+    }
+
+    #[test]
+    fn sequential_failures_up_to_quorum_are_survivable() {
+        let ns = nodes(5);
+        let mut dht = DhtFlowTable::new(ns.clone(), 3, 32).unwrap();
+        for p in 0..100 {
+            dht.insert(ftk(p), vnf(7)).unwrap();
+        }
+        // Fail nodes one at a time; rebalance after each restores R=3, so
+        // even repeated single failures lose nothing while >= 3 remain.
+        dht.fail_node(ns[0]);
+        dht.fail_node(ns[1]);
+        for p in 0..100 {
+            assert_eq!(dht.get(&ftk(p)), Some(vnf(7)), "lost flow {p}");
+        }
+    }
+
+    #[test]
+    fn join_rebalances_and_keeps_entries() {
+        let ns = nodes(3);
+        let mut dht = DhtFlowTable::new(ns, 2, 32).unwrap();
+        for p in 0..200 {
+            dht.insert(ftk(p), vnf(1)).unwrap();
+        }
+        dht.join_node(ForwarderId::new(99));
+        assert_eq!(dht.nodes().len(), 4);
+        for p in 0..200 {
+            assert_eq!(dht.get(&ftk(p)), Some(vnf(1)));
+        }
+        // The new node took over part of the key space.
+        assert!(dht.migrated() > 0);
+        assert_eq!(dht.replica_entries(), 400);
+    }
+
+    #[test]
+    fn join_migration_is_proportional_not_total() {
+        let ns = nodes(8);
+        let mut dht = DhtFlowTable::new(ns, 2, 64).unwrap();
+        for p in 0..1000 {
+            dht.insert(ftk(p), vnf(1)).unwrap();
+        }
+        dht.join_node(ForwarderId::new(99));
+        // Consistent hashing: a join moves roughly 1/n of replicas, far
+        // from all 2000.
+        let migrated = dht.migrated();
+        assert!(
+            migrated < 800,
+            "join moved {migrated} of 2000 replicas — not consistent hashing"
+        );
+        assert!(migrated > 50, "a join should take over some key space");
+    }
+
+    #[test]
+    fn remove_deletes_from_all_replicas() {
+        let mut dht = DhtFlowTable::new(nodes(4), 2, 32).unwrap();
+        dht.insert(ftk(1), vnf(1)).unwrap();
+        assert!(dht.remove(&ftk(1)));
+        assert_eq!(dht.get(&ftk(1)), None);
+        assert_eq!(dht.replica_entries(), 0);
+        assert!(!dht.remove(&ftk(1)));
+    }
+
+    #[test]
+    fn ring_distributes_keys_roughly_evenly() {
+        let mut ring = HashRing::new(128);
+        for n in 0..5 {
+            ring.add_node(ForwarderId::new(n));
+        }
+        let mut counts: HashMap<ForwarderId, u32> = HashMap::new();
+        for k in 0..10_000u64 {
+            let owner = ring.preference_list(mix(k), 1)[0];
+            *counts.entry(owner).or_insert(0) += 1;
+        }
+        for (&node, &c) in &counts {
+            let share = f64::from(c) / 10_000.0;
+            assert!(
+                (0.1..0.35).contains(&share),
+                "{node} owns {share} of the key space"
+            );
+        }
+    }
+
+    #[test]
+    fn idempotent_membership_operations() {
+        let ns = nodes(3);
+        let mut dht = DhtFlowTable::new(ns.clone(), 2, 16).unwrap();
+        dht.insert(ftk(1), vnf(1)).unwrap();
+        let migrated = dht.migrated();
+        dht.join_node(ns[0]); // already a member: no-op
+        dht.fail_node(ForwarderId::new(42)); // not a member: no-op
+        assert_eq!(dht.migrated(), migrated);
+        assert_eq!(dht.nodes().len(), 3);
+    }
+}

@@ -1,0 +1,313 @@
+//! The per-forwarder flow table (Figure 6).
+//!
+//! Section 3, "Connection setup time": the instance selected for a flow is
+//! stored in a flow-table entry keyed by the connection's labels and its
+//! header 5-tuple; a second entry stores the previous-hop element so that
+//! reverse-direction packets retrace the path. At one forwarder a
+//! connection thus owns up to four entries, distinguished by the packet's
+//! arrival context:
+//!
+//! | key                     | context    | next hop            |
+//! |-------------------------|------------|---------------------|
+//! | forward 5-tuple         | `FromWire` | adjacent VNF inst.  |
+//! | forward 5-tuple         | `FromVnf`  | next-hop forwarder  |
+//! | reversed 5-tuple        | `FromWire` | adjacent VNF inst.  |
+//! | reversed 5-tuple        | `FromVnf`  | previous forwarder  |
+//!
+//! The table uses FNV hashing of the canonical key bytes so lookups are
+//! deterministic across runs and fast enough to measure the cache-miss
+//! throughput decay of Figure 8.
+
+use crate::packet::Addr;
+use sb_types::{ChainLabel, Error, FlowKey, Result};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Whether the packet arrived from the wire/tunnel side (needs delivery to
+/// the adjacent VNF) or came back from the attached VNF (needs forwarding to
+/// the next wide-area hop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowContext {
+    /// Arrived from an edge instance or another forwarder.
+    FromWire,
+    /// Arrived from an attached VNF instance.
+    FromVnf,
+}
+
+/// A flow-table key: chain label + 5-tuple + arrival context.
+///
+/// The egress label is deliberately not part of the key: reverse-direction
+/// packets of the same connection carry the opposite egress label, but must
+/// match the entries installed by the forward direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowTableKey {
+    /// The service-chain label.
+    pub chain: ChainLabel,
+    /// The connection 5-tuple as seen on the wire.
+    pub key: FlowKey,
+    /// The arrival context.
+    pub context: FlowContext,
+}
+
+impl std::hash::Hash for FlowTableKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Single write keeps FNV fast; stable_hash canonicalizes the tuple.
+        let ctx = match self.context {
+            FlowContext::FromWire => 0u64,
+            FlowContext::FromVnf => 1u64,
+        };
+        state.write_u64(
+            self.key
+                .stable_hash()
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ (u64::from(self.chain.value()) << 1)
+                ^ ctx,
+        );
+    }
+}
+
+/// FNV-1a finalizer over the pre-mixed 64-bit key.
+#[derive(Debug, Default, Clone)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        // The key is already well-mixed; one multiply finishes the job.
+        self.0 = v.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    }
+}
+
+type FnvState = BuildHasherDefault<FnvHasher>;
+
+/// The connection table of one forwarder.
+///
+/// Entries map a [`FlowTableKey`] to the pinned next-hop [`Addr`]. The
+/// table enforces a capacity limit (a real forwarder has bounded memory);
+/// inserting past the limit fails with [`Error::ResourceExhausted`].
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    entries: HashMap<FlowTableKey, Addr, FnvState>,
+    capacity: usize,
+}
+
+impl FlowTable {
+    /// Creates a table bounded at `capacity` entries.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::with_capacity_and_hasher(
+                capacity.min(1 << 20),
+                FnvState::default(),
+            ),
+            capacity,
+        }
+    }
+
+    /// Looks up the pinned next hop for a key.
+    #[must_use]
+    pub fn get(&self, key: &FlowTableKey) -> Option<Addr> {
+        self.entries.get(key).copied()
+    }
+
+    /// Pins `next` for `key`. Overwrites an existing entry (rule churn never
+    /// re-pins existing flows because the forwarder checks `get` first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ResourceExhausted`] when inserting a new key would
+    /// exceed the capacity limit.
+    pub fn insert(&mut self, key: FlowTableKey, next: Addr) -> Result<()> {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            return Err(Error::ResourceExhausted {
+                resource: "flow table",
+            });
+        }
+        self.entries.insert(key, next);
+        Ok(())
+    }
+
+    /// Removes all four entries of a connection (both directions, both
+    /// contexts); returns how many entries were removed. Called on flow
+    /// completion (Section 5.3: entries "remain until the completion of a
+    /// flow").
+    pub fn remove_connection(&mut self, chain: ChainLabel, key: FlowKey) -> usize {
+        let mut removed = 0;
+        for k in [key, key.reversed()] {
+            for context in [FlowContext::FromWire, FlowContext::FromVnf] {
+                if self
+                    .entries
+                    .remove(&FlowTableKey {
+                        chain,
+                        key: k,
+                        context,
+                    })
+                    .is_some()
+                {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity limit.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        // Matches the per-instance flow population of Figure 8's largest
+        // configuration (512K flows x 4 entries).
+        Self::with_capacity(4 << 19)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_types::InstanceId;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::tcp([10, 0, 0, 1], port, [10, 0, 0, 2], 80)
+    }
+
+    fn ftk(port: u16, context: FlowContext) -> FlowTableKey {
+        FlowTableKey {
+            chain: ChainLabel::new(1),
+            key: key(port),
+            context,
+        }
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut t = FlowTable::with_capacity(16);
+        let a = Addr::Vnf(InstanceId::new(1));
+        t.insert(ftk(1000, FlowContext::FromWire), a).unwrap();
+        assert_eq!(t.get(&ftk(1000, FlowContext::FromWire)), Some(a));
+        assert_eq!(t.get(&ftk(1000, FlowContext::FromVnf)), None);
+        assert_eq!(t.get(&ftk(1001, FlowContext::FromWire)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn context_disambiguates_same_tuple() {
+        let mut t = FlowTable::with_capacity(16);
+        let vnf = Addr::Vnf(InstanceId::new(1));
+        let nxt = Addr::Forwarder(sb_types::ForwarderId::new(9));
+        t.insert(ftk(1, FlowContext::FromWire), vnf).unwrap();
+        t.insert(ftk(1, FlowContext::FromVnf), nxt).unwrap();
+        assert_eq!(t.get(&ftk(1, FlowContext::FromWire)), Some(vnf));
+        assert_eq!(t.get(&ftk(1, FlowContext::FromVnf)), Some(nxt));
+    }
+
+    #[test]
+    fn capacity_limit_is_enforced() {
+        let mut t = FlowTable::with_capacity(2);
+        t.insert(ftk(1, FlowContext::FromWire), Addr::Vnf(InstanceId::new(1)))
+            .unwrap();
+        t.insert(ftk(2, FlowContext::FromWire), Addr::Vnf(InstanceId::new(1)))
+            .unwrap();
+        let err = t
+            .insert(ftk(3, FlowContext::FromWire), Addr::Vnf(InstanceId::new(1)))
+            .unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted { .. }));
+        // Overwriting an existing key still works at capacity.
+        t.insert(ftk(2, FlowContext::FromWire), Addr::Vnf(InstanceId::new(2)))
+            .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_connection_clears_all_four_entries() {
+        let mut t = FlowTable::with_capacity(16);
+        let chain = ChainLabel::new(1);
+        let k = key(5000);
+        let a = Addr::Vnf(InstanceId::new(1));
+        for kk in [k, k.reversed()] {
+            for ctx in [FlowContext::FromWire, FlowContext::FromVnf] {
+                t.insert(
+                    FlowTableKey {
+                        chain,
+                        key: kk,
+                        context: ctx,
+                    },
+                    a,
+                )
+                .unwrap();
+            }
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.remove_connection(chain, k), 4);
+        assert!(t.is_empty());
+        // Removing again is a no-op.
+        assert_eq!(t.remove_connection(chain, k), 0);
+    }
+
+    #[test]
+    fn different_chains_do_not_collide() {
+        let mut t = FlowTable::with_capacity(16);
+        let a = Addr::Vnf(InstanceId::new(1));
+        let b = Addr::Vnf(InstanceId::new(2));
+        let k1 = FlowTableKey {
+            chain: ChainLabel::new(1),
+            key: key(1),
+            context: FlowContext::FromWire,
+        };
+        let k2 = FlowTableKey {
+            chain: ChainLabel::new(2),
+            key: key(1),
+            context: FlowContext::FromWire,
+        };
+        t.insert(k1, a).unwrap();
+        t.insert(k2, b).unwrap();
+        assert_eq!(t.get(&k1), Some(a));
+        assert_eq!(t.get(&k2), Some(b));
+    }
+
+    #[test]
+    fn clear_resets_table() {
+        let mut t = FlowTable::with_capacity(8);
+        t.insert(ftk(1, FlowContext::FromWire), Addr::Vnf(InstanceId::new(1)))
+            .unwrap();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), 8);
+    }
+
+    #[test]
+    fn default_capacity_fits_figure8_population() {
+        let t = FlowTable::default();
+        assert!(t.capacity() >= 4 * 512 * 1024);
+    }
+}

@@ -1,0 +1,616 @@
+//! The Switchboard forwarder proxy.
+//!
+//! A forwarder (Section 5) is deployed in a standalone VM at every site. It
+//! receives packets either *from the wire* (an edge instance or a peer
+//! forwarder, possibly tunneled across the wide area) or *from an attached
+//! VNF instance* that finished processing. It then applies, per label pair,
+//! the three hierarchical load-balancing rule sets of Section 5.2 —
+//! adjacent VNF instances, forwarders of the next VNF, forwarders of the
+//! previous VNF — pinning the choices per connection in the flow table.
+//!
+//! Three processing modes reproduce the Figure 7 overhead study:
+//!
+//! - [`ForwarderMode::Bridge`] — a plain learning-bridge stand-in: header
+//!   parse and a static next hop; no labels, no state.
+//! - [`ForwarderMode::Overlay`] — adds the label (MPLS-like) and tunnel
+//!   (VXLAN-like) processing and per-packet weighted selection, but keeps
+//!   no per-flow state.
+//! - [`ForwarderMode::Affinity`] — the full Switchboard forwarder: overlay
+//!   processing plus flow-table learn/lookup for flow affinity and
+//!   symmetric return.
+
+use crate::flow_table::{FlowContext, FlowTable, FlowTableKey};
+use crate::loadbalancer::WeightedChoice;
+use crate::packet::{Addr, Packet, TunnelHeader};
+use sb_types::{Error, ForwarderId, InstanceId, LabelPair, Result, SiteId};
+use std::collections::HashMap;
+
+/// The processing mode of a forwarder (Figure 7's three configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForwarderMode {
+    /// Plain bridging: parse, then a static next hop.
+    Bridge,
+    /// Label + tunnel processing with stateless weighted selection.
+    Overlay,
+    /// Full Switchboard forwarding with flow affinity (the default).
+    Affinity,
+}
+
+/// The three load-balancing rule sets installed per label pair
+/// (Section 5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSet {
+    /// Weighted choice among the VNF instances attached to this forwarder
+    /// for this chain stage.
+    pub to_vnf: WeightedChoice,
+    /// Weighted choice among the forwarders adjoining the *next* VNF in the
+    /// chain (or the egress edge instance at the last stage).
+    pub to_next: WeightedChoice,
+    /// Weighted choice among the forwarders adjoining the *previous* VNF
+    /// (or the ingress edge instance at the first stage).
+    pub to_prev: WeightedChoice,
+}
+
+/// Counters exposed by a forwarder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForwarderStats {
+    /// Packets received.
+    pub rx: u64,
+    /// Packets forwarded.
+    pub tx: u64,
+    /// Packets dropped (no rule, missing labels, table full).
+    pub drops: u64,
+    /// Flow-table hits.
+    pub flow_hits: u64,
+    /// Flow-table misses that ran weighted selection.
+    pub flow_misses: u64,
+}
+
+/// A Switchboard forwarder.
+///
+/// See the [crate docs](crate) for a worked example.
+#[derive(Debug, Clone)]
+pub struct Forwarder {
+    id: ForwarderId,
+    site: SiteId,
+    mode: ForwarderMode,
+    rules: HashMap<LabelPair, RuleSet>,
+    /// Static next hop used in [`ForwarderMode::Bridge`].
+    bridge_next: Option<Addr>,
+    /// Labels to re-affix per label-unaware VNF instance (Section 5.3,
+    /// Conformity: "forwarders must be able to uniquely associate the exit
+    /// interface on the VNF with a set of labels").
+    vnf_labels: HashMap<InstanceId, LabelPair>,
+    /// VNF instances that do NOT support Switchboard labels; packets to
+    /// them are stripped.
+    label_unaware: HashMap<InstanceId, ()>,
+    flow_table: FlowTable,
+    stats: ForwarderStats,
+    /// Sink for synthetic per-packet header work (see `io_work`), kept so
+    /// the optimizer cannot elide the loop.
+    work_sink: u64,
+}
+
+impl Forwarder {
+    /// Creates a forwarder with the default flow-table capacity.
+    #[must_use]
+    pub fn new(id: ForwarderId, site: SiteId, mode: ForwarderMode) -> Self {
+        Self::with_flow_capacity(id, site, mode, FlowTable::default().capacity())
+    }
+
+    /// Creates a forwarder with an explicit flow-table capacity.
+    #[must_use]
+    pub fn with_flow_capacity(
+        id: ForwarderId,
+        site: SiteId,
+        mode: ForwarderMode,
+        capacity: usize,
+    ) -> Self {
+        Self {
+            id,
+            site,
+            mode,
+            rules: HashMap::new(),
+            bridge_next: None,
+            vnf_labels: HashMap::new(),
+            label_unaware: HashMap::new(),
+            flow_table: FlowTable::with_capacity(capacity),
+            stats: ForwarderStats::default(),
+            work_sink: 0,
+        }
+    }
+
+    /// This forwarder's identifier.
+    #[must_use]
+    pub fn id(&self) -> ForwarderId {
+        self.id
+    }
+
+    /// The site this forwarder runs at.
+    #[must_use]
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The processing mode.
+    #[must_use]
+    pub fn mode(&self) -> ForwarderMode {
+        self.mode
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> ForwarderStats {
+        self.stats
+    }
+
+    /// Number of flow-table entries currently installed.
+    #[must_use]
+    pub fn flow_entries(&self) -> usize {
+        self.flow_table.len()
+    }
+
+    /// Installs (or replaces) the rule sets for a label pair. Existing
+    /// flow-table entries are untouched, so established connections keep
+    /// their instances (Section 5.3: "existing entries ... remain until the
+    /// completion of a flow and only new flows route on the new routes").
+    pub fn install_rules(&mut self, labels: LabelPair, rules: RuleSet) {
+        self.rules.insert(labels, rules);
+    }
+
+    /// Removes the rule sets for a label pair; established flows continue
+    /// via their flow-table entries.
+    pub fn remove_rules(&mut self, labels: LabelPair) -> Option<RuleSet> {
+        self.rules.remove(&labels)
+    }
+
+    /// Sets the static next hop used in [`ForwarderMode::Bridge`].
+    pub fn set_bridge_next(&mut self, next: Addr) {
+        self.bridge_next = Some(next);
+    }
+
+    /// Declares an attached VNF instance label-unaware: packets handed to it
+    /// have labels stripped, and packets coming back are re-labeled with
+    /// `labels`.
+    pub fn register_label_unaware_vnf(&mut self, instance: InstanceId, labels: LabelPair) {
+        self.label_unaware.insert(instance, ());
+        self.vnf_labels.insert(instance, labels);
+    }
+
+    /// Removes all flow-table state for a connection (flow completion).
+    pub fn expire_connection(&mut self, labels: LabelPair, key: sb_types::FlowKey) -> usize {
+        self.flow_table.remove_connection(labels.chain(), key)
+    }
+
+    /// Per-packet work rounds charged by every mode: parsing, copying and
+    /// checksum work a real forwarder does regardless of features. The
+    /// value is calibrated so the *relative* overheads of labels and
+    /// affinity (Figure 7) are measured against a realistic base cost
+    /// rather than against a no-op.
+    pub const BASE_WORK_ROUNDS: u32 = 110;
+    /// Additional rounds for MPLS label push/pop plus VXLAN encap/decap.
+    pub const LABEL_WORK_ROUNDS: u32 = 26;
+    /// Additional rounds for the learn/resubmit stage of the flow-affinity
+    /// pipeline (on top of the actual flow-table operations).
+    pub const AFFINITY_WORK_ROUNDS: u32 = 48;
+
+    /// Synthetic per-packet header work: a mixing loop standing in for the
+    /// parse/copy/checksum cost of each processing layer.
+    #[inline]
+    fn io_work(&mut self, pkt: &Packet, rounds: u32) {
+        let mut acc = pkt.key.stable_hash() ^ u64::from(pkt.size);
+        for i in 0..rounds {
+            acc = acc
+                .rotate_left(13)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(u64::from(i));
+        }
+        self.work_sink ^= acc;
+    }
+
+    /// Processes one packet arriving from `from`, returning the (possibly
+    /// re-labeled / re-tunneled) packet and the next-hop address.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::Forwarding`] when the packet has no labels (outside
+    ///   `Bridge` mode and not attributable to a label-unaware VNF), no rule
+    ///   matches, or `Bridge` mode has no next hop configured.
+    /// - [`Error::ResourceExhausted`] when the flow table is full.
+    pub fn process(&mut self, pkt: Packet, from: Addr) -> Result<(Packet, Addr)> {
+        self.stats.rx += 1;
+        let result = self.process_inner(pkt, from);
+        match result {
+            Ok(_) => self.stats.tx += 1,
+            Err(_) => self.stats.drops += 1,
+        }
+        result
+    }
+
+    fn process_inner(&mut self, mut pkt: Packet, from: Addr) -> Result<(Packet, Addr)> {
+        // Decapsulate wide-area tunnel, if any (all modes parse headers).
+        if pkt.tunnel.is_some() {
+            pkt = pkt.decapsulated();
+        }
+
+        if self.mode == ForwarderMode::Bridge {
+            self.io_work(&pkt, Self::BASE_WORK_ROUNDS);
+            let next = self
+                .bridge_next
+                .ok_or_else(|| Error::forwarding("bridge has no next hop configured"))?;
+            return Ok((pkt, next));
+        }
+
+        // Re-affix labels for packets returning from label-unaware VNFs.
+        if pkt.labels.is_none() {
+            if let Addr::Vnf(inst) = from {
+                if let Some(&labels) = self.vnf_labels.get(&inst) {
+                    pkt = pkt.with_labels(labels);
+                }
+            }
+        }
+        let labels = pkt
+            .labels
+            .ok_or_else(|| Error::forwarding("packet has no labels"))?;
+
+        // Base forwarding plus label + tunnel processing cost; the
+        // affinity pipeline adds its learn/resubmit stage on top.
+        let rounds = match self.mode {
+            ForwarderMode::Bridge => unreachable!("handled above"),
+            ForwarderMode::Overlay => Self::BASE_WORK_ROUNDS + Self::LABEL_WORK_ROUNDS,
+            ForwarderMode::Affinity => {
+                Self::BASE_WORK_ROUNDS + Self::LABEL_WORK_ROUNDS + Self::AFFINITY_WORK_ROUNDS
+            }
+        };
+        self.io_work(&pkt, rounds);
+
+        let context = match from {
+            Addr::Vnf(_) => FlowContext::FromVnf,
+            Addr::Forwarder(_) | Addr::Edge(_) => FlowContext::FromWire,
+        };
+
+        let next = match self.mode {
+            ForwarderMode::Bridge => unreachable!("handled above"),
+            ForwarderMode::Overlay => {
+                // Stateless weighted selection per packet.
+                self.stats.flow_misses += 1;
+                let rules = self.rules_for(labels)?;
+                match context {
+                    FlowContext::FromWire => rules.to_vnf.select(pkt.key.stable_hash()),
+                    FlowContext::FromVnf => rules.to_next.select(pkt.key.stable_hash()),
+                }
+            }
+            ForwarderMode::Affinity => self.affinity_next(&pkt, labels, context, from)?,
+        };
+
+        // Strip labels when handing to a label-unaware VNF; encapsulate when
+        // crossing to another forwarder.
+        match next {
+            Addr::Vnf(inst) if self.label_unaware.contains_key(&inst) => {
+                pkt = pkt.without_labels();
+            }
+            Addr::Forwarder(_) => {
+                pkt = pkt.encapsulated(TunnelHeader {
+                    vni: labels.chain().value(),
+                    src_site: self.site,
+                    dst_site: self.site, // caller rewrites for remote peers
+                });
+            }
+            _ => {}
+        }
+        Ok((pkt, next))
+    }
+
+    /// The affinity-mode next hop: flow-table hit, or weighted selection
+    /// plus entry installation on the first packet (Figure 6).
+    fn affinity_next(
+        &mut self,
+        pkt: &Packet,
+        labels: LabelPair,
+        context: FlowContext,
+        from: Addr,
+    ) -> Result<Addr> {
+        let ftk = FlowTableKey {
+            chain: labels.chain(),
+            key: pkt.key,
+            context,
+        };
+        if let Some(next) = self.flow_table.get(&ftk) {
+            self.stats.flow_hits += 1;
+            return Ok(next);
+        }
+        self.stats.flow_misses += 1;
+        let hash = pkt.key.stable_hash();
+        let (next, reverse_prev) = {
+            let rules = self.rules_for(labels)?;
+            match context {
+                FlowContext::FromWire => (rules.to_vnf.select(hash), Some(from)),
+                FlowContext::FromVnf => (rules.to_next.select(hash), None),
+            }
+        };
+        self.flow_table.insert(ftk, next)?;
+        match context {
+            FlowContext::FromWire => {
+                // Reverse-direction packets must hit the same VNF
+                // instance...
+                self.flow_table.insert(
+                    FlowTableKey {
+                        chain: labels.chain(),
+                        key: pkt.key.reversed(),
+                        context: FlowContext::FromWire,
+                    },
+                    next,
+                )?;
+                // ...and, after it, return to the element this packet came
+                // from (symmetric return).
+                if let Some(prev) = reverse_prev {
+                    self.flow_table.insert(
+                        FlowTableKey {
+                            chain: labels.chain(),
+                            key: pkt.key.reversed(),
+                            context: FlowContext::FromVnf,
+                        },
+                        prev,
+                    )?;
+                }
+            }
+            FlowContext::FromVnf => {
+                // A header-modifying VNF (e.g. a NAT) may emit a tuple the
+                // wire side never saw. Reverse-direction packets carrying
+                // the reversed *output* tuple must return to this exact
+                // instance, so pin it now (Section 5.3: affinity must hold
+                // "even if that VNF modifies packet headers").
+                self.flow_table.insert(
+                    FlowTableKey {
+                        chain: labels.chain(),
+                        key: pkt.key.reversed(),
+                        context: FlowContext::FromWire,
+                    },
+                    from,
+                )?;
+            }
+        }
+        Ok(next)
+    }
+
+    /// Rule lookup: exact label pair first, then any rule for the same
+    /// chain label (reverse-direction packets carry the opposite egress
+    /// label but belong to the same chain).
+    fn rules_for(&self, labels: LabelPair) -> Result<&RuleSet> {
+        if let Some(r) = self.rules.get(&labels) {
+            return Ok(r);
+        }
+        self.rules
+            .iter()
+            .find(|(l, _)| l.chain() == labels.chain())
+            .map(|(_, r)| r)
+            .ok_or_else(|| Error::forwarding(format!("no rule for labels {labels}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_types::{ChainLabel, EdgeInstanceId, EgressLabel, FlowKey};
+
+    fn labels() -> LabelPair {
+        LabelPair::new(ChainLabel::new(1), EgressLabel::new(2))
+    }
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::tcp([10, 0, 0, 1], port, [10, 0, 0, 2], 80)
+    }
+
+    fn edge() -> Addr {
+        Addr::Edge(EdgeInstanceId::new(0))
+    }
+
+    fn vnf(i: u64) -> Addr {
+        Addr::Vnf(InstanceId::new(i))
+    }
+
+    fn fwd_addr(i: u64) -> Addr {
+        Addr::Forwarder(ForwarderId::new(i))
+    }
+
+    fn affinity_forwarder() -> Forwarder {
+        let mut f = Forwarder::new(ForwarderId::new(1), SiteId::new(0), ForwarderMode::Affinity);
+        f.install_rules(
+            labels(),
+            RuleSet {
+                to_vnf: WeightedChoice::new(vec![(vnf(1), 1.0), (vnf(2), 1.0)]).unwrap(),
+                to_next: WeightedChoice::new(vec![(fwd_addr(8), 1.0), (fwd_addr(9), 1.0)])
+                    .unwrap(),
+                to_prev: WeightedChoice::single(edge()),
+            },
+        );
+        f
+    }
+
+    #[test]
+    fn forward_direction_pins_instance_and_next_hop() {
+        let mut f = affinity_forwarder();
+        let pkt = Packet::labeled(labels(), key(1000), 500);
+
+        let (_, first) = f.process(pkt, edge()).unwrap();
+        // Repeated packets of the same flow always pick the same instance.
+        for _ in 0..10 {
+            let (_, again) = f.process(pkt, edge()).unwrap();
+            assert_eq!(again, first);
+        }
+        let (_, next1) = f.process(pkt, first).unwrap();
+        for _ in 0..10 {
+            let (_, again) = f.process(pkt, first).unwrap();
+            assert_eq!(again, next1);
+        }
+        let s = f.stats();
+        assert_eq!(s.drops, 0);
+        assert_eq!(s.flow_misses, 2); // one per context
+        assert_eq!(s.flow_hits, 20);
+    }
+
+    #[test]
+    fn symmetric_return_goes_back_through_same_instance() {
+        let mut f = affinity_forwarder();
+        let fwd_pkt = Packet::labeled(labels(), key(1000), 500);
+        let (_, inst) = f.process(fwd_pkt, edge()).unwrap();
+
+        // Reverse-direction packet (swapped 5-tuple, possibly different
+        // egress label) arrives from the wire: must go to the same instance.
+        let rev_labels = LabelPair::new(ChainLabel::new(1), EgressLabel::new(7));
+        let rev_pkt = Packet::labeled(rev_labels, key(1000).reversed(), 500);
+        let (_, rev_inst) = f.process(rev_pkt, fwd_addr(8)).unwrap();
+        assert_eq!(rev_inst, inst);
+
+        // After the VNF, the reverse packet returns to the forward packet's
+        // origin (the edge), not to a load-balanced next hop.
+        let (_, back) = f.process(rev_pkt, inst).unwrap();
+        assert_eq!(back, edge());
+    }
+
+    #[test]
+    fn rule_updates_do_not_move_established_flows() {
+        let mut f = affinity_forwarder();
+        let pkt = Packet::labeled(labels(), key(1000), 500);
+        let (_, inst) = f.process(pkt, edge()).unwrap();
+
+        // Shift all weight to a new instance; the pinned flow stays put.
+        f.install_rules(
+            labels(),
+            RuleSet {
+                to_vnf: WeightedChoice::single(vnf(99)),
+                to_next: WeightedChoice::single(fwd_addr(9)),
+                to_prev: WeightedChoice::single(edge()),
+            },
+        );
+        let (_, still) = f.process(pkt, edge()).unwrap();
+        assert_eq!(still, inst);
+
+        // A brand-new flow follows the new rules.
+        let pkt2 = Packet::labeled(labels(), key(2000), 500);
+        let (_, fresh) = f.process(pkt2, edge()).unwrap();
+        assert_eq!(fresh, vnf(99));
+    }
+
+    #[test]
+    fn expired_connection_is_rebalanced() {
+        let mut f = affinity_forwarder();
+        let pkt = Packet::labeled(labels(), key(1000), 500);
+        let _ = f.process(pkt, edge()).unwrap();
+        assert!(f.flow_entries() >= 2);
+        let removed = f.expire_connection(labels(), key(1000));
+        assert!(removed >= 2);
+        assert_eq!(f.flow_entries(), 0);
+    }
+
+    #[test]
+    fn unlabeled_packet_is_dropped_outside_bridge_mode() {
+        let mut f = affinity_forwarder();
+        let pkt = Packet::unlabeled(key(1), 64);
+        assert!(f.process(pkt, edge()).is_err());
+        assert_eq!(f.stats().drops, 1);
+    }
+
+    #[test]
+    fn unknown_labels_are_dropped() {
+        let mut f = affinity_forwarder();
+        let other = LabelPair::new(ChainLabel::new(42), EgressLabel::new(2));
+        let pkt = Packet::labeled(other, key(1), 64);
+        let err = f.process(pkt, edge()).unwrap_err();
+        assert!(matches!(err, Error::Forwarding { .. }));
+    }
+
+    #[test]
+    fn bridge_mode_uses_static_next_hop() {
+        let mut f = Forwarder::new(ForwarderId::new(1), SiteId::new(0), ForwarderMode::Bridge);
+        assert!(f.process(Packet::unlabeled(key(1), 64), edge()).is_err());
+        f.set_bridge_next(vnf(5));
+        let (out, next) = f.process(Packet::unlabeled(key(1), 64), edge()).unwrap();
+        assert_eq!(next, vnf(5));
+        assert!(out.labels.is_none());
+        assert_eq!(f.flow_entries(), 0);
+    }
+
+    #[test]
+    fn overlay_mode_is_stateless_but_deterministic() {
+        let mut f = Forwarder::new(ForwarderId::new(1), SiteId::new(0), ForwarderMode::Overlay);
+        f.install_rules(
+            labels(),
+            RuleSet {
+                to_vnf: WeightedChoice::new(vec![(vnf(1), 1.0), (vnf(2), 1.0)]).unwrap(),
+                to_next: WeightedChoice::single(fwd_addr(9)),
+                to_prev: WeightedChoice::single(edge()),
+            },
+        );
+        let pkt = Packet::labeled(labels(), key(1000), 500);
+        let (_, a) = f.process(pkt, edge()).unwrap();
+        let (_, b) = f.process(pkt, edge()).unwrap();
+        assert_eq!(a, b); // deterministic in the flow hash
+        assert_eq!(f.flow_entries(), 0); // but no state
+        assert_eq!(f.stats().flow_misses, 2);
+    }
+
+    #[test]
+    fn label_unaware_vnf_gets_stripped_and_reaffixed() {
+        let mut f = affinity_forwarder();
+        f.register_label_unaware_vnf(InstanceId::new(1), labels());
+        f.install_rules(
+            labels(),
+            RuleSet {
+                to_vnf: WeightedChoice::single(vnf(1)),
+                to_next: WeightedChoice::single(fwd_addr(9)),
+                to_prev: WeightedChoice::single(edge()),
+            },
+        );
+        let pkt = Packet::labeled(labels(), key(1000), 500);
+        let (to_vnf_pkt, next) = f.process(pkt, edge()).unwrap();
+        assert_eq!(next, vnf(1));
+        assert!(to_vnf_pkt.labels.is_none(), "labels must be stripped");
+
+        // The VNF returns the packet unlabeled; the forwarder re-affixes.
+        let (from_vnf_pkt, next) = f.process(to_vnf_pkt, vnf(1)).unwrap();
+        assert_eq!(next, fwd_addr(9));
+        assert_eq!(from_vnf_pkt.labels, Some(labels()));
+    }
+
+    #[test]
+    fn forwarder_hop_encapsulates_tunnel() {
+        let mut f = affinity_forwarder();
+        let pkt = Packet::labeled(labels(), key(1000), 500);
+        let (_, inst) = f.process(pkt, edge()).unwrap();
+        let (out, next) = f.process(pkt, inst).unwrap();
+        assert!(matches!(next, Addr::Forwarder(_)));
+        assert!(out.tunnel.is_some(), "inter-forwarder hop must be tunneled");
+
+        // The receiving forwarder decapsulates.
+        let mut f2 = affinity_forwarder();
+        let (decapped, _) = f2.process(out, fwd_addr(1)).unwrap();
+        assert!(decapped.tunnel.is_none());
+    }
+
+    #[test]
+    fn flow_table_full_drops_new_flows_but_keeps_old() {
+        let mut f = Forwarder::with_flow_capacity(
+            ForwarderId::new(1),
+            SiteId::new(0),
+            ForwarderMode::Affinity,
+            3, // room for one connection's wire-context entries
+        );
+        f.install_rules(
+            labels(),
+            RuleSet {
+                to_vnf: WeightedChoice::single(vnf(1)),
+                to_next: WeightedChoice::single(fwd_addr(9)),
+                to_prev: WeightedChoice::single(edge()),
+            },
+        );
+        let pkt1 = Packet::labeled(labels(), key(1), 64);
+        let (_, first) = f.process(pkt1, edge()).unwrap();
+        assert_eq!(first, vnf(1));
+        // Second connection cannot install entries: dropped.
+        let pkt2 = Packet::labeled(labels(), key(2), 64);
+        assert!(f.process(pkt2, edge()).is_err());
+        // Established flow still forwards.
+        assert!(f.process(pkt1, edge()).is_ok());
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic weighted next-hop selection.
+//!
+//! Section 5.2: a forwarder's load-balancing rule is a list of next-hop
+//! elements with weights, where each weight is the product of the site-level
+//! traffic-engineering split (`x_czn1n2`) and the element's own published
+//! weight. Selection must be deterministic in the flow key so that tests
+//! and experiments reproduce exactly; we map the flow hash onto the
+//! cumulative weight distribution.
+
+use crate::packet::Addr;
+use sb_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A weighted set of next-hop candidates.
+///
+/// # Examples
+///
+/// ```
+/// use sb_dataplane::{Addr, WeightedChoice};
+/// use sb_types::InstanceId;
+///
+/// let a = Addr::Vnf(InstanceId::new(1));
+/// let b = Addr::Vnf(InstanceId::new(2));
+/// let lb = WeightedChoice::new(vec![(a, 3.0), (b, 1.0)]).unwrap();
+/// // Selection is deterministic per hash...
+/// assert_eq!(lb.select(42), lb.select(42));
+/// // ...and respects weights over many hashes (~75% to `a`).
+/// let hits = (0..10_000u64)
+///     .filter(|h| lb.select(h.wrapping_mul(0x9e3779b97f4a7c15)) == a)
+///     .count();
+/// assert!((6_500..8_500).contains(&hits));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedChoice {
+    /// `(target, cumulative_weight)`, cumulative over the normalized
+    /// distribution, ending at exactly `total`.
+    targets: Vec<(Addr, f64)>,
+    total: f64,
+}
+
+impl WeightedChoice {
+    /// Builds a choice over `(target, weight)` pairs. Zero-weight targets
+    /// are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when no target has positive
+    /// weight, or any weight is negative or non-finite.
+    pub fn new(weights: Vec<(Addr, f64)>) -> Result<Self> {
+        let mut targets = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for (addr, w) in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(Error::invalid_argument(format!(
+                    "weight for {addr} must be finite and non-negative, got {w}"
+                )));
+            }
+            if w > 0.0 {
+                total += w;
+                targets.push((addr, total));
+            }
+        }
+        if targets.is_empty() {
+            return Err(Error::invalid_argument(
+                "weighted choice needs at least one positive-weight target",
+            ));
+        }
+        Ok(Self { targets, total })
+    }
+
+    /// A choice with a single certain target.
+    #[must_use]
+    pub fn single(target: Addr) -> Self {
+        Self {
+            targets: vec![(target, 1.0)],
+            total: 1.0,
+        }
+    }
+
+    /// Deterministically selects a target for a 64-bit flow hash.
+    #[must_use]
+    pub fn select(&self, hash: u64) -> Addr {
+        // Map the hash to [0, total).
+        #[allow(clippy::cast_precision_loss)]
+        let point = (hash as f64 / (u64::MAX as f64 + 1.0)) * self.total;
+        // Binary search over the cumulative distribution.
+        let idx = self
+            .targets
+            .partition_point(|&(_, cum)| cum <= point)
+            .min(self.targets.len() - 1);
+        self.targets[idx].0
+    }
+
+    /// The candidate targets (without weights).
+    #[must_use]
+    pub fn targets(&self) -> Vec<Addr> {
+        self.targets.iter().map(|&(a, _)| a).collect()
+    }
+
+    /// The normalized weight of `target` (0 when absent).
+    #[must_use]
+    pub fn weight_of(&self, target: Addr) -> f64 {
+        let mut prev = 0.0;
+        for &(a, cum) in &self.targets {
+            if a == target {
+                return (cum - prev) / self.total;
+            }
+            prev = cum;
+        }
+        0.0
+    }
+
+    /// Number of candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether there are no candidates (never true for a constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_types::InstanceId;
+
+    fn vnf(i: u64) -> Addr {
+        Addr::Vnf(InstanceId::new(i))
+    }
+
+    #[test]
+    fn rejects_degenerate_weights() {
+        assert!(WeightedChoice::new(vec![]).is_err());
+        assert!(WeightedChoice::new(vec![(vnf(1), 0.0)]).is_err());
+        assert!(WeightedChoice::new(vec![(vnf(1), -1.0)]).is_err());
+        assert!(WeightedChoice::new(vec![(vnf(1), f64::NAN)]).is_err());
+        assert!(WeightedChoice::new(vec![(vnf(1), f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn zero_weight_targets_are_dropped() {
+        let lb = WeightedChoice::new(vec![(vnf(1), 0.0), (vnf(2), 1.0)]).unwrap();
+        assert_eq!(lb.len(), 1);
+        assert_eq!(lb.targets(), vec![vnf(2)]);
+        assert_eq!(lb.weight_of(vnf(1)), 0.0);
+        assert_eq!(lb.weight_of(vnf(2)), 1.0);
+    }
+
+    #[test]
+    fn single_always_selects_its_target() {
+        let lb = WeightedChoice::single(vnf(7));
+        for h in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(lb.select(h), vnf(7));
+        }
+    }
+
+    #[test]
+    fn extreme_hashes_stay_in_range() {
+        let lb = WeightedChoice::new(vec![(vnf(1), 1.0), (vnf(2), 1.0)]).unwrap();
+        assert_eq!(lb.select(0), vnf(1));
+        let last = lb.select(u64::MAX);
+        assert!(last == vnf(1) || last == vnf(2));
+    }
+
+    #[test]
+    fn empirical_distribution_tracks_weights() {
+        let lb = WeightedChoice::new(vec![(vnf(1), 1.0), (vnf(2), 2.0), (vnf(3), 7.0)]).unwrap();
+        let mut counts = [0u32; 3];
+        let n = 100_000u64;
+        for i in 0..n {
+            // Spread hashes over the full u64 range.
+            let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            match lb.select(h) {
+                a if a == vnf(1) => counts[0] += 1,
+                a if a == vnf(2) => counts[1] += 1,
+                _ => counts[2] += 1,
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let frac: Vec<f64> = counts.iter().map(|&c| f64::from(c) / n as f64).collect();
+        assert!((frac[0] - 0.1).abs() < 0.02, "{frac:?}");
+        assert!((frac[1] - 0.2).abs() < 0.02, "{frac:?}");
+        assert!((frac[2] - 0.7).abs() < 0.02, "{frac:?}");
+    }
+
+    #[test]
+    fn normalized_weight_of_reports_shares() {
+        let lb = WeightedChoice::new(vec![(vnf(1), 2.0), (vnf(2), 6.0)]).unwrap();
+        assert!((lb.weight_of(vnf(1)) - 0.25).abs() < 1e-12);
+        assert!((lb.weight_of(vnf(2)) - 0.75).abs() < 1e-12);
+        assert_eq!(lb.weight_of(vnf(9)), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the replicated DHT flow table: no entry is ever
+//! lost under arbitrary interleavings of inserts, joins and (quorum-safe)
+//! failures, and lookups always return the last written value.
+
+use proptest::prelude::*;
+use sb_dataplane::dht::DhtFlowTable;
+use sb_dataplane::{Addr, FlowContext, FlowTableKey};
+use sb_types::{ChainLabel, FlowKey, ForwarderId, InstanceId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u64),
+    Remove(u16),
+    Join(u64),
+    Fail(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => (0u16..64, 0u64..8).prop_map(|(k, v)| Op::Insert(k, v)),
+            1 => (0u16..64).prop_map(Op::Remove),
+            1 => (100u64..120).prop_map(Op::Join),
+            1 => (0usize..8).prop_map(Op::Fail),
+        ],
+        1..80,
+    )
+}
+
+fn ftk(port: u16) -> FlowTableKey {
+    FlowTableKey {
+        chain: ChainLabel::new(1),
+        key: FlowKey::tcp([10, 0, 0, 1], port, [10, 0, 0, 2], 80),
+        context: FlowContext::FromWire,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The DHT agrees with a plain HashMap oracle under churn, as long as
+    /// failures keep at least `replication` members alive (each failure is
+    /// followed by re-replication, so sequential failures are safe).
+    #[test]
+    fn dht_matches_oracle_under_churn(ops in arb_ops()) {
+        let replication = 2;
+        let initial: Vec<ForwarderId> = (0..4).map(ForwarderId::new).collect();
+        let mut dht = DhtFlowTable::new(initial, replication, 32).unwrap();
+        let mut oracle: HashMap<u16, u64> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    dht.insert(ftk(k), Addr::Vnf(InstanceId::new(v))).unwrap();
+                    oracle.insert(k, v);
+                }
+                Op::Remove(k) => {
+                    let existed = dht.remove(&ftk(k));
+                    prop_assert_eq!(existed, oracle.remove(&k).is_some());
+                }
+                Op::Join(id) => dht.join_node(ForwarderId::new(id)),
+                Op::Fail(idx) => {
+                    // Only fail when enough members remain afterwards.
+                    let members = dht.nodes().to_vec();
+                    if members.len() > replication {
+                        dht.fail_node(members[idx % members.len()]);
+                    }
+                }
+            }
+            // Every oracle entry is readable with the right value.
+            for (&k, &v) in &oracle {
+                prop_assert_eq!(
+                    dht.get(&ftk(k)),
+                    Some(Addr::Vnf(InstanceId::new(v))),
+                    "entry {} lost or stale", k
+                );
+            }
+        }
+
+        // Replication-factor invariant at quiescence.
+        prop_assert_eq!(dht.replica_entries(), oracle.len() * replication);
+    }
+
+    /// Lookups for keys never written return None regardless of churn.
+    #[test]
+    fn absent_keys_stay_absent(joins in prop::collection::vec(100u64..110, 0..5)) {
+        let initial: Vec<ForwarderId> = (0..3).map(ForwarderId::new).collect();
+        let mut dht = DhtFlowTable::new(initial, 2, 16).unwrap();
+        dht.insert(ftk(1), Addr::Vnf(InstanceId::new(1))).unwrap();
+        for j in joins {
+            dht.join_node(ForwarderId::new(j));
+        }
+        for port in 2..32 {
+            prop_assert_eq!(dht.get(&ftk(port)), None);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the Section 5.3 safety properties of the forwarder:
+//! flow affinity and symmetric return must survive arbitrary interleavings
+//! of packets across flows and directions, and arbitrary load-balancing
+//! rule churn (weight changes, instance additions/removals).
+
+use proptest::prelude::*;
+use sb_dataplane::{Addr, Forwarder, ForwarderMode, Packet, RuleSet, WeightedChoice};
+use sb_types::{
+    ChainLabel, EdgeInstanceId, EgressLabel, FlowKey, ForwarderId, InstanceId, LabelPair, SiteId,
+};
+use std::collections::HashMap;
+
+fn labels() -> LabelPair {
+    LabelPair::new(ChainLabel::new(1), EgressLabel::new(2))
+}
+
+fn edge() -> Addr {
+    Addr::Edge(EdgeInstanceId::new(0))
+}
+
+fn flow(i: u16) -> FlowKey {
+    FlowKey::tcp([10, 0, 0, 1], 1000 + i, [10, 0, 0, 2], 80)
+}
+
+/// One step of a randomized run.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Send a forward-direction packet of flow `i` from the wire, then from
+    /// the VNF it was delivered to (a full transit of this forwarder).
+    ForwardTransit(u16),
+    /// Send a reverse-direction packet of flow `i` (wire, then VNF).
+    ReverseTransit(u16),
+    /// Re-install the rules with a new set of instance weights.
+    Churn(Vec<u8>),
+}
+
+fn arb_step(flows: u16) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..flows).prop_map(Step::ForwardTransit),
+        2 => (0..flows).prop_map(Step::ReverseTransit),
+        1 => prop::collection::vec(1u8..10, 1..5).prop_map(Step::Churn),
+    ]
+}
+
+fn rules_from_weights(weights: &[u8]) -> RuleSet {
+    let targets: Vec<(Addr, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (Addr::Vnf(InstanceId::new(i as u64)), f64::from(w)))
+        .collect();
+    let nexts: Vec<(Addr, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (Addr::Forwarder(ForwarderId::new(100 + i as u64)), f64::from(w)))
+        .collect();
+    RuleSet {
+        to_vnf: WeightedChoice::new(targets).unwrap(),
+        to_next: WeightedChoice::new(nexts).unwrap(),
+        to_prev: WeightedChoice::single(edge()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Flow affinity and symmetric return hold under arbitrary packet
+    /// interleavings and rule churn.
+    #[test]
+    fn affinity_and_symmetric_return_survive_churn(
+        steps in prop::collection::vec(arb_step(12), 1..120),
+    ) {
+        let mut fwd = Forwarder::new(
+            ForwarderId::new(1),
+            SiteId::new(0),
+            ForwarderMode::Affinity,
+        );
+        fwd.install_rules(labels(), rules_from_weights(&[1, 1, 1]));
+
+        // Oracles: pinned VNF instance and next hop per flow.
+        let mut pinned_vnf: HashMap<u16, Addr> = HashMap::new();
+        let mut pinned_next: HashMap<u16, Addr> = HashMap::new();
+        let mut pinned_prev: HashMap<u16, Addr> = HashMap::new();
+
+        for step in steps {
+            match step {
+                Step::ForwardTransit(i) => {
+                    let pkt = Packet::labeled(labels(), flow(i), 500);
+                    let (pkt, vnf) = fwd.process(pkt, edge()).unwrap();
+                    match pinned_vnf.get(&i) {
+                        Some(&prev) => prop_assert_eq!(vnf, prev, "flow affinity broken"),
+                        None => {
+                            pinned_vnf.insert(i, vnf);
+                            pinned_prev.insert(i, edge());
+                        }
+                    }
+                    let (_, next) = fwd.process(pkt, vnf).unwrap();
+                    match pinned_next.get(&i) {
+                        Some(&prev) => prop_assert_eq!(next, prev, "next-hop affinity broken"),
+                        None => {
+                            pinned_next.insert(i, next);
+                        }
+                    }
+                }
+                Step::ReverseTransit(i) => {
+                    // Reverse packets only make sense once the forward
+                    // direction pinned state (the paper routes the reverse
+                    // direction through entries the forward path installed).
+                    let Some(&expected_vnf) = pinned_vnf.get(&i) else {
+                        continue;
+                    };
+                    let rev = Packet::labeled(labels(), flow(i).reversed(), 500);
+                    let from = pinned_next[&i];
+                    let (rev, vnf) = fwd.process(rev, from).unwrap();
+                    prop_assert_eq!(vnf, expected_vnf, "symmetric return broken (to VNF)");
+                    let (_, back) = fwd.process(rev, vnf).unwrap();
+                    prop_assert_eq!(
+                        back,
+                        pinned_prev[&i],
+                        "symmetric return broken (to previous hop)"
+                    );
+                }
+                Step::Churn(weights) => {
+                    fwd.install_rules(labels(), rules_from_weights(&weights));
+                }
+            }
+        }
+    }
+
+    /// With a single-instance rule set, every flow lands on that instance
+    /// (conformity of the delivery step), regardless of interleaving.
+    #[test]
+    fn single_instance_rules_are_conforming(
+        flows in prop::collection::vec(0u16..50, 1..60),
+    ) {
+        let mut fwd = Forwarder::new(
+            ForwarderId::new(1),
+            SiteId::new(0),
+            ForwarderMode::Affinity,
+        );
+        fwd.install_rules(labels(), rules_from_weights(&[1]));
+        for i in flows {
+            let pkt = Packet::labeled(labels(), flow(i), 64);
+            let (_, vnf) = fwd.process(pkt, edge()).unwrap();
+            prop_assert_eq!(vnf, Addr::Vnf(InstanceId::new(0)));
+        }
+    }
+
+    /// The forwarder never fabricates next hops: every selected address is
+    /// one of the rule set's candidates at *some* point in the run.
+    #[test]
+    fn selected_hops_come_from_installed_rules(
+        steps in prop::collection::vec(arb_step(8), 1..80),
+    ) {
+        let mut fwd = Forwarder::new(
+            ForwarderId::new(1),
+            SiteId::new(0),
+            ForwarderMode::Affinity,
+        );
+        let mut all_vnfs: Vec<Addr> = (0..10)
+            .map(|i| Addr::Vnf(InstanceId::new(i)))
+            .collect();
+        let all_nexts: Vec<Addr> = (0..10)
+            .map(|i| Addr::Forwarder(ForwarderId::new(100 + i)))
+            .collect();
+        all_vnfs.extend(all_nexts.iter().copied());
+        fwd.install_rules(labels(), rules_from_weights(&[1, 1]));
+
+        for step in steps {
+            match step {
+                Step::ForwardTransit(i) | Step::ReverseTransit(i) => {
+                    let pkt = Packet::labeled(labels(), flow(i), 64);
+                    let (pkt, hop) = fwd.process(pkt, edge()).unwrap();
+                    prop_assert!(all_vnfs.contains(&hop), "unknown hop {hop}");
+                    let (_, hop2) = fwd.process(pkt, hop).unwrap();
+                    prop_assert!(
+                        all_vnfs.contains(&hop2) || hop2 == edge(),
+                        "unknown hop {hop2}"
+                    );
+                }
+                Step::Churn(w) => fwd.install_rules(labels(), rules_from_weights(&w)),
+            }
+        }
+    }
+}

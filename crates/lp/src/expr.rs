@@ -1,0 +1,217 @@
+//! Linear expressions over model variables.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A handle to a variable in a [`Model`](crate::Model).
+///
+/// Variable handles are only meaningful for the model that created them;
+/// using a handle with a different model is caught by bounds checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The dense index of this variable within its model.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A sparse linear expression `Σ coefᵢ · varᵢ`.
+///
+/// Duplicate terms for the same variable are merged on
+/// [`normalize`](LinExpr::normalized) (the model builder normalizes
+/// automatically when a constraint is added).
+///
+/// # Examples
+///
+/// ```
+/// use sb_lp::{LinExpr, Model, Sense};
+/// let mut m = Model::new(Sense::Minimize);
+/// let x = m.add_var("x", 0.0, 10.0, 1.0);
+/// let y = m.add_var("y", 0.0, 10.0, 1.0);
+/// let expr = LinExpr::term(x, 2.0) + LinExpr::term(y, 3.0);
+/// assert_eq!(expr.terms().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: Vec<(VarId, f64)>,
+}
+
+impl LinExpr {
+    /// Creates an empty expression (the zero polynomial).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an expression with a single term.
+    #[must_use]
+    pub fn term(var: VarId, coef: f64) -> Self {
+        Self {
+            terms: vec![(var, coef)],
+        }
+    }
+
+    /// Adds `coef · var` to the expression, returning `&mut self` for
+    /// chaining.
+    pub fn add_term(&mut self, var: VarId, coef: f64) -> &mut Self {
+        self.terms.push((var, coef));
+        self
+    }
+
+    /// The raw (possibly unmerged) terms of the expression.
+    #[must_use]
+    pub fn terms(&self) -> &[(VarId, f64)] {
+        &self.terms
+    }
+
+    /// Returns an equivalent expression with duplicate variables merged,
+    /// zero coefficients dropped, and terms sorted by variable index.
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let mut terms = self.terms.clone();
+        terms.sort_by_key(|(v, _)| *v);
+        let mut merged: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            match merged.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => merged.push((v, c)),
+            }
+        }
+        // Keep NaN terms (`NaN != 0.0`) so `Model::validate` can reject them.
+        merged.retain(|(_, c)| *c != 0.0);
+        Self { terms: merged }
+    }
+
+    /// Evaluates the expression against a dense assignment of variable
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references a variable index beyond `values.len()`.
+    #[must_use]
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(v, c)| c * values[v.index()])
+            .sum()
+    }
+}
+
+impl From<&[(VarId, f64)]> for LinExpr {
+    fn from(terms: &[(VarId, f64)]) -> Self {
+        Self {
+            terms: terms.to_vec(),
+        }
+    }
+}
+
+impl<const N: usize> From<[(VarId, f64); N]> for LinExpr {
+    fn from(terms: [(VarId, f64); N]) -> Self {
+        Self {
+            terms: terms.to_vec(),
+        }
+    }
+}
+
+impl<const N: usize> From<&[(VarId, f64); N]> for LinExpr {
+    fn from(terms: &[(VarId, f64); N]) -> Self {
+        Self {
+            terms: terms.to_vec(),
+        }
+    }
+}
+
+impl From<Vec<(VarId, f64)>> for LinExpr {
+    fn from(terms: Vec<(VarId, f64)>) -> Self {
+        Self { terms }
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms);
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        self.terms.extend(rhs.terms);
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        for (_, c) in &mut self.terms {
+            *c *= rhs;
+        }
+        self
+    }
+}
+
+impl FromIterator<(VarId, f64)> for LinExpr {
+    fn from_iter<I: IntoIterator<Item = (VarId, f64)>>(iter: I) -> Self {
+        Self {
+            terms: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(VarId, f64)> for LinExpr {
+    fn extend<I: IntoIterator<Item = (VarId, f64)>>(&mut self, iter: I) {
+        self.terms.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn normalization_merges_and_sorts() {
+        let e = LinExpr::from(vec![(v(2), 1.0), (v(0), 2.0), (v(2), 3.0), (v(1), 0.0)]);
+        let n = e.normalized();
+        assert_eq!(n.terms(), &[(v(0), 2.0), (v(2), 4.0)]);
+    }
+
+    #[test]
+    fn normalization_drops_cancelled_terms() {
+        let e = LinExpr::from(vec![(v(0), 1.5), (v(0), -1.5)]);
+        assert!(e.normalized().terms().is_empty());
+    }
+
+    #[test]
+    fn eval_computes_dot_product() {
+        let e = LinExpr::from(vec![(v(0), 2.0), (v(2), -1.0)]);
+        assert!((e.eval(&[3.0, 100.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operators_accumulate() {
+        let mut e = LinExpr::term(v(0), 1.0) + LinExpr::term(v(1), 2.0);
+        e += LinExpr::term(v(0), 3.0);
+        let e = (e * 2.0).normalized();
+        assert_eq!(e.terms(), &[(v(0), 8.0), (v(1), 4.0)]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let e: LinExpr = (0..3).map(|i| (v(i), f64::from(i))).collect();
+        assert_eq!(e.terms().len(), 3);
+    }
+}

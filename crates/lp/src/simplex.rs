@@ -1,0 +1,815 @@
+//! Two-phase revised simplex with a dense basis inverse and sparse columns.
+//!
+//! The implementation follows the textbook revised simplex method:
+//!
+//! 1. The model is rewritten in standard equality form `min c·x, Ax = b,
+//!    x ≥ 0` (lower bounds shifted out, upper bounds added as rows, free
+//!    variables split, rows scaled so `b ≥ 0`, slack/surplus columns added).
+//! 2. Phase 1 minimizes the sum of artificial variables starting from the
+//!    identity basis of slacks and artificials; a positive optimum means the
+//!    model is infeasible.
+//! 3. Artificial variables still basic at level zero are pivoted out (or
+//!    their rows recognized as redundant and left inert).
+//! 4. Phase 2 minimizes the real objective over the real columns.
+//!
+//! Index-style loops are deliberate in the pivot/refactorization kernels:
+//! they mirror the textbook linear-algebra formulation and several update
+//! rows and columns of the same matrix in place.
+#![allow(clippy::needless_range_loop)]
+//!
+//! Pricing is Dantzig (most negative reduced cost) with an automatic,
+//! permanent fallback to Bland's rule when the objective stalls, which
+//! guarantees termination on degenerate models. The dense `B⁻¹` is updated
+//! by elementary row operations on every pivot and refactorized from scratch
+//! periodically to bound numerical drift.
+
+use crate::model::{Model, Relation, Sense};
+use crate::solution::{LpError, Solution, SolveStatus};
+
+/// Smallest magnitude accepted for a pivot element.
+const PIVOT_TOL: f64 = 1e-9;
+/// Tolerance for declaring phase-1 completion / feasibility.
+const FEAS_TOL: f64 = 1e-6;
+/// Reduced-cost tolerance for optimality.
+const COST_TOL: f64 = 1e-9;
+/// Rebuild `B⁻¹` from scratch after this many pivots.
+const REFACTOR_EVERY: usize = 128;
+
+/// How a model variable maps into standard-form columns.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = shift + x'`, `x' ≥ 0` (finite lower bound).
+    Shifted { col: usize, shift: f64 },
+    /// `x = shift - x'`, `x' ≥ 0` (no lower bound, finite upper bound).
+    Negated { col: usize, shift: f64 },
+    /// `x = x⁺ - x⁻` (free variable).
+    Split { pos: usize, neg: usize },
+    /// `x` is fixed to a constant (`lb == ub`).
+    Fixed(f64),
+}
+
+/// The standard-form program assembled from a [`Model`].
+struct Standard {
+    /// Sparse columns, structural + slack/surplus; artificials are appended
+    /// later by the solver core.
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Right-hand sides, all non-negative.
+    b: Vec<f64>,
+    /// Phase-2 costs per column (minimization).
+    cost: Vec<f64>,
+    /// Which rows need an artificial variable (`Ge` after scaling, `Eq`).
+    needs_artificial: Vec<bool>,
+    /// Column that is basic-feasible for each row that has one (`Le` slack).
+    slack_of_row: Vec<Option<usize>>,
+    /// Per-model-variable mapping back from columns.
+    var_map: Vec<VarMap>,
+}
+
+/// Builds standard form from the model with per-variable bound overrides
+/// (used by branch-and-bound to fix binaries without cloning the model).
+/// A constraint row in sparse `(column, coefficient)` form during
+/// standardization.
+type SparseRow = (Vec<(usize, f64)>, Relation, f64);
+
+fn standardize(model: &Model, bounds: &[(f64, f64)]) -> Result<Standard, LpError> {
+    let nvars = model.vars.len();
+    assert_eq!(bounds.len(), nvars, "bounds override arity mismatch");
+
+    let mut var_map = Vec::with_capacity(nvars);
+    let mut ncols = 0usize;
+    // Rows are built as sparse (col, coef) lists first, then transposed.
+    let mut rows: Vec<SparseRow> = Vec::new();
+
+    for (i, &(lb, ub)) in bounds.iter().enumerate() {
+        if lb > ub {
+            return Err(LpError::InvalidModel(format!(
+                "variable {i} has lb {lb} > ub {ub}"
+            )));
+        }
+        let map = if lb == ub {
+            VarMap::Fixed(lb)
+        } else if lb.is_finite() {
+            let col = ncols;
+            ncols += 1;
+            if ub.is_finite() {
+                rows.push((vec![(col, 1.0)], Relation::Le, ub - lb));
+            }
+            VarMap::Shifted { col, shift: lb }
+        } else if ub.is_finite() {
+            let col = ncols;
+            ncols += 1;
+            VarMap::Negated { col, shift: ub }
+        } else {
+            let pos = ncols;
+            let neg = ncols + 1;
+            ncols += 2;
+            VarMap::Split { pos, neg }
+        };
+        var_map.push(map);
+    }
+
+    // Phase-2 costs for structural columns; sign-flip for maximization.
+    let sign = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0; ncols];
+    for (i, v) in model.vars.iter().enumerate() {
+        let c = sign * v.obj;
+        match var_map[i] {
+            VarMap::Shifted { col, .. } => cost[col] += c,
+            VarMap::Negated { col, .. } => cost[col] -= c,
+            VarMap::Split { pos, neg } => {
+                cost[pos] += c;
+                cost[neg] -= c;
+            }
+            // Fixed variables contribute a constant; the final objective is
+            // recomputed from the extracted values, so no offset is kept.
+            VarMap::Fixed(_) => {}
+        }
+    }
+
+    // Model constraints rewritten over standard columns.
+    for con in &model.constraints {
+        let mut terms: Vec<(usize, f64)> = Vec::with_capacity(con.expr.terms().len());
+        let mut rhs = con.rhs;
+        for &(v, c) in con.expr.terms() {
+            match var_map[v.index()] {
+                VarMap::Shifted { col, shift } => {
+                    terms.push((col, c));
+                    rhs -= c * shift;
+                }
+                VarMap::Negated { col, shift } => {
+                    terms.push((col, -c));
+                    rhs -= c * shift;
+                }
+                VarMap::Split { pos, neg } => {
+                    terms.push((pos, c));
+                    terms.push((neg, -c));
+                }
+                VarMap::Fixed(value) => rhs -= c * value,
+            }
+        }
+        rows.push((terms, con.relation, rhs));
+    }
+
+    // Scale rows so b >= 0, then add slack / surplus columns.
+    let m = rows.len();
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+    let mut b = Vec::with_capacity(m);
+    let mut needs_artificial = vec![false; m];
+    let mut slack_of_row = vec![None; m];
+
+    for (r, (mut terms, mut relation, mut rhs)) in rows.into_iter().enumerate() {
+        if rhs < 0.0 {
+            rhs = -rhs;
+            for (_, c) in &mut terms {
+                *c = -*c;
+            }
+            relation = match relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+        b.push(rhs);
+        for (col, c) in terms {
+            if c != 0.0 {
+                cols[col].push((r, c));
+            }
+        }
+        match relation {
+            Relation::Le => {
+                let col = cols.len();
+                cols.push(vec![(r, 1.0)]);
+                cost.push(0.0);
+                slack_of_row[r] = Some(col);
+            }
+            Relation::Ge => {
+                cols.push(vec![(r, -1.0)]);
+                cost.push(0.0);
+                needs_artificial[r] = true;
+            }
+            Relation::Eq => {
+                needs_artificial[r] = true;
+            }
+        }
+    }
+
+    Ok(Standard {
+        cols,
+        b,
+        cost,
+        needs_artificial,
+        slack_of_row,
+        var_map,
+    })
+}
+
+/// The revised-simplex working state.
+struct Core {
+    m: usize,
+    /// All columns: real (structural + slack/surplus) then artificials.
+    cols: Vec<Vec<(usize, f64)>>,
+    /// First artificial column index; columns `>= n_real` may never enter.
+    n_real: usize,
+    b: Vec<f64>,
+    /// Basic column per row.
+    basic: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// Dense row-major `B⁻¹` (`m × m`).
+    binv: Vec<f64>,
+    /// Current basic-variable values `B⁻¹ b`.
+    xb: Vec<f64>,
+    pivots_since_refactor: usize,
+}
+
+enum IterEnd {
+    Optimal,
+    Unbounded,
+}
+
+impl Core {
+    fn new(std_form: &Standard) -> Self {
+        let m = std_form.b.len();
+        let mut cols = std_form.cols.clone();
+        let n_real = cols.len();
+        let mut basic = Vec::with_capacity(m);
+        // Identity starting basis: Le-rows use their slack, others get an
+        // artificial column (unit vector) appended now.
+        for r in 0..m {
+            if std_form.needs_artificial[r] {
+                let col = cols.len();
+                cols.push(vec![(r, 1.0)]);
+                basic.push(col);
+            } else {
+                basic.push(std_form.slack_of_row[r].expect("row without artificial has slack"));
+            }
+        }
+        let mut in_basis = vec![false; cols.len()];
+        for &c in &basic {
+            in_basis[c] = true;
+        }
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+        }
+        let xb = std_form.b.clone();
+        Self {
+            m,
+            cols,
+            n_real,
+            b: std_form.b.clone(),
+            basic,
+            in_basis,
+            binv,
+            xb,
+            pivots_since_refactor: 0,
+        }
+    }
+
+    /// `w = B⁻¹ · column(j)`.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for &(r, v) in &self.cols[j] {
+            if v == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                w[i] += self.binv[i * m + r] * v;
+            }
+        }
+        w
+    }
+
+    /// `y = c_Bᵀ · B⁻¹` for the given cost vector (indexed by column).
+    fn btran(&self, costs: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (i, &bc) in self.basic.iter().enumerate() {
+            let cb = costs.get(bc).copied().unwrap_or(0.0);
+            if cb == 0.0 {
+                continue;
+            }
+            let row = &self.binv[i * m..(i + 1) * m];
+            for (yj, &bij) in y.iter_mut().zip(row) {
+                *yj += cb * bij;
+            }
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, costs: &[f64], y: &[f64]) -> f64 {
+        let mut d = costs.get(j).copied().unwrap_or(0.0);
+        for &(r, v) in &self.cols[j] {
+            d -= y[r] * v;
+        }
+        d
+    }
+
+    fn objective(&self, costs: &[f64]) -> f64 {
+        self.basic
+            .iter()
+            .zip(&self.xb)
+            .map(|(&c, &x)| costs.get(c).copied().unwrap_or(0.0) * x)
+            .sum()
+    }
+
+    /// Performs the basis change `basic[row] := entering` given the pivot
+    /// direction `w = B⁻¹ A_entering`.
+    fn pivot(&mut self, entering: usize, row: usize, w: &[f64]) {
+        let m = self.m;
+        let wr = w[row];
+        debug_assert!(wr.abs() > PIVOT_TOL / 10.0);
+        // Update B⁻¹: scale pivot row, eliminate from others.
+        let inv = 1.0 / wr;
+        for j in 0..m {
+            self.binv[row * m + j] *= inv;
+        }
+        let theta = self.xb[row] * inv;
+        for i in 0..m {
+            if i == row {
+                continue;
+            }
+            let wi = w[i];
+            if wi == 0.0 {
+                continue;
+            }
+            for j in 0..m {
+                let v = self.binv[row * m + j];
+                self.binv[i * m + j] -= wi * v;
+            }
+            self.xb[i] -= wi * theta;
+            if self.xb[i] < 0.0 && self.xb[i] > -FEAS_TOL {
+                self.xb[i] = 0.0;
+            }
+        }
+        self.xb[row] = theta;
+        self.in_basis[self.basic[row]] = false;
+        self.in_basis[entering] = true;
+        self.basic[row] = entering;
+        self.pivots_since_refactor += 1;
+        if self.pivots_since_refactor >= REFACTOR_EVERY {
+            self.refactorize();
+        }
+    }
+
+    /// Rebuilds `B⁻¹` by Gauss-Jordan elimination on the current basis
+    /// matrix, then recomputes `x_B = B⁻¹ b`. Silently keeps the drifted
+    /// inverse when the basis matrix is numerically singular (the iteration
+    /// loop will then terminate via its safety limit).
+    fn refactorize(&mut self) {
+        let m = self.m;
+        self.pivots_since_refactor = 0;
+        if m == 0 {
+            return;
+        }
+        // Assemble dense B (column i = basis column of row i).
+        let mut bmat = vec![0.0; m * m];
+        for (i, &c) in self.basic.iter().enumerate() {
+            for &(r, v) in &self.cols[c] {
+                bmat[r * m + i] = v;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivoting.
+            let mut best = col;
+            let mut best_abs = bmat[col * m + col].abs();
+            for r in (col + 1)..m {
+                let a = bmat[r * m + col].abs();
+                if a > best_abs {
+                    best = r;
+                    best_abs = a;
+                }
+            }
+            if best_abs < 1e-12 {
+                return; // singular: keep previous inverse
+            }
+            if best != col {
+                for j in 0..m {
+                    bmat.swap(col * m + j, best * m + j);
+                    inv.swap(col * m + j, best * m + j);
+                }
+            }
+            let p = bmat[col * m + col];
+            let pinv = 1.0 / p;
+            for j in 0..m {
+                bmat[col * m + j] *= pinv;
+                inv[col * m + j] *= pinv;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = bmat[r * m + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..m {
+                    bmat[r * m + j] -= f * bmat[col * m + j];
+                    inv[r * m + j] -= f * inv[col * m + j];
+                }
+            }
+        }
+        self.binv = inv;
+        // Recompute basic values.
+        let mut xb = vec![0.0; m];
+        for i in 0..m {
+            let row = &self.binv[i * m..(i + 1) * m];
+            xb[i] = row.iter().zip(&self.b).map(|(a, b)| a * b).sum();
+            if xb[i] < 0.0 && xb[i] > -FEAS_TOL {
+                xb[i] = 0.0;
+            }
+        }
+        self.xb = xb;
+    }
+
+    /// Runs simplex iterations minimizing `costs` until optimal or
+    /// unbounded. `allow_artificials` permits artificial columns to enter
+    /// (never used; artificials only ever leave).
+    fn iterate(&mut self, costs: &[f64]) -> Result<IterEnd, LpError> {
+        let n = self.cols.len();
+        let iter_limit = 200 * (self.m + 1) + 20 * n + 10_000;
+        let stall_limit = 4 * (self.m + 64);
+        let mut bland = false;
+        let mut best_obj = f64::INFINITY;
+        let mut stalled = 0usize;
+
+        for _iter in 0..iter_limit {
+            let y = self.btran(costs);
+            // Entering column selection.
+            let mut entering: Option<usize> = None;
+            let mut best_d = -COST_TOL;
+            for j in 0..self.n_real {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let d = self.reduced_cost(j, costs, &y);
+                if d < best_d {
+                    entering = Some(j);
+                    if bland {
+                        break; // first eligible index
+                    }
+                    best_d = d;
+                }
+            }
+            let Some(entering) = entering else {
+                return Ok(IterEnd::Optimal);
+            };
+
+            let w = self.ftran(entering);
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut min_ratio = f64::INFINITY;
+            for i in 0..self.m {
+                if w[i] > PIVOT_TOL {
+                    let xi = self.xb[i].max(0.0);
+                    let ratio = xi / w[i];
+                    let better = match leave {
+                        None => true,
+                        Some(cur) => {
+                            if ratio < min_ratio - 1e-12 {
+                                true
+                            } else if ratio <= min_ratio + 1e-12 {
+                                if bland {
+                                    self.basic[i] < self.basic[cur]
+                                } else {
+                                    w[i] > w[cur]
+                                }
+                            } else {
+                                false
+                            }
+                        }
+                    };
+                    if better {
+                        leave = Some(i);
+                        min_ratio = ratio.min(min_ratio);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return Ok(IterEnd::Unbounded);
+            };
+
+            self.pivot(entering, leave, &w);
+
+            // Stall detection -> permanent Bland fallback.
+            let obj = self.objective(costs);
+            if obj < best_obj - 1e-10 {
+                best_obj = obj;
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled > stall_limit {
+                    bland = true;
+                }
+            }
+        }
+        Err(LpError::InvalidModel(
+            "simplex iteration limit exceeded (numerical trouble)".into(),
+        ))
+    }
+
+    /// After phase 1: pivot artificial columns out of the basis where
+    /// possible; rows whose artificial cannot be displaced are redundant and
+    /// stay inert (their tableau row is zero over all real columns).
+    fn expel_artificials(&mut self) {
+        for r in 0..self.m {
+            if self.basic[r] < self.n_real {
+                continue;
+            }
+            // Find a nonbasic real column with a nonzero element in row r of
+            // the tableau (= row r of B⁻¹ A_j).
+            let m = self.m;
+            let binv_row: Vec<f64> = self.binv[r * m..(r + 1) * m].to_vec();
+            let mut found = None;
+            for j in 0..self.n_real {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let alpha: f64 = self.cols[j]
+                    .iter()
+                    .map(|&(row, v)| binv_row[row] * v)
+                    .sum();
+                if alpha.abs() > 1e-7 {
+                    found = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = found {
+                let w = self.ftran(j);
+                self.pivot(j, r, &w);
+            }
+        }
+    }
+}
+
+/// Solves the model with per-variable bound overrides. This is the single
+/// entry point used by both [`Model::solve`](crate::Model::solve) and the
+/// branch-and-bound MIP driver.
+pub(crate) fn solve_with_bounds(
+    model: &Model,
+    bounds: &[(f64, f64)],
+) -> Result<Solution, LpError> {
+    let std_form = standardize(model, bounds)?;
+    let mut core = Core::new(&std_form);
+
+    // Phase 1 (only when some row lacks a natural slack basis).
+    if core.cols.len() > core.n_real {
+        let mut cost1 = vec![0.0; core.cols.len()];
+        for c in core.n_real..core.cols.len() {
+            cost1[c] = 1.0;
+        }
+        match core.iterate(&cost1)? {
+            IterEnd::Unbounded => {
+                return Err(LpError::InvalidModel(
+                    "phase-1 objective reported unbounded (numerical trouble)".into(),
+                ))
+            }
+            IterEnd::Optimal => {}
+        }
+        if core.objective(&cost1) > FEAS_TOL {
+            return Err(LpError::Infeasible);
+        }
+        core.expel_artificials();
+    }
+
+    // Phase 2.
+    let mut cost2 = std_form.cost.clone();
+    cost2.resize(core.cols.len(), 0.0);
+    match core.iterate(&cost2)? {
+        IterEnd::Unbounded => return Err(LpError::Unbounded),
+        IterEnd::Optimal => {}
+    }
+
+    // Extract column values, then map back to model variables.
+    let mut col_values = vec![0.0; core.n_real];
+    for (i, &c) in core.basic.iter().enumerate() {
+        if c < core.n_real {
+            col_values[c] = core.xb[i].max(0.0);
+        }
+    }
+    let values: Vec<f64> = std_form
+        .var_map
+        .iter()
+        .map(|vm| match *vm {
+            VarMap::Shifted { col, shift } => shift + col_values[col],
+            VarMap::Negated { col, shift } => shift - col_values[col],
+            VarMap::Split { pos, neg } => col_values[pos] - col_values[neg],
+            VarMap::Fixed(v) => v,
+        })
+        .collect();
+
+    let objective = model.objective_value(&values);
+    Ok(Solution::new(SolveStatus::Optimal, objective, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LpError, Model, Sense};
+
+    fn inf() -> f64 {
+        f64::INFINITY
+    }
+
+    #[test]
+    fn maximization_with_le_rows() {
+        // Classic: max 3x + 5y, x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, inf(), 3.0);
+        let y = m.add_var("y", 0.0, inf(), 5.0);
+        m.add_le([(x, 1.0)], 4.0);
+        m.add_le([(y, 2.0)], 12.0);
+        m.add_le([(x, 3.0), (y, 2.0)], 18.0);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 36.0).abs() < 1e-6, "{}", s.objective());
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+        assert!((s.value(y) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows_uses_phase_one() {
+        // min 2x + 3y, x + y >= 10, x >= 2, y >= 3 -> x=7, y=3, obj 23.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, inf(), 2.0);
+        let y = m.add_var("y", 0.0, inf(), 3.0);
+        m.add_ge([(x, 1.0), (y, 1.0)], 10.0);
+        m.add_ge([(x, 1.0)], 2.0);
+        m.add_ge([(y, 1.0)], 3.0);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 23.0).abs() < 1e-6, "{}", s.objective());
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 -> x=2, y=1, obj 3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, inf(), 1.0);
+        let y = m.add_var("y", 0.0, inf(), 1.0);
+        m.add_eq([(x, 1.0), (y, 2.0)], 4.0);
+        m.add_eq([(x, 1.0), (y, -1.0)], 1.0);
+        let s = m.solve().unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+        assert!((s.value(y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, inf(), 1.0);
+        m.add_le([(x, 1.0)], 1.0);
+        m.add_ge([(x, 1.0)], 2.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, inf(), 1.0);
+        let y = m.add_var("y", 0.0, inf(), 1.0);
+        m.add_ge([(x, 1.0), (y, -1.0)], 0.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn honors_variable_upper_bounds() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 3.0, 1.0);
+        let _ = x;
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn honors_negative_lower_bounds() {
+        // min x with -5 <= x <= 5 -> -5.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", -5.0, 5.0, 1.0);
+        let _ = x;
+        let s = m.solve().unwrap();
+        assert!((s.objective() + 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_free_variables() {
+        // min |shape|: min y s.t. y >= x - 2, y >= 2 - x, x free -> 0 at x=2.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, inf(), 0.0);
+        let y = m.add_var("y", 0.0, inf(), 1.0);
+        m.add_ge([(y, 1.0), (x, -1.0)], -2.0);
+        m.add_ge([(y, 1.0), (x, 1.0)], 2.0);
+        let s = m.solve().unwrap();
+        assert!(s.objective().abs() < 1e-6);
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_upper_bounded_only_variables() {
+        // max x with x <= 7 and no lower bound, objective max x -> 7.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", f64::NEG_INFINITY, 7.0, 1.0);
+        let _ = x;
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 2.0, 2.0, 3.0);
+        let y = m.add_var("y", 0.0, inf(), 1.0);
+        m.add_ge([(x, 1.0), (y, 1.0)], 5.0);
+        let s = m.solve().unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-12);
+        assert!((s.value(y) - 3.0).abs() < 1e-6);
+        assert!((s.objective() - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Beale's classic cycling example (under certain pivot rules).
+        let mut m = Model::new(Sense::Minimize);
+        let x1 = m.add_var("x1", 0.0, inf(), -0.75);
+        let x2 = m.add_var("x2", 0.0, inf(), 150.0);
+        let x3 = m.add_var("x3", 0.0, inf(), -0.02);
+        let x4 = m.add_var("x4", 0.0, inf(), 6.0);
+        m.add_le([(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], 0.0);
+        m.add_le([(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], 0.0);
+        m.add_le([(x3, 1.0)], 1.0);
+        let s = m.solve().unwrap();
+        assert!((s.objective() + 0.05).abs() < 1e-6, "{}", s.objective());
+    }
+
+    #[test]
+    fn empty_model_is_trivially_optimal() {
+        let m = Model::new(Sense::Minimize);
+        let s = m.solve().unwrap();
+        assert_eq!(s.objective(), 0.0);
+        assert!(s.values().is_empty());
+    }
+
+    #[test]
+    fn no_constraint_unbounded_direction_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_var("x", 0.0, inf(), -1.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_tolerated() {
+        // Same equation twice: solver must not declare infeasible.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, inf(), 1.0);
+        let y = m.add_var("y", 0.0, inf(), 1.0);
+        m.add_eq([(x, 1.0), (y, 1.0)], 4.0);
+        m.add_eq([(x, 2.0), (y, 2.0)], 8.0);
+        let s = m.solve().unwrap();
+        assert!((s.value(x) + s.value(y) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_rescaled() {
+        // x - y <= -1 with x,y >= 0: y >= x + 1.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, inf(), 0.0);
+        let y = m.add_var("y", 0.0, inf(), 1.0);
+        m.add_le([(x, 1.0), (y, -1.0)], -1.0);
+        let s = m.solve().unwrap();
+        assert!((s.value(y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transportation_problem_optimum() {
+        // 2 plants (supply 20, 30) x 3 markets (demand 10, 25, 15).
+        // costs: p1: [8, 6, 10], p2: [9, 12, 13]. Optimal cost = 465:
+        // p1 -> m2 20 @6; p2 -> m1 10 @9, m2 5 @12, m3 15 @13
+        // = 120 + 90 + 60 + 195.
+        let mut m = Model::new(Sense::Minimize);
+        let costs = [[8.0, 6.0, 10.0], [9.0, 12.0, 13.0]];
+        let supply = [20.0, 30.0];
+        let demand = [10.0, 25.0, 15.0];
+        let mut x = Vec::new();
+        for (i, row) in costs.iter().enumerate() {
+            let mut xr = Vec::new();
+            for (j, &c) in row.iter().enumerate() {
+                xr.push(m.add_var(format!("x{i}{j}"), 0.0, f64::INFINITY, c));
+            }
+            x.push(xr);
+        }
+        for (i, &s) in supply.iter().enumerate() {
+            let terms: Vec<_> = (0..3).map(|j| (x[i][j], 1.0)).collect();
+            m.add_le(terms, s);
+        }
+        for (j, &d) in demand.iter().enumerate() {
+            let terms: Vec<_> = (0..2).map(|i| (x[i][j], 1.0)).collect();
+            m.add_ge(terms, d);
+        }
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 465.0).abs() < 1e-5, "{}", s.objective());
+    }
+}

@@ -1,0 +1,138 @@
+//! Solver outcomes.
+
+use crate::expr::VarId;
+use std::fmt;
+
+/// The terminal status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// The iteration or node limit was hit; for MIP solves the best
+    /// incumbent found so far is returned.
+    LimitReached,
+}
+
+impl fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveStatus::Optimal => write!(f, "optimal"),
+            SolveStatus::Infeasible => write!(f, "infeasible"),
+            SolveStatus::Unbounded => write!(f, "unbounded"),
+            SolveStatus::LimitReached => write!(f, "limit reached"),
+        }
+    }
+}
+
+/// Errors returned by [`Model::solve`](crate::Model::solve) and
+/// [`Model::solve_mip`](crate::Model::solve_mip).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// The model itself is malformed (bad bounds, NaN coefficients,
+    /// out-of-range variable handles…).
+    InvalidModel(String),
+    /// No feasible integer point was found within the node limit.
+    NodeLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "problem is unbounded"),
+            LpError::InvalidModel(reason) => write!(f, "invalid model: {reason}"),
+            LpError::NodeLimit => {
+                write!(f, "node limit reached without a feasible integer point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal (or best-incumbent) solution to a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    status: SolveStatus,
+    objective: f64,
+    values: Vec<f64>,
+}
+
+impl Solution {
+    pub(crate) fn new(status: SolveStatus, objective: f64, values: Vec<f64>) -> Self {
+        Self {
+            status,
+            objective,
+            values,
+        }
+    }
+
+    /// The status this solution terminated with.
+    #[must_use]
+    pub fn status(&self) -> SolveStatus {
+        self.status
+    }
+
+    /// The objective value in the model's original sense (i.e. already
+    /// negated back for maximization models).
+    #[must_use]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// The value of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    #[must_use]
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All variable values in declaration order.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display() {
+        assert_eq!(SolveStatus::Optimal.to_string(), "optimal");
+        assert_eq!(SolveStatus::Infeasible.to_string(), "infeasible");
+        assert_eq!(SolveStatus::Unbounded.to_string(), "unbounded");
+        assert_eq!(SolveStatus::LimitReached.to_string(), "limit reached");
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e: Box<dyn std::error::Error> = Box::new(LpError::Infeasible);
+        assert_eq!(e.to_string(), "problem is infeasible");
+        assert_eq!(
+            LpError::InvalidModel("nan coefficient".into()).to_string(),
+            "invalid model: nan coefficient"
+        );
+    }
+
+    #[test]
+    fn solution_accessors() {
+        let s = Solution::new(SolveStatus::Optimal, 5.0, vec![1.0, 2.0]);
+        assert_eq!(s.status(), SolveStatus::Optimal);
+        assert!((s.objective() - 5.0).abs() < 1e-12);
+        assert!((s.value(VarId(1)) - 2.0).abs() < 1e-12);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,513 @@
+//! The proxy-topology bus and the full-mesh broadcast baseline.
+//!
+//! Both run on virtual time. Every site has an *uplink* into the wide area
+//! with a per-message serialization time and a bounded queue; this is where
+//! the two topologies diverge (Section 6, "Comparison to broadcast"):
+//!
+//! - [`ProxyBus`]: the publisher hands the message to its site proxy; the
+//!   proxy forwards **one copy per remote site** that has at least one
+//!   subscriber for the topic; the remote proxy fans out locally.
+//! - [`FullMeshBus`]: the publisher sends **one copy per subscriber**
+//!   through its own uplink, so high fan-out queues and eventually drops
+//!   messages — the mechanism behind full-mesh's order-of-magnitude worse
+//!   latency in Figure 9.
+
+use crate::delay::DelayModel;
+use crate::message::Message;
+use crate::topic::Topic;
+use sb_netsim::SimTime;
+use sb_types::{Millis, SiteId};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A handle to a registered subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriberId(u64);
+
+impl fmt::Display for SubscriberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub-{}", self.0)
+    }
+}
+
+/// Static configuration of the bus: participating sites, delays, uplink
+/// behaviour.
+#[derive(Debug, Clone)]
+pub struct BusTopology {
+    sites: Vec<SiteId>,
+    delays: DelayModel,
+    /// Serialization (transmission) time per message on a site uplink.
+    serialization: Millis,
+    /// Maximum messages that may be queued on one uplink.
+    queue_capacity: usize,
+}
+
+impl BusTopology {
+    /// A bus with instantaneous uplinks and unbounded queues: only
+    /// propagation delays matter. This is the configuration used as the
+    /// control-plane transport.
+    #[must_use]
+    pub fn unbounded(sites: Vec<SiteId>, delays: DelayModel) -> Self {
+        Self {
+            sites,
+            delays,
+            serialization: Millis::ZERO,
+            queue_capacity: usize::MAX,
+        }
+    }
+
+    /// A bus with finite uplink throughput (`serialization` per message) and
+    /// bounded queues — the Figure 9 configuration.
+    #[must_use]
+    pub fn bounded(
+        sites: Vec<SiteId>,
+        delays: DelayModel,
+        serialization: Millis,
+        queue_capacity: usize,
+    ) -> Self {
+        Self {
+            sites,
+            delays,
+            serialization,
+            queue_capacity,
+        }
+    }
+
+    /// The participating sites.
+    #[must_use]
+    pub fn sites(&self) -> &[SiteId] {
+        &self.sites
+    }
+}
+
+/// Aggregate bus counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// `publish` calls.
+    pub published: u64,
+    /// Deliveries into subscriber mailboxes.
+    pub delivered: u64,
+    /// Copies dropped at a full uplink queue.
+    pub dropped: u64,
+    /// Copies that crossed the wide area.
+    pub wan_messages: u64,
+}
+
+/// The outcome of a single publish.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishOutcome {
+    /// Subscribers that received the message.
+    pub delivered: usize,
+    /// Copies dropped before reaching any subscriber.
+    pub dropped: usize,
+    /// Wide-area copies sent.
+    pub wan_copies: usize,
+    /// Delivery time at the last subscriber, when any were reached.
+    pub last_delivery: Option<SimTime>,
+}
+
+/// Shared machinery of both bus topologies.
+#[derive(Debug, Clone)]
+struct BusCore {
+    topo: BusTopology,
+    sub_sites: Vec<SiteId>,
+    subscriptions: HashMap<Topic, BTreeSet<SubscriberId>>,
+    mailboxes: Vec<Vec<(Message, SimTime)>>,
+    /// Uplink busy-until per site.
+    uplink_busy: HashMap<SiteId, SimTime>,
+    stats: BusStats,
+}
+
+impl BusCore {
+    fn new(topo: BusTopology) -> Self {
+        Self {
+            topo,
+            sub_sites: Vec::new(),
+            subscriptions: HashMap::new(),
+            mailboxes: Vec::new(),
+            uplink_busy: HashMap::new(),
+            stats: BusStats::default(),
+        }
+    }
+
+    fn register_subscriber(&mut self, site: SiteId) -> SubscriberId {
+        let id = SubscriberId(self.sub_sites.len() as u64);
+        self.sub_sites.push(site);
+        self.mailboxes.push(Vec::new());
+        id
+    }
+
+    fn subscribe(&mut self, sub: SubscriberId, topic: Topic) {
+        self.subscriptions.entry(topic).or_default().insert(sub);
+    }
+
+    fn unsubscribe(&mut self, sub: SubscriberId, topic: &Topic) {
+        if let Some(set) = self.subscriptions.get_mut(topic) {
+            set.remove(&sub);
+        }
+    }
+
+    fn subscribers_of(&self, topic: &Topic) -> Vec<SubscriberId> {
+        self.subscriptions
+            .get(topic)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Attempts to transmit one copy through `site`'s uplink at time `t`.
+    /// Returns the departure time, or `None` when the queue is full.
+    fn uplink_send(&mut self, site: SiteId, t: SimTime) -> Option<SimTime> {
+        let ser = self.topo.serialization;
+        if ser == Millis::ZERO {
+            return Some(t);
+        }
+        let busy = self.uplink_busy.entry(site).or_insert(SimTime::ZERO);
+        let backlog_ns = busy.as_nanos().saturating_sub(t.as_nanos());
+        let queued = backlog_ns.div_ceil(ser.as_nanos().max(1));
+        if queued as usize >= self.topo.queue_capacity {
+            return None;
+        }
+        let start = (*busy).max(t);
+        let departure = start + ser;
+        *busy = departure;
+        Some(departure)
+    }
+
+    fn deliver(&mut self, sub: SubscriberId, msg: Message, at: SimTime) {
+        self.mailboxes[sub.0 as usize].push((msg, at));
+        self.stats.delivered += 1;
+    }
+
+    fn drain(&mut self, sub: SubscriberId) -> Vec<(Message, SimTime)> {
+        let mut inbox = std::mem::take(&mut self.mailboxes[sub.0 as usize]);
+        inbox.sort_by_key(|&(_, t)| t);
+        inbox
+    }
+}
+
+macro_rules! shared_bus_api {
+    () => {
+        /// Registers a subscriber endpoint at `site`.
+        pub fn register_subscriber(&mut self, site: SiteId) -> SubscriberId {
+            self.core.register_subscriber(site)
+        }
+
+        /// Installs a subscription filter for `sub` on `topic`.
+        pub fn subscribe(&mut self, sub: SubscriberId, topic: Topic) {
+            self.core.subscribe(sub, topic);
+        }
+
+        /// Removes a subscription filter.
+        pub fn unsubscribe(&mut self, sub: SubscriberId, topic: &Topic) {
+            self.core.unsubscribe(sub, topic);
+        }
+
+        /// Takes all messages delivered to `sub` so far, ordered by
+        /// delivery time.
+        #[must_use]
+        pub fn drain(&mut self, sub: SubscriberId) -> Vec<(Message, SimTime)> {
+            self.core.drain(sub)
+        }
+
+        /// Aggregate counters.
+        #[must_use]
+        pub fn stats(&self) -> BusStats {
+            self.core.stats
+        }
+    };
+}
+
+/// The Switchboard bus: per-site proxies, publisher-site filters, one WAN
+/// copy per subscribed site. See the crate docs for the topology.
+#[derive(Debug, Clone)]
+pub struct ProxyBus {
+    core: BusCore,
+}
+
+impl ProxyBus {
+    /// Creates a proxy bus over `topology`.
+    #[must_use]
+    pub fn new(topology: BusTopology) -> Self {
+        Self {
+            core: BusCore::new(topology),
+        }
+    }
+
+    shared_bus_api!();
+
+    /// Publishes `msg` from `from_site` at virtual time `at`.
+    pub fn publish(&mut self, at: SimTime, from_site: SiteId, msg: Message) -> PublishOutcome {
+        self.core.stats.published += 1;
+        let local = self.core.topo.delays.local();
+        let owner = msg.topic().owner();
+
+        // Publisher -> its own proxy.
+        let mut t = at + local;
+        // Publisher proxy -> owner proxy (only when publishing remotely).
+        if from_site != owner {
+            match self.core.uplink_send(from_site, t) {
+                Some(dep) => {
+                    self.core.stats.wan_messages += 1;
+                    t = dep + self.core.topo.delays.between(from_site, owner);
+                }
+                None => {
+                    self.core.stats.dropped += 1;
+                    return PublishOutcome {
+                        delivered: 0,
+                        dropped: 1,
+                        wan_copies: 0,
+                        last_delivery: None,
+                    };
+                }
+            }
+        }
+
+        let subs = self.core.subscribers_of(msg.topic());
+        // Group subscribers by site: one WAN copy per remote site.
+        let mut by_site: HashMap<SiteId, Vec<SubscriberId>> = HashMap::new();
+        for s in subs {
+            by_site
+                .entry(self.core.sub_sites[s.0 as usize])
+                .or_default()
+                .push(s);
+        }
+        let mut sites: Vec<_> = by_site.into_iter().collect();
+        sites.sort_by_key(|&(site, _)| site);
+
+        let mut outcome = PublishOutcome {
+            delivered: 0,
+            dropped: 0,
+            wan_copies: if from_site == owner { 0 } else { 1 },
+            last_delivery: None,
+        };
+        for (site, subs) in sites {
+            let arrival = if site == owner {
+                Some(t)
+            } else {
+                match self.core.uplink_send(owner, t) {
+                    Some(dep) => {
+                        self.core.stats.wan_messages += 1;
+                        outcome.wan_copies += 1;
+                        Some(dep + self.core.topo.delays.between(owner, site))
+                    }
+                    None => {
+                        self.core.stats.dropped += 1;
+                        outcome.dropped += subs.len();
+                        None
+                    }
+                }
+            };
+            if let Some(arrival) = arrival {
+                for sub in subs {
+                    let deliver_at = arrival + local;
+                    self.core.deliver(sub, msg.clone(), deliver_at);
+                    outcome.delivered += 1;
+                    outcome.last_delivery = Some(
+                        outcome
+                            .last_delivery
+                            .map_or(deliver_at, |t: SimTime| t.max(deliver_at)),
+                    );
+                }
+            }
+        }
+        outcome
+    }
+}
+
+/// The full-mesh broadcast baseline: one copy per subscriber through the
+/// publisher's uplink.
+#[derive(Debug, Clone)]
+pub struct FullMeshBus {
+    core: BusCore,
+}
+
+impl FullMeshBus {
+    /// Creates a full-mesh bus over `topology`.
+    #[must_use]
+    pub fn new(topology: BusTopology) -> Self {
+        Self {
+            core: BusCore::new(topology),
+        }
+    }
+
+    shared_bus_api!();
+
+    /// Publishes `msg` from `from_site` at virtual time `at`: one copy per
+    /// subscriber, all through `from_site`'s uplink.
+    pub fn publish(&mut self, at: SimTime, from_site: SiteId, msg: Message) -> PublishOutcome {
+        self.core.stats.published += 1;
+        let local = self.core.topo.delays.local();
+        let subs = self.core.subscribers_of(msg.topic());
+
+        let mut outcome = PublishOutcome {
+            delivered: 0,
+            dropped: 0,
+            wan_copies: 0,
+            last_delivery: None,
+        };
+        for sub in subs {
+            let site = self.core.sub_sites[sub.0 as usize];
+            let t = at + local;
+            let arrival = if site == from_site {
+                Some(t)
+            } else {
+                match self.core.uplink_send(from_site, t) {
+                    Some(dep) => {
+                        self.core.stats.wan_messages += 1;
+                        outcome.wan_copies += 1;
+                        Some(dep + self.core.topo.delays.between(from_site, site))
+                    }
+                    None => {
+                        self.core.stats.dropped += 1;
+                        outcome.dropped += 1;
+                        None
+                    }
+                }
+            };
+            if let Some(arrival) = arrival {
+                self.core.deliver(sub, msg.clone(), arrival);
+                outcome.delivered += 1;
+                outcome.last_delivery = Some(
+                    outcome
+                        .last_delivery
+                        .map_or(arrival, |t: SimTime| t.max(arrival)),
+                );
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(n: u32) -> Vec<SiteId> {
+        (0..n).map(SiteId::new).collect()
+    }
+
+    fn delays() -> DelayModel {
+        DelayModel::uniform(Millis::new(0.1), Millis::new(40.0))
+    }
+
+    fn msg(owner: u32) -> Message {
+        Message::new(Topic::with_owner("/t", SiteId::new(owner)), "{}")
+    }
+
+    #[test]
+    fn proxy_delivers_single_wan_copy_per_site() {
+        let mut bus = ProxyBus::new(BusTopology::unbounded(sites(3), delays()));
+        // Three subscribers at site 1, two at site 2, one local at site 0.
+        let mut subs = Vec::new();
+        for site in [1u32, 1, 1, 2, 2, 0] {
+            let s = bus.register_subscriber(SiteId::new(site));
+            bus.subscribe(s, Topic::with_owner("/t", SiteId::new(0)));
+            subs.push(s);
+        }
+        let out = bus.publish(SimTime::ZERO, SiteId::new(0), msg(0));
+        assert_eq!(out.delivered, 6);
+        assert_eq!(out.wan_copies, 2, "one copy per remote site");
+        assert_eq!(out.dropped, 0);
+        // Remote delivery: local + wan + local = 40.2ms; local-only: 0.2ms.
+        let inbox = bus.drain(subs[0]);
+        assert_eq!(inbox[0].1, SimTime::from_millis(40.2));
+        let local_inbox = bus.drain(subs[5]);
+        assert_eq!(local_inbox[0].1, SimTime::from_millis(0.2));
+    }
+
+    #[test]
+    fn site_without_subscribers_receives_nothing() {
+        let mut bus = ProxyBus::new(BusTopology::unbounded(sites(3), delays()));
+        let s = bus.register_subscriber(SiteId::new(1));
+        bus.subscribe(s, Topic::with_owner("/t", SiteId::new(0)));
+        let out = bus.publish(SimTime::ZERO, SiteId::new(0), msg(0));
+        // Only one WAN copy although three sites exist.
+        assert_eq!(out.wan_copies, 1);
+        assert_eq!(bus.stats().wan_messages, 1);
+    }
+
+    #[test]
+    fn full_mesh_sends_one_copy_per_subscriber() {
+        let mut bus = FullMeshBus::new(BusTopology::unbounded(sites(2), delays()));
+        for _ in 0..5 {
+            let s = bus.register_subscriber(SiteId::new(1));
+            bus.subscribe(s, Topic::with_owner("/t", SiteId::new(0)));
+        }
+        let out = bus.publish(SimTime::ZERO, SiteId::new(0), msg(0));
+        assert_eq!(out.delivered, 5);
+        assert_eq!(out.wan_copies, 5);
+    }
+
+    #[test]
+    fn bounded_uplink_queues_and_drops() {
+        // Serialization 10ms, queue cap 3.
+        let topo = BusTopology::bounded(sites(2), delays(), Millis::new(10.0), 3);
+        let mut bus = FullMeshBus::new(topo);
+        let mut subs = Vec::new();
+        for _ in 0..6 {
+            let s = bus.register_subscriber(SiteId::new(1));
+            bus.subscribe(s, Topic::with_owner("/t", SiteId::new(0)));
+            subs.push(s);
+        }
+        let out = bus.publish(SimTime::ZERO, SiteId::new(0), msg(0));
+        // First copy transmits immediately, then the queue holds 3; the
+        // remaining copies drop.
+        assert!(out.dropped >= 2, "expected drops, got {out:?}");
+        assert!(out.delivered <= 4);
+        // Delivered copies show increasing queueing delay.
+        let times: Vec<_> = subs
+            .iter()
+            .flat_map(|&s| bus.drain(s))
+            .map(|(_, t)| t)
+            .collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert!(sorted.windows(2).all(|w| w[1] > w[0]), "{sorted:?}");
+    }
+
+    #[test]
+    fn proxy_remote_publisher_relays_via_owner() {
+        let mut bus = ProxyBus::new(BusTopology::unbounded(sites(3), delays()));
+        let s = bus.register_subscriber(SiteId::new(2));
+        bus.subscribe(s, Topic::with_owner("/t", SiteId::new(0)));
+        // Publisher at site 1, owner site 0, subscriber site 2: two WAN hops.
+        let out = bus.publish(SimTime::ZERO, SiteId::new(1), msg(0));
+        assert_eq!(out.wan_copies, 2);
+        let inbox = bus.drain(s);
+        // local + wan + wan + local = 80.2 ms.
+        assert_eq!(inbox[0].1, SimTime::from_millis(80.2));
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut bus = ProxyBus::new(BusTopology::unbounded(sites(2), delays()));
+        let s = bus.register_subscriber(SiteId::new(1));
+        let topic = Topic::with_owner("/t", SiteId::new(0));
+        bus.subscribe(s, topic.clone());
+        bus.unsubscribe(s, &topic);
+        let out = bus.publish(SimTime::ZERO, SiteId::new(0), msg(0));
+        assert_eq!(out.delivered, 0);
+        assert!(bus.drain(s).is_empty());
+    }
+
+    #[test]
+    fn drain_orders_by_delivery_time() {
+        let mut bus = ProxyBus::new(BusTopology::unbounded(sites(2), delays()));
+        let s = bus.register_subscriber(SiteId::new(1));
+        bus.subscribe(s, Topic::with_owner("/t", SiteId::new(0)));
+        bus.publish(SimTime::from_millis(100.0), SiteId::new(0), msg(0));
+        bus.publish(SimTime::ZERO, SiteId::new(0), msg(0));
+        let inbox = bus.drain(s);
+        assert_eq!(inbox.len(), 2);
+        assert!(inbox[0].1 < inbox[1].1);
+    }
+
+    #[test]
+    fn publish_without_subscribers_is_cheap() {
+        let mut bus = ProxyBus::new(BusTopology::unbounded(sites(4), delays()));
+        let out = bus.publish(SimTime::ZERO, SiteId::new(0), msg(0));
+        assert_eq!(out.delivered, 0);
+        assert_eq!(out.wan_copies, 0);
+        assert_eq!(bus.stats().wan_messages, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Wide-area delay models for the bus.
+
+use sb_types::{Millis, SiteId};
+use std::collections::HashMap;
+
+/// One-way delays between site proxies plus the local (intra-site) hop
+/// delay.
+#[derive(Debug, Clone)]
+pub struct DelayModel {
+    local: Millis,
+    default_wan: Millis,
+    pairs: HashMap<(SiteId, SiteId), Millis>,
+}
+
+impl DelayModel {
+    /// All WAN pairs share `wan`; local hops cost `local`.
+    #[must_use]
+    pub fn uniform(local: Millis, wan: Millis) -> Self {
+        Self {
+            local,
+            default_wan: wan,
+            pairs: HashMap::new(),
+        }
+    }
+
+    /// Overrides the one-way delay for a specific ordered pair (applied in
+    /// both directions unless the reverse is also overridden).
+    #[must_use]
+    pub fn with_pair(mut self, a: SiteId, b: SiteId, delay: Millis) -> Self {
+        self.pairs.insert((a, b), delay);
+        self.pairs.entry((b, a)).or_insert(delay);
+        self
+    }
+
+    /// The local (same-site) hop delay.
+    #[must_use]
+    pub fn local(&self) -> Millis {
+        self.local
+    }
+
+    /// The one-way delay from site `a`'s proxy to site `b`'s proxy; the
+    /// local delay when `a == b`.
+    #[must_use]
+    pub fn between(&self, a: SiteId, b: SiteId) -> Millis {
+        if a == b {
+            return self.local;
+        }
+        self.pairs.get(&(a, b)).copied().unwrap_or(self.default_wan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_model_answers_everywhere() {
+        let m = DelayModel::uniform(Millis::new(0.1), Millis::new(40.0));
+        let (a, b) = (SiteId::new(0), SiteId::new(1));
+        assert_eq!(m.between(a, b), Millis::new(40.0));
+        assert_eq!(m.between(b, a), Millis::new(40.0));
+        assert_eq!(m.between(a, a), Millis::new(0.1));
+        assert_eq!(m.local(), Millis::new(0.1));
+    }
+
+    #[test]
+    fn pair_override_is_symmetric_by_default() {
+        let (a, b) = (SiteId::new(0), SiteId::new(1));
+        let m = DelayModel::uniform(Millis::new(0.1), Millis::new(40.0)).with_pair(
+            a,
+            b,
+            Millis::new(75.0),
+        );
+        assert_eq!(m.between(a, b), Millis::new(75.0));
+        assert_eq!(m.between(b, a), Millis::new(75.0));
+    }
+
+    #[test]
+    fn asymmetric_pairs_are_expressible() {
+        let (a, b) = (SiteId::new(0), SiteId::new(1));
+        let m = DelayModel::uniform(Millis::new(0.1), Millis::new(40.0))
+            .with_pair(a, b, Millis::new(10.0))
+            .with_pair(b, a, Millis::new(90.0));
+        assert_eq!(m.between(a, b), Millis::new(10.0));
+        assert_eq!(m.between(b, a), Millis::new(90.0));
+    }
+}

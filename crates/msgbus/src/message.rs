@@ -1,0 +1,115 @@
+//! Bus messages.
+
+use crate::topic::Topic;
+use sb_types::{Error, Result};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A message published on the bus: a topic plus a JSON payload.
+///
+/// Payloads are JSON to mirror the prototype's ODL/YANG data store, where
+/// "data entries are stored as JSON objects" (Section 4.5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    topic: Topic,
+    payload: String,
+}
+
+impl Message {
+    /// Creates a message with a raw JSON payload string.
+    #[must_use]
+    pub fn new(topic: Topic, payload: impl Into<String>) -> Self {
+        Self {
+            topic,
+            payload: payload.into(),
+        }
+    }
+
+    /// Creates a message by serializing `value` to JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` cannot be serialized (only possible for types with
+    /// non-string map keys or failing `Serialize` impls).
+    #[must_use]
+    pub fn json<T: Serialize>(topic: Topic, value: &T) -> Self {
+        Self {
+            topic,
+            payload: serde_json::to_string(value).expect("payload must serialize"),
+        }
+    }
+
+    /// The topic.
+    #[must_use]
+    pub fn topic(&self) -> &Topic {
+        &self.topic
+    }
+
+    /// The raw JSON payload.
+    #[must_use]
+    pub fn payload(&self) -> &str {
+        &self.payload
+    }
+
+    /// The approximate wire size in bytes (topic + payload).
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        self.topic.path().len() + self.payload.len()
+    }
+
+    /// Deserializes the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Bus`] when the payload does not parse as `T`.
+    pub fn decode<T: DeserializeOwned>(&self) -> Result<T> {
+        serde_json::from_str(&self.payload)
+            .map_err(|e| Error::bus(format!("payload decode failed on {}: {e}", self.topic)))
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}B)", self.topic, self.wire_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_types::SiteId;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct InstanceInfo {
+        addr: String,
+        weight: f64,
+    }
+
+    fn topic() -> Topic {
+        Topic::with_owner("/test", SiteId::new(0))
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let info = InstanceInfo {
+            addr: "10.0.0.1".into(),
+            weight: 2.5,
+        };
+        let m = Message::json(topic(), &info);
+        assert_eq!(m.decode::<InstanceInfo>().unwrap(), info);
+    }
+
+    #[test]
+    fn decode_failure_is_reported() {
+        let m = Message::new(topic(), "not json");
+        assert!(m.decode::<InstanceInfo>().is_err());
+    }
+
+    #[test]
+    fn wire_size_counts_topic_and_payload() {
+        let m = Message::new(topic(), "12345");
+        assert_eq!(m.wire_size(), "/test".len() + 5);
+    }
+}

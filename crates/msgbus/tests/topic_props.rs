@@ -1,0 +1,53 @@
+//! Property tests for topic parsing and owner inference.
+
+use proptest::prelude::*;
+use sb_msgbus::Topic;
+use sb_types::SiteId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The helper constructors always produce paths whose owner survives a
+    /// parse round trip.
+    #[test]
+    fn constructed_topics_round_trip(
+        chain in 0u32..1_000_000,
+        egress in 0u32..1_000,
+        vnf in 0u32..10_000,
+        site in 0u32..10_000,
+    ) {
+        let site = SiteId::new(site);
+        for t in [
+            Topic::vnf_instances(chain, egress, vnf, site),
+            Topic::vnf_forwarders(chain, egress, vnf, site),
+        ] {
+            prop_assert_eq!(t.owner(), site);
+            let parsed = Topic::parse(t.path()).unwrap();
+            prop_assert_eq!(parsed.owner(), site);
+            prop_assert_eq!(parsed.path(), t.path());
+        }
+    }
+
+    /// Parsing accepts any slash path with a site marker and infers the
+    /// LAST site segment; paths without a marker are rejected.
+    #[test]
+    fn parse_owner_is_last_site_segment(
+        prefix in "[a-z]{1,8}",
+        first in 0u32..100,
+        second in 0u32..100,
+        suffix in "[a-z]{0,6}",
+    ) {
+        let path = format!("/{prefix}/site_{first}_x/mid/site_{second}_{suffix}");
+        let t = Topic::parse(&path).unwrap();
+        prop_assert_eq!(t.owner(), SiteId::new(second));
+
+        let bare = format!("/{prefix}/{suffix}x");
+        prop_assert!(Topic::parse(&bare).is_err());
+    }
+
+    /// Owner inference never panics on arbitrary input strings.
+    #[test]
+    fn parse_never_panics(s in ".{0,64}") {
+        let _ = Topic::parse(&s);
+    }
+}

@@ -1,0 +1,41 @@
+//! Discrete-event simulation substrate for the Switchboard reproduction.
+//!
+//! The paper's end-to-end experiments (Sections 6-7) run on multi-site
+//! testbeds — AWS EC2 regions and a private OpenStack cloud — with inter-site
+//! RTTs of 60-150 ms. This crate provides the deterministic simulated
+//! equivalent (`DESIGN.md` §1):
+//!
+//! - [`Simulator`]: a nanosecond-resolution discrete-event engine over a
+//!   user-supplied state type;
+//! - [`FluidNetwork`]: flow-level max-min fair rate allocation over shared
+//!   capacitated resources (links and VNF instances), the standard fluid
+//!   model of long-lived TCP throughput;
+//! - [`queueing`]: M/M/1-style queueing-delay helpers that turn resource
+//!   utilization into added latency, which is how an overloaded VNF
+//!   instance manifests as RTT inflation in Figure 11.
+//!
+//! # Examples
+//!
+//! ```
+//! use sb_netsim::{SimTime, Simulator};
+//!
+//! let mut sim: Simulator<Vec<u64>> = Simulator::new();
+//! sim.schedule_at(SimTime::from_millis(5.0), |sim, log: &mut Vec<u64>| {
+//!     log.push(sim.now().as_nanos());
+//! });
+//! let mut log = Vec::new();
+//! sim.run(&mut log);
+//! assert_eq!(log, vec![5_000_000]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod fluid;
+pub mod queueing;
+mod simtime;
+
+pub use engine::Simulator;
+pub use fluid::{FlowId, FluidNetwork, ResourceId};
+pub use simtime::SimTime;

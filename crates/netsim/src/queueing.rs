@@ -1,0 +1,162 @@
+//! Queueing-delay helpers.
+//!
+//! The paper's latency comparisons attribute part of the observed RTT to
+//! "longer queuing delays" at overloaded VNF instances (Section 7.2) and
+//! price utilization into routing with a "piecewise-linear convex function
+//! that increases exponentially with utilization at values above 0.5"
+//! (Section 4.4, after Fortz-Thorup). This module provides both:
+//!
+//! - [`mm1_delay`]: an M/M/1-style sojourn-time model turning utilization
+//!   into added latency for the end-to-end simulations;
+//! - [`fortz_thorup_cost`]: the classic piecewise-linear link-cost function
+//!   used by the SB-DP routing heuristic in `sb-te`.
+
+use sb_types::Millis;
+
+/// Utilization above which delays are clamped (a real system is unstable at
+/// ρ → 1; the simulation saturates instead of diverging).
+pub const MAX_STABLE_UTILIZATION: f64 = 0.99;
+
+/// M/M/1 mean sojourn time: `service / (1 - ρ)`, clamped at
+/// [`MAX_STABLE_UTILIZATION`]. `service` is the zero-load service latency of
+/// the resource; negative utilizations are treated as zero.
+///
+/// # Examples
+///
+/// ```
+/// use sb_netsim::queueing::mm1_delay;
+/// use sb_types::Millis;
+///
+/// let idle = mm1_delay(Millis::new(1.0), 0.0);
+/// let busy = mm1_delay(Millis::new(1.0), 0.9);
+/// assert_eq!(idle, Millis::new(1.0));
+/// assert!((busy.value() - 10.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn mm1_delay(service: Millis, utilization: f64) -> Millis {
+    let rho = utilization.clamp(0.0, MAX_STABLE_UTILIZATION);
+    Millis::new(service.value() / (1.0 - rho))
+}
+
+/// The Fortz-Thorup piecewise-linear convex cost of running a resource at
+/// `utilization`. Slopes increase sharply past 2/3 and explode past 1.0,
+/// which makes load-aware routing avoid near-saturated links and compute
+/// sites. The function is normalized so `cost(0) = 0` and the initial slope
+/// is 1.
+///
+/// Breakpoints (utilization, slope): standard values from Fortz & Thorup,
+/// "Internet traffic engineering by optimizing OSPF weights" (INFOCOM 2000).
+#[must_use]
+pub fn fortz_thorup_cost(utilization: f64) -> f64 {
+    const SEGMENTS: [(f64, f64); 6] = [
+        (0.0, 1.0),
+        (1.0 / 3.0, 3.0),
+        (2.0 / 3.0, 10.0),
+        (0.9, 70.0),
+        (1.0, 500.0),
+        (1.1, 5000.0),
+    ];
+    let u = utilization.max(0.0);
+    let mut cost = 0.0;
+    for (i, &(start, slope)) in SEGMENTS.iter().enumerate() {
+        let end = SEGMENTS.get(i + 1).map_or(f64::INFINITY, |s| s.0);
+        if u <= start {
+            break;
+        }
+        cost += slope * (u.min(end) - start);
+    }
+    cost
+}
+
+/// Marginal (derivative) Fortz-Thorup cost at `utilization`; used when a
+/// router prices the *next* unit of traffic rather than the average.
+#[must_use]
+pub fn fortz_thorup_slope(utilization: f64) -> f64 {
+    const BREAKS: [(f64, f64); 6] = [
+        (0.0, 1.0),
+        (1.0 / 3.0, 3.0),
+        (2.0 / 3.0, 10.0),
+        (0.9, 70.0),
+        (1.0, 500.0),
+        (1.1, 5000.0),
+    ];
+    let u = utilization.max(0.0);
+    let mut slope = BREAKS[0].1;
+    for &(start, s) in &BREAKS {
+        if u >= start {
+            slope = s;
+        }
+    }
+    slope
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_is_monotone_in_utilization() {
+        let s = Millis::new(0.1);
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let u = f64::from(i) / 100.0;
+            let d = mm1_delay(s, u).value();
+            assert!(d >= prev, "non-monotone at {u}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn mm1_clamps_at_instability() {
+        let s = Millis::new(1.0);
+        let at_one = mm1_delay(s, 1.0);
+        let beyond = mm1_delay(s, 5.0);
+        assert_eq!(at_one, beyond);
+        assert!(at_one.value().is_finite());
+        assert!((at_one.value() - 100.0).abs() < 1e-6); // 1/(1-0.99)
+    }
+
+    #[test]
+    fn mm1_handles_negative_utilization() {
+        assert_eq!(mm1_delay(Millis::new(2.0), -1.0), Millis::new(2.0));
+    }
+
+    #[test]
+    fn fortz_thorup_is_convex_increasing() {
+        let mut prev_cost = -1.0;
+        let mut prev_slope = 0.0;
+        for i in 0..140 {
+            let u = f64::from(i) / 100.0;
+            let c = fortz_thorup_cost(u);
+            let s = fortz_thorup_slope(u);
+            assert!(c > prev_cost, "cost not increasing at {u}");
+            assert!(s >= prev_slope, "slope not non-decreasing at {u}");
+            prev_cost = c;
+            prev_slope = s;
+        }
+    }
+
+    #[test]
+    fn fortz_thorup_anchor_values() {
+        assert_eq!(fortz_thorup_cost(0.0), 0.0);
+        // First segment is slope 1: cost(1/3) = 1/3.
+        assert!((fortz_thorup_cost(1.0 / 3.0) - 1.0 / 3.0).abs() < 1e-12);
+        // Past saturation the cost explodes.
+        assert!(fortz_thorup_cost(1.05) > 25.0);
+        assert!(fortz_thorup_slope(1.2) >= 5000.0);
+    }
+
+    #[test]
+    fn fortz_thorup_cost_matches_integrated_slope() {
+        // cost is the integral of slope: check numerically.
+        let mut acc = 0.0;
+        let step = 1e-4;
+        let mut u = 0.0;
+        while u < 1.2 {
+            acc += fortz_thorup_slope(u + step / 2.0) * step;
+            u += step;
+            let c = fortz_thorup_cost(u);
+            assert!((acc - c).abs() < 1e-2, "mismatch at {u}: {acc} vs {c}");
+        }
+    }
+}

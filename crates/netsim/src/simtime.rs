@@ -1,0 +1,146 @@
+//! The simulated clock value.
+
+use sb_types::Millis;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use sb_netsim::SimTime;
+/// let t = SimTime::from_millis(1.5) + SimTime::from_micros(250.0);
+/// assert_eq!(t.as_nanos(), 1_750_000);
+/// assert!((t.as_millis().value() - 1.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// Creates a time from microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self(Millis::from_micros(us).as_nanos())
+    }
+
+    /// Creates a time from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self(Millis::new(ms).as_nanos())
+    }
+
+    /// Creates a time from seconds.
+    #[must_use]
+    pub fn from_secs(s: f64) -> Self {
+        Self(Millis::from_secs(s).as_nanos())
+    }
+
+    /// Raw nanoseconds since simulation start.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The time as a [`Millis`] duration since simulation start.
+    #[must_use]
+    pub fn as_millis(self) -> Millis {
+        Millis::from_nanos(self.0)
+    }
+
+    /// Saturating difference (`self - earlier`, clamped at zero).
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> Millis {
+        Millis::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl From<Millis> for SimTime {
+    fn from(d: Millis) -> Self {
+        Self(d.as_nanos())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.as_millis())
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add<Millis> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Millis) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_nanos()))
+    }
+}
+
+impl AddAssign<Millis> for SimTime {
+    fn add_assign(&mut self, rhs: Millis) {
+        self.0 = self.0.saturating_add(rhs.as_nanos());
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(2.0).as_nanos(), 2_000_000);
+        assert_eq!(SimTime::from_secs(1.0).as_nanos(), 1_000_000_000);
+        assert_eq!(SimTime::from_micros(5.0).as_nanos(), 5_000);
+        assert!((SimTime::from_nanos(1_500_000).as_millis().value() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(300);
+        assert_eq!((a - b).as_nanos(), 0);
+        assert_eq!((b - a).as_nanos(), 200);
+        assert!((b.since(a).as_micros() - 0.2).abs() < 1e-12);
+        assert_eq!(a.since(b), Millis::ZERO);
+    }
+
+    #[test]
+    fn add_millis_advances_clock() {
+        let mut t = SimTime::ZERO;
+        t += Millis::new(1.0);
+        assert_eq!(t, SimTime::from_millis(1.0));
+        assert_eq!(t + Millis::new(0.5), SimTime::from_millis(1.5));
+    }
+
+    #[test]
+    fn ordering_follows_nanos() {
+        assert!(SimTime::from_millis(1.0) < SimTime::from_millis(2.0));
+        assert_eq!(SimTime::from(Millis::new(3.0)), SimTime::from_millis(3.0));
+    }
+
+    #[test]
+    fn display_shows_millis() {
+        assert_eq!(SimTime::from_millis(5.0).to_string(), "t=5.0 ms");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the max-min fair fluid model.
+//!
+//! The defining property of a max-min fair allocation: every flow is either
+//! at its demand cap or crosses at least one *saturated* resource on which
+//! no other flow has a strictly larger weighted rate. Any allocation
+//! satisfying this bottleneck condition is the (unique) max-min fair one.
+
+use proptest::prelude::*;
+use sb_netsim::FluidNetwork;
+
+const TOL: f64 = 1e-6;
+
+#[derive(Debug, Clone)]
+struct RandomNet {
+    capacities: Vec<f64>,
+    flows: Vec<(Vec<usize>, Option<f64>, f64)>, // resources, demand, weight
+}
+
+fn arb_net() -> impl Strategy<Value = RandomNet> {
+    let caps = prop::collection::vec(0.5..20.0f64, 1..6);
+    caps.prop_flat_map(|capacities| {
+        let nres = capacities.len();
+        let flow = (
+            prop::collection::btree_set(0..nres, 1..=nres.min(4)),
+            prop::option::of(0.1..15.0f64),
+            0.5..3.0f64,
+        )
+            .prop_map(|(rs, d, w)| (rs.into_iter().collect::<Vec<_>>(), d, w));
+        (Just(capacities), prop::collection::vec(flow, 1..10))
+    })
+    .prop_map(|(capacities, flows)| RandomNet { capacities, flows })
+}
+
+fn build(net: &RandomNet) -> (FluidNetwork, Vec<sb_netsim::FlowId>) {
+    let mut fluid = FluidNetwork::new();
+    let rs: Vec<_> = net
+        .capacities
+        .iter()
+        .map(|&c| fluid.add_resource(c))
+        .collect();
+    let fs: Vec<_> = net
+        .flows
+        .iter()
+        .map(|(resources, demand, weight)| {
+            fluid.add_weighted_flow(resources.iter().map(|&i| rs[i]), *demand, *weight)
+        })
+        .collect();
+    (fluid, fs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Allocations never violate capacities or demand caps.
+    #[test]
+    fn allocation_is_feasible(net in arb_net()) {
+        let (fluid, flows) = build(&net);
+        let rates = fluid.max_min_rates();
+        for u in fluid.utilizations(&rates) {
+            prop_assert!(u <= 1.0 + TOL, "capacity violated: {u}");
+        }
+        for (f, (_, demand, _)) in flows.iter().zip(&net.flows) {
+            if let Some(d) = demand {
+                prop_assert!(rates[f.index()] <= d + TOL, "demand cap violated");
+            }
+            prop_assert!(rates[f.index()] >= -TOL);
+        }
+    }
+
+    /// The bottleneck condition holds for every flow.
+    #[test]
+    fn bottleneck_condition_holds(net in arb_net()) {
+        let (fluid, flows) = build(&net);
+        let rates = fluid.max_min_rates();
+        let util = fluid.utilizations(&rates);
+
+        for (fi, (resources, demand, weight)) in net.flows.iter().enumerate() {
+            let rate = rates[flows[fi].index()];
+            let capped = demand.is_some_and(|d| rate >= d - TOL);
+            if capped {
+                continue;
+            }
+            // Must cross a saturated resource where this flow's weighted
+            // rate is maximal among crossing flows.
+            let mut has_bottleneck = false;
+            for &r in resources {
+                if util[r] < 1.0 - TOL && net.capacities[r] > TOL {
+                    continue;
+                }
+                let my_norm = rate / weight;
+                let max_norm = net
+                    .flows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (rs, _, _))| rs.contains(&r))
+                    .map(|(gi, (_, _, w))| rates[flows[gi].index()] / w)
+                    .fold(0.0f64, f64::max);
+                if my_norm >= max_norm - TOL {
+                    has_bottleneck = true;
+                    break;
+                }
+            }
+            prop_assert!(
+                has_bottleneck,
+                "flow {fi} (rate {rate}) is neither capped nor bottlenecked"
+            );
+        }
+    }
+
+    /// Scaling every capacity and demand by `k` scales every rate by `k`
+    /// (max-min fairness is positively homogeneous). Note that pointwise
+    /// monotonicity in capacity does NOT hold for max-min fairness — adding
+    /// capacity to one resource can lower another flow's rate — so scale
+    /// invariance is the right algebraic check here.
+    #[test]
+    fn rates_scale_with_capacities(net in arb_net(), k in 0.25..4.0f64) {
+        let (fluid, _) = build(&net);
+        let base = fluid.max_min_rates();
+
+        let scaled = RandomNet {
+            capacities: net.capacities.iter().map(|c| c * k).collect(),
+            flows: net
+                .flows
+                .iter()
+                .map(|(rs, d, w)| (rs.clone(), d.map(|d| d * k), *w))
+                .collect(),
+        };
+        let (fluid2, _) = build(&scaled);
+        let scaled_rates = fluid2.max_min_rates();
+
+        for (b, s) in base.iter().zip(&scaled_rates) {
+            prop_assert!(
+                (b * k - s).abs() <= TOL * (1.0 + b.abs() * k),
+                "rate not homogeneous: {b} * {k} vs {s}"
+            );
+        }
+    }
+
+    /// Same input always produces the same output (full determinism).
+    #[test]
+    fn allocation_is_deterministic(net in arb_net()) {
+        let (fluid1, _) = build(&net);
+        let (fluid2, _) = build(&net);
+        prop_assert_eq!(fluid1.max_min_rates(), fluid2.max_min_rates());
+    }
+}

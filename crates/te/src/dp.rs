@@ -1,0 +1,543 @@
+//! SB-DP: the dynamic-programming routing heuristic (Section 4.4).
+//!
+//! For each chain the algorithm builds the table `E(z, s)` — the least cost
+//! of a route prefix ending with the `z`-th VNF placed at site `s` — by the
+//! induction of Eq 8, where the edge cost `cost(s, z, s')` is the sum of:
+//!
+//! - the propagation latency `s → s'`;
+//! - the *network utilization cost*: the Fortz-Thorup convex cost of each
+//!   link that routes `s → s'` traffic, weighted by the fraction of traffic
+//!   it carries (`r_{ss'e}`);
+//! - the *compute utilization cost*: the Fortz-Thorup cost of the next
+//!   VNF's utilization at `s'`.
+//!
+//! After extracting the least-cost site sequence, the algorithm allocates
+//! as much of the chain's remaining demand as the path's bottleneck (link
+//! or compute) permits, updates the load state, and repeats "until the
+//! routes for all the traffic for the chain is computed" — or no path has
+//! headroom, leaving the chain partially routed.
+//!
+//! Chains are processed sequentially against a shared [`LoadTracker`], so
+//! later chains see the load earlier chains placed. The same tracker backs
+//! the baselines in [`crate::baselines`], keeping accounting identical
+//! across schemes.
+
+use crate::model::{ChainSpec, NetworkModel, Place};
+use crate::route::{ChainRoutes, RoutePath, RoutingSolution};
+use sb_netsim::queueing::fortz_thorup_cost;
+use sb_types::{LinkId, SiteId, VnfId};
+use std::collections::HashMap;
+
+const EPS: f64 = 1e-9;
+
+/// Tuning knobs of the DP cost function.
+#[derive(Debug, Clone)]
+pub struct DpConfig {
+    /// Weight (in milliseconds per unit Fortz-Thorup cost) of the network
+    /// and compute utilization terms relative to propagation latency. Zero
+    /// turns SB-DP into the DP-Latency variant of Figure 13a.
+    pub util_weight: f64,
+    /// Cap on extracted paths per chain (defensive; the headroom loop
+    /// terminates on its own in practice).
+    pub max_paths_per_chain: usize,
+}
+
+impl Default for DpConfig {
+    fn default() -> Self {
+        Self {
+            util_weight: 30.0,
+            max_paths_per_chain: 64,
+        }
+    }
+}
+
+/// Residual-load accounting shared by the sequential schemes.
+#[derive(Debug, Clone)]
+pub struct LoadTracker {
+    /// Chain traffic placed on each link so far.
+    pub link_load: Vec<f64>,
+    /// Compute load placed at each site so far.
+    pub site_load: Vec<f64>,
+    /// Compute load per (VNF, site).
+    pub vnf_site_load: HashMap<(VnfId, SiteId), f64>,
+}
+
+impl LoadTracker {
+    /// A tracker with no load placed.
+    #[must_use]
+    pub fn new(model: &NetworkModel) -> Self {
+        Self {
+            link_load: vec![0.0; model.topology().num_links()],
+            site_load: vec![0.0; model.num_sites()],
+            vnf_site_load: HashMap::new(),
+        }
+    }
+
+    /// Current utilization of `link` including background traffic.
+    #[must_use]
+    pub fn link_utilization(&self, model: &NetworkModel, link: LinkId) -> f64 {
+        let l = model.topology().links()[link.index()].bandwidth();
+        (self.link_load[link.index()] + model.background(link)) / l
+    }
+
+    /// Current utilization of `vnf` at `site` (0 when not deployed).
+    #[must_use]
+    pub fn vnf_utilization(&self, model: &NetworkModel, vnf: VnfId, site: SiteId) -> f64 {
+        let cap = model.vnfs()[vnf.index()]
+            .site_capacity
+            .get(&site)
+            .copied()
+            .unwrap_or(0.0);
+        if cap <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.vnf_site_load.get(&(vnf, site)).copied().unwrap_or(0.0) / cap
+    }
+
+    /// Largest extra fraction of `chain`'s demand the path can carry given
+    /// residual link, site and VNF capacities.
+    #[must_use]
+    pub fn headroom(&self, model: &NetworkModel, coefs: &PathCoefs) -> f64 {
+        let mut h = f64::INFINITY;
+        for (&link, &coef) in &coefs.links {
+            if coef > EPS {
+                let l = &model.topology().links()[link.index()];
+                let budget = model.mlu() * l.bandwidth()
+                    - model.background(link)
+                    - self.link_load[link.index()];
+                h = h.min((budget / coef).max(0.0));
+            }
+        }
+        for (&site, &coef) in &coefs.sites {
+            if coef > EPS {
+                let budget = model.site_capacity(site) - self.site_load[site.index()];
+                h = h.min((budget / coef).max(0.0));
+            }
+        }
+        for (&(vnf, site), &coef) in &coefs.vnf_sites {
+            if coef > EPS {
+                let cap = model.vnfs()[vnf.index()]
+                    .site_capacity
+                    .get(&site)
+                    .copied()
+                    .unwrap_or(0.0);
+                let used = self.vnf_site_load.get(&(vnf, site)).copied().unwrap_or(0.0);
+                h = h.min(((cap - used) / coef).max(0.0));
+            }
+        }
+        h
+    }
+
+    /// Applies `fraction` of the path's demand to the tracked loads.
+    pub fn apply(&mut self, coefs: &PathCoefs, fraction: f64) {
+        for (&link, &coef) in &coefs.links {
+            self.link_load[link.index()] += coef * fraction;
+        }
+        for (&site, &coef) in &coefs.sites {
+            self.site_load[site.index()] += coef * fraction;
+        }
+        for (&key, &coef) in &coefs.vnf_sites {
+            *self.vnf_site_load.entry(key).or_insert(0.0) += coef * fraction;
+        }
+    }
+}
+
+/// Per-unit-fraction resource coefficients of one candidate path.
+#[derive(Debug, Clone, Default)]
+pub struct PathCoefs {
+    /// Link traffic per unit fraction.
+    pub links: HashMap<LinkId, f64>,
+    /// Site compute load per unit fraction.
+    pub sites: HashMap<SiteId, f64>,
+    /// (VNF, site) compute load per unit fraction.
+    pub vnf_sites: HashMap<(VnfId, SiteId), f64>,
+}
+
+/// Computes the resource coefficients of routing one unit fraction of
+/// `chain`'s demand along `sites` (one site per VNF). Accounting matches
+/// [`crate::eval::Evaluation`] exactly.
+#[must_use]
+pub fn path_coefficients(model: &NetworkModel, chain: &ChainSpec, sites: &[SiteId]) -> PathCoefs {
+    assert_eq!(sites.len(), chain.vnfs.len(), "path arity mismatch");
+    let mut coefs = PathCoefs::default();
+    for z in 0..chain.num_stages() {
+        let from = if z == 0 {
+            Place::node(chain.ingress)
+        } else {
+            Place::site(model.site_node(sites[z - 1]), sites[z - 1])
+        };
+        let to = if z == chain.num_stages() - 1 {
+            Place::node(chain.egress)
+        } else {
+            Place::site(model.site_node(sites[z]), sites[z])
+        };
+        let w = chain.forward[z];
+        let v = chain.reverse[z];
+        if from.node != to.node {
+            for (&link, &r) in model.routing().fractions_between(from.node, to.node) {
+                *coefs.links.entry(link).or_insert(0.0) += w * r;
+            }
+            for (&link, &r) in model.routing().fractions_between(to.node, from.node) {
+                *coefs.links.entry(link).or_insert(0.0) += v * r;
+            }
+        }
+        let combined = w + v;
+        if let Some(site) = to.site {
+            let vnf = chain.vnfs[z];
+            let lf = model.vnfs()[vnf.index()].load_per_unit;
+            *coefs.sites.entry(site).or_insert(0.0) += lf * combined;
+            *coefs.vnf_sites.entry((vnf, site)).or_insert(0.0) += lf * combined;
+        }
+        if let Some(site) = from.site {
+            let vnf = chain.vnfs[z - 1];
+            let lf = model.vnfs()[vnf.index()].load_per_unit;
+            *coefs.sites.entry(site).or_insert(0.0) += lf * combined;
+            *coefs.vnf_sites.entry((vnf, site)).or_insert(0.0) += lf * combined;
+        }
+    }
+    coefs
+}
+
+/// The DP edge cost `cost(s, z, s')` of Section 4.4: latency + weighted
+/// network utilization cost + weighted compute utilization cost of the next
+/// VNF at the destination.
+pub(crate) fn edge_cost(
+    model: &NetworkModel,
+    tracker: &LoadTracker,
+    config: &DpConfig,
+    from: Place,
+    to: Place,
+    next_vnf: Option<VnfId>,
+) -> f64 {
+    let latency = model.latency(from.node, to.node).value();
+    if !latency.is_finite() {
+        return f64::INFINITY;
+    }
+    let mut cost = latency;
+    if config.util_weight > 0.0 {
+        if from.node != to.node {
+            let mut net = 0.0;
+            for (&link, &r) in model.routing().fractions_between(from.node, to.node) {
+                net += r * fortz_thorup_cost(tracker.link_utilization(model, link));
+            }
+            cost += config.util_weight * net;
+        }
+        if let (Some(vnf), Some(site)) = (next_vnf, to.site) {
+            let u = tracker.vnf_utilization(model, vnf, site);
+            if u.is_infinite() {
+                return f64::INFINITY;
+            }
+            cost += config.util_weight * fortz_thorup_cost(u);
+        }
+    }
+    cost
+}
+
+/// Runs the DP of Eq 8 once for `chain` against the current loads and
+/// returns the least-cost site sequence, or `None` when no VNF of the
+/// chain has any deployment reachable from the ingress.
+fn best_path(
+    model: &NetworkModel,
+    tracker: &LoadTracker,
+    config: &DpConfig,
+    chain: &ChainSpec,
+) -> Option<Vec<SiteId>> {
+    // E[z][site] with parent pointers; stage z places the z-th VNF.
+    let mut costs: Vec<HashMap<SiteId, (f64, Option<SiteId>)>> = Vec::new();
+    let mut prev: Vec<(Place, f64, Option<SiteId>)> =
+        vec![(Place::node(chain.ingress), 0.0, None)];
+
+    for (z, &vnf_id) in chain.vnfs.iter().enumerate() {
+        let vnf = &model.vnfs()[vnf_id.index()];
+        let mut stage: HashMap<SiteId, (f64, Option<SiteId>)> = HashMap::new();
+        for site in vnf.sites() {
+            let to = Place::site(model.site_node(site), site);
+            let mut best: Option<(f64, Option<SiteId>)> = None;
+            for &(from, base, from_site) in &prev {
+                let _ = from_site;
+                let c = base + edge_cost(model, tracker, config, from, to, Some(vnf_id));
+                if c.is_finite() && best.is_none_or(|(b, _)| c < b) {
+                    best = Some((c, from.site));
+                }
+            }
+            if let Some((c, parent)) = best {
+                stage.insert(site, (c, parent));
+            }
+        }
+        if stage.is_empty() {
+            return None;
+        }
+        prev = stage
+            .iter()
+            .map(|(&s, &(c, _))| (Place::site(model.site_node(s), s), c, Some(s)))
+            .collect();
+        // Deterministic iteration order for reproducibility.
+        prev.sort_by_key(|&(_, _, s)| s.map(SiteId::value));
+        costs.push(stage);
+        let _ = z;
+    }
+
+    // Close to the egress.
+    let egress = Place::node(chain.egress);
+    let mut best_last: Option<(f64, SiteId)> = None;
+    for &(from, base, site) in &prev {
+        let c = base + edge_cost(model, tracker, config, from, egress, None);
+        if let Some(site) = site {
+            if c.is_finite() && best_last.is_none_or(|(b, _)| c < b) {
+                best_last = Some((c, site));
+            }
+        }
+    }
+    if chain.vnfs.is_empty() {
+        // Chains without VNFs route directly ingress -> egress.
+        return Some(Vec::new());
+    }
+    let (_, mut at) = best_last?;
+    // Backtrack parents.
+    let mut sites = vec![at];
+    for z in (1..chain.vnfs.len()).rev() {
+        let (_, parent) = costs[z][&at];
+        let p = parent.expect("non-first stage has a parent site");
+        sites.push(p);
+        at = p;
+    }
+    sites.reverse();
+    Some(sites)
+}
+
+/// Routes one chain with SB-DP against `tracker`, mutating the tracker and
+/// returning the extracted paths.
+#[must_use]
+pub fn route_chain(
+    model: &NetworkModel,
+    tracker: &mut LoadTracker,
+    config: &DpConfig,
+    chain: &ChainSpec,
+) -> Vec<RoutePath> {
+    let mut remaining = 1.0;
+    let mut paths: Vec<RoutePath> = Vec::new();
+    for _ in 0..config.max_paths_per_chain {
+        if remaining <= EPS {
+            break;
+        }
+        let Some(sites) = best_path(model, tracker, config, chain) else {
+            break;
+        };
+        let coefs = path_coefficients(model, chain, &sites);
+        let headroom = tracker.headroom(model, &coefs);
+        let fraction = headroom.min(remaining);
+        if fraction <= EPS {
+            break;
+        }
+        tracker.apply(&coefs, fraction);
+        remaining -= fraction;
+        // Merge with an existing identical path if the DP re-picks it.
+        if let Some(p) = paths.iter_mut().find(|p| p.sites == sites) {
+            p.fraction += fraction;
+            // The same path can only be re-picked when its bottleneck was
+            // not yet tight; if it is picked twice at zero incremental
+            // headroom we would have broken out above.
+        } else {
+            paths.push(RoutePath { sites, fraction });
+        }
+    }
+    paths
+}
+
+/// Routes all chains sequentially with SB-DP (or DP-Latency when
+/// `config.util_weight == 0`).
+#[must_use]
+pub fn route_chains(model: &NetworkModel, config: &DpConfig) -> RoutingSolution {
+    let mut tracker = LoadTracker::new(model);
+    let chains = model
+        .chains()
+        .iter()
+        .map(|c| {
+            let paths = route_chain(model, &mut tracker, config, c);
+            ChainRoutes::from_paths(model, c, &paths)
+        })
+        .collect();
+    RoutingSolution { chains }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluation;
+    use crate::model::testutil::line_model;
+    use sb_types::{ChainId, Millis, NodeId};
+    use std::collections::HashMap as Map;
+
+    #[test]
+    fn dp_routes_full_demand_when_capacity_allows() {
+        let m = line_model();
+        let sol = route_chains(&m, &DpConfig::default());
+        assert!((sol.chains[0].routed - 1.0).abs() < 1e-9);
+        assert!(sol.chains[0].is_conserved(1e-9));
+        let e = Evaluation::of(&m, &sol);
+        assert!(e.is_feasible(&m, 1e-6));
+    }
+
+    #[test]
+    fn dp_splits_across_sites_under_pressure() {
+        // One site cannot hold the tripled demand; DP must emit >= 2 paths.
+        let m = line_model().with_scaled_traffic(3.0);
+        let sol = route_chains(&m, &DpConfig::default());
+        assert!((sol.chains[0].routed - 1.0).abs() < 1e-6, "{}", sol.chains[0].routed);
+        let paths = sol.chains[0].decompose(&m.chains()[0]);
+        assert!(paths.len() >= 2, "{paths:?}");
+        let e = Evaluation::of(&m, &sol);
+        assert!(e.is_feasible(&m, 1e-6));
+    }
+
+    #[test]
+    fn dp_reports_partial_routing_when_saturated() {
+        let m = line_model().with_scaled_traffic(100.0);
+        let sol = route_chains(&m, &DpConfig::default());
+        let routed = sol.chains[0].routed;
+        // Total VNF capacity 100; load per unit demand >= 24 at scale 1, so
+        // at scale 100 only ~100/2400 of demand fits.
+        assert!(routed > 0.0 && routed < 0.1, "{routed}");
+        let e = Evaluation::of(&m, &sol);
+        assert!(e.is_feasible(&m, 1e-6));
+    }
+
+    #[test]
+    fn dp_latency_variant_ignores_load() {
+        // Two sites, one close and loaded, one far and empty: DP-Latency
+        // keeps hammering the close one; SB-DP eventually spreads.
+        let mut tb = sb_topology::TopologyBuilder::new();
+        let n0 = tb.add_node("in", (0.0, 0.0), 1.0);
+        let n1 = tb.add_node("near", (0.0, 1.0), 1.0);
+        let n2 = tb.add_node("far", (0.0, 2.0), 1.0);
+        let n3 = tb.add_node("out", (0.0, 3.0), 1.0);
+        tb.add_duplex_link(n0, n1, 1000.0, Millis::new(1.0));
+        tb.add_duplex_link(n0, n2, 1000.0, Millis::new(20.0));
+        tb.add_duplex_link(n1, n3, 1000.0, Millis::new(1.0));
+        tb.add_duplex_link(n2, n3, 1000.0, Millis::new(20.0));
+        let mut b = NetworkModel::builder(tb.build());
+        let near = b.add_site(n1, 1e6);
+        let far = b.add_site(n2, 1e6);
+        // Capacity 50 per site: 10 chains of load 4 would drive the near
+        // site to 80% utilization, deep into the steep Fortz-Thorup region,
+        // so SB-DP diverts the tail chains while DP-Latency keeps piling on.
+        let vnf = b.add_vnf(Map::from([(near, 50.0), (far, 50.0)]), 1.0);
+        for i in 0..10 {
+            b.add_chain(ChainSpec::uniform(
+                ChainId::new(i),
+                n0,
+                n3,
+                vec![vnf],
+                2.0,
+                0.0,
+            ));
+        }
+        let m = b.build().unwrap();
+
+        let latency_only = route_chains(
+            &m,
+            &DpConfig {
+                util_weight: 0.0,
+                ..DpConfig::default()
+            },
+        );
+        let full = route_chains(&m, &DpConfig::default());
+
+        let near_load =
+            |sol: &RoutingSolution| Evaluation::of(&m, sol).vnf_site_load
+                .get(&(vnf, near))
+                .copied()
+                .unwrap_or(0.0);
+        // DP-Latency loads the near site strictly more than SB-DP does.
+        assert!(
+            near_load(&latency_only) > near_load(&full),
+            "latency-only {} vs full {}",
+            near_load(&latency_only),
+            near_load(&full)
+        );
+    }
+
+    #[test]
+    fn later_chains_see_earlier_load() {
+        // Two identical chains, VNF capacity fits exactly one chain per
+        // site: the second chain must take the other site.
+        let m = line_model();
+        // Chain demand 12 -> load 24 per site; capacity 50 fits two chains.
+        // Shrink VNF capacity to 30 so each site fits exactly one chain.
+        let mut m2 = m.with_vnf_sites(
+            sb_types::VnfId::new(0),
+            Map::from([(SiteId::new(0), 30.0), (SiteId::new(1), 30.0)]),
+        );
+        // Duplicate the chain.
+        let c = m2.chains()[0].clone();
+        let mut b = NetworkModel::builder(m2.topology().clone());
+        let s0 = b.add_site(NodeId::new(1), 100.0);
+        let s1 = b.add_site(NodeId::new(2), 100.0);
+        let vnf = b.add_vnf(Map::from([(s0, 30.0), (s1, 30.0)]), 1.0);
+        for i in 0..2 {
+            b.add_chain(ChainSpec::uniform(
+                ChainId::new(i),
+                c.ingress,
+                c.egress,
+                vec![vnf],
+                10.0,
+                2.0,
+            ));
+        }
+        m2 = b.build().unwrap();
+        let sol = route_chains(&m2, &DpConfig::default());
+        assert!((sol.chains[0].routed - 1.0).abs() < 1e-6);
+        assert!((sol.chains[1].routed - 1.0).abs() < 1e-6);
+        let e = Evaluation::of(&m2, &sol);
+        assert!(e.is_feasible(&m2, 1e-6));
+        // Both sites carry load.
+        assert!(e.site_load[0] > 0.0 && e.site_load[1] > 0.0, "{:?}", e.site_load);
+    }
+
+    #[test]
+    fn chain_without_vnfs_routes_directly() {
+        let m = line_model();
+        let mut b = NetworkModel::builder(m.topology().clone());
+        let _s = b.add_site(NodeId::new(1), 10.0);
+        b.add_chain(ChainSpec::uniform(
+            ChainId::new(0),
+            NodeId::new(0),
+            NodeId::new(3),
+            vec![],
+            5.0,
+            0.0,
+        ));
+        let m2 = b.build().unwrap();
+        let sol = route_chains(&m2, &DpConfig::default());
+        assert!((sol.chains[0].routed - 1.0).abs() < 1e-9);
+        let e = Evaluation::of(&m2, &sol);
+        assert!(e.mean_latency().value() > 0.0);
+    }
+
+    #[test]
+    fn path_coefficients_match_evaluator() {
+        let m = line_model();
+        let chain = &m.chains()[0];
+        let coefs = path_coefficients(&m, chain, &[SiteId::new(0)]);
+        let sol = RoutingSolution {
+            chains: vec![ChainRoutes::from_paths(
+                &m,
+                chain,
+                &[RoutePath {
+                    sites: vec![SiteId::new(0)],
+                    fraction: 1.0,
+                }],
+            )],
+        };
+        let e = Evaluation::of(&m, &sol);
+        for (link, coef) in &coefs.links {
+            assert!(
+                (e.link_load[link.index()] - coef).abs() < 1e-9,
+                "link {link} mismatch"
+            );
+        }
+        for (site, coef) in &coefs.sites {
+            assert!((e.site_load[site.index()] - coef).abs() < 1e-9);
+        }
+    }
+}

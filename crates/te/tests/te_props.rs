@@ -1,0 +1,191 @@
+//! Property tests for the traffic-engineering crate: random small models
+//! must yield conserved, feasible, mutually-consistent results from every
+//! scheme, and route representations must round-trip.
+
+use proptest::prelude::*;
+use sb_te::dp::{path_coefficients, route_chains, DpConfig, LoadTracker};
+use sb_te::eval::Evaluation;
+use sb_te::{baselines, lp, ChainRoutes, ChainSpec, NetworkModel, RoutePath};
+use sb_topology::TopologyBuilder;
+use sb_types::{ChainId, Millis, NodeId, SiteId, VnfId};
+use std::collections::HashMap;
+
+/// A random small model: 4-6 nodes in a ring with chords, sites at every
+/// node, 1-3 VNFs with random coverage, 1-4 chains.
+#[derive(Debug, Clone)]
+struct RandomModel {
+    nodes: usize,
+    chords: Vec<(usize, usize)>,
+    vnf_sites: Vec<Vec<usize>>,
+    chains: Vec<(usize, usize, Vec<usize>, f64)>,
+    capacity: f64,
+}
+
+fn arb_model() -> impl Strategy<Value = RandomModel> {
+    (4usize..7)
+        .prop_flat_map(|nodes| {
+            let chord = (0..nodes, 0..nodes).prop_filter("distinct", |(a, b)| a != b);
+            let vnf = prop::collection::btree_set(0..nodes, 1..=nodes.min(3))
+                .prop_map(|s| s.into_iter().collect::<Vec<_>>());
+            let chain = (
+                0..nodes,
+                0..nodes,
+                prop::collection::btree_set(0usize..3, 1..=2),
+                1.0..8.0f64,
+            )
+                .prop_map(|(i, e, vs, d)| (i, e, vs.into_iter().collect::<Vec<_>>(), d));
+            (
+                Just(nodes),
+                prop::collection::vec(chord, 0..3),
+                prop::collection::vec(vnf, 3),
+                prop::collection::vec(chain, 1..4),
+                50.0..200.0f64,
+            )
+        })
+        .prop_map(|(nodes, chords, vnf_sites, chains, capacity)| RandomModel {
+            nodes,
+            chords,
+            vnf_sites,
+            chains,
+            capacity,
+        })
+}
+
+fn build(rm: &RandomModel) -> NetworkModel {
+    let mut tb = TopologyBuilder::new();
+    let nodes: Vec<NodeId> = (0..rm.nodes)
+        .map(|i| tb.add_node(format!("n{i}"), (0.0, i as f64), 1.0))
+        .collect();
+    // Ring so everything is connected, plus random chords.
+    for i in 0..rm.nodes {
+        tb.add_duplex_link(
+            nodes[i],
+            nodes[(i + 1) % rm.nodes],
+            100.0,
+            Millis::new(1.0 + i as f64),
+        );
+    }
+    for &(a, b) in &rm.chords {
+        tb.add_duplex_link(nodes[a], nodes[b], 100.0, Millis::new(2.5));
+    }
+    let mut b = NetworkModel::builder(tb.build());
+    let sites: Vec<SiteId> = nodes.iter().map(|&n| b.add_site(n, rm.capacity)).collect();
+    for placement in &rm.vnf_sites {
+        let caps: HashMap<SiteId, f64> = placement
+            .iter()
+            .map(|&i| (sites[i], rm.capacity / 2.0))
+            .collect();
+        b.add_vnf(caps, 1.0);
+    }
+    for (ci, (ing, eg, vnfs, demand)) in rm.chains.iter().enumerate() {
+        b.add_chain(ChainSpec::uniform(
+            ChainId::new(ci as u64),
+            nodes[*ing],
+            nodes[*eg],
+            vnfs.iter().map(|&v| VnfId::new(v as u32)).collect(),
+            *demand,
+            demand * 0.2,
+        ));
+    }
+    b.build().expect("random model is structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every scheme's solution conserves flow and is consistent with the
+    /// evaluator; SB-DP solutions are always feasible (it respects
+    /// headroom), and no feasible scheme exceeds the LP's optimum scale.
+    #[test]
+    fn schemes_agree_on_invariants(rm in arb_model()) {
+        let model = build(&rm);
+        let lp_alpha = match lp::max_throughput(&model) {
+            Ok((sol, alpha)) => {
+                for c in &sol.chains {
+                    prop_assert!(c.is_conserved(1e-5), "LP violates conservation");
+                }
+                Some(alpha)
+            }
+            Err(_) => None,
+        };
+
+        let dp_sol = route_chains(&model, &DpConfig::default());
+        for c in &dp_sol.chains {
+            prop_assert!(c.is_conserved(1e-6), "DP violates conservation");
+        }
+        let e = Evaluation::of(&model, &dp_sol);
+        prop_assert!(e.is_feasible(&model, 1e-6), "DP oversubscribes");
+        if let Some(alpha) = lp_alpha {
+            let dp_scale = e.max_uniform_scale(&model) * dp_sol.routed_share(&model);
+            prop_assert!(
+                dp_scale <= alpha + 1e-6,
+                "DP scale {dp_scale} exceeds LP optimum {alpha}"
+            );
+        }
+
+        for sol in [
+            baselines::anycast(&model),
+            baselines::compute_aware(&model),
+            baselines::one_hop(&model, &DpConfig::default()),
+        ] {
+            for c in &sol.chains {
+                prop_assert!(c.is_conserved(1e-5));
+            }
+        }
+    }
+
+    /// Path decomposition of any scheme's solution reconstructs the same
+    /// stage flows (round trip through `RoutePath`).
+    #[test]
+    fn decompose_round_trips(rm in arb_model()) {
+        let model = build(&rm);
+        let sol = route_chains(&model, &DpConfig::default());
+        for (chain, routes) in model.chains().iter().zip(&sol.chains) {
+            let paths = sol_paths(routes, chain);
+            let rebuilt = ChainRoutes::from_paths(&model, chain, &paths);
+            prop_assert!((rebuilt.routed - routes.routed).abs() < 1e-6);
+            // Same per-stage totals into each site.
+            for (a, b) in routes.stages.iter().zip(&rebuilt.stages) {
+                let total_a: f64 = a.iter().map(|f| f.fraction).sum();
+                let total_b: f64 = b.iter().map(|f| f.fraction).sum();
+                prop_assert!((total_a - total_b).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Path coefficients applied to a tracker reproduce the evaluator's
+    /// loads exactly (the two accounting paths never diverge).
+    #[test]
+    fn tracker_and_evaluator_accounting_agree(rm in arb_model()) {
+        let model = build(&rm);
+        let sol = route_chains(&model, &DpConfig::default());
+        let mut tracker = LoadTracker::new(&model);
+        for (chain, routes) in model.chains().iter().zip(&sol.chains) {
+            for p in routes.decompose(chain) {
+                let coefs = path_coefficients(&model, chain, &p.sites);
+                tracker.apply(&coefs, p.fraction);
+            }
+        }
+        let e = Evaluation::of(&model, &sol);
+        for (i, (&t, &ev)) in tracker
+            .link_load
+            .iter()
+            .zip(&e.link_load)
+            .enumerate()
+        {
+            prop_assert!((t - ev).abs() < 1e-6, "link {i}: {t} vs {ev}");
+        }
+        for (i, (&t, &ev)) in tracker
+            .site_load
+            .iter()
+            .zip(&e.site_load)
+            .enumerate()
+        {
+            prop_assert!((t - ev).abs() < 1e-6, "site {i}: {t} vs {ev}");
+        }
+    }
+}
+
+fn sol_paths(routes: &ChainRoutes, chain: &ChainSpec) -> Vec<RoutePath> {
+    routes.decompose(chain)
+}

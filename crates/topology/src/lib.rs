@@ -1,0 +1,46 @@
+//! Wide-area network topology substrate for the Switchboard reproduction.
+//!
+//! The paper's traffic-engineering evaluation (Section 7.3) runs on "the
+//! backbone topology of a tier-1 network, which includes the link capacities
+//! and latencies, and the network routing", plus "a snapshot of the tier-1
+//! backbone traffic matrix collected in March 2015". Both datasets are
+//! proprietary, so this crate provides the synthetic equivalents documented
+//! in `DESIGN.md` §1:
+//!
+//! - [`Topology`]: a directed graph of nodes and capacitated links with
+//!   propagation latencies;
+//! - [`Routing`]: shortest-path routing with ECMP splitting, yielding the
+//!   paper's `r_{n1n2e}` fractions (share of `n1→n2` traffic crossing link
+//!   `e`) and the latency matrix `d_{n1n2}`;
+//! - [`tier1::backbone`]: a 25-node continental-US backbone with
+//!   geography-derived latencies and realistic degree distribution;
+//! - [`TrafficMatrix`]: gravity-model demand (heavy-tailed, population- and
+//!   distance-correlated), substituting for the 2015 snapshot.
+//!
+//! # Examples
+//!
+//! ```
+//! use sb_topology::{tier1, Routing};
+//!
+//! let topo = tier1::backbone();
+//! let routing = Routing::shortest_paths(&topo);
+//! let (a, b) = (topo.node_ids()[0], topo.node_ids()[5]);
+//! // Fractions over all links out of `a` for the a->b demand sum to 1.
+//! let out: f64 = topo
+//!     .links_from(a)
+//!     .map(|l| routing.fraction(a, b, l.id()))
+//!     .sum();
+//! assert!((out - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod routing;
+pub mod tier1;
+mod traffic;
+
+pub use graph::{Link, Node, Topology, TopologyBuilder};
+pub use routing::Routing;
+pub use traffic::TrafficMatrix;

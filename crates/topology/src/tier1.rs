@@ -1,0 +1,216 @@
+//! A synthetic continental-US tier-1 backbone.
+//!
+//! Substitutes for the proprietary tier-1 topology of Section 7.3 (see
+//! `DESIGN.md` §1). Twenty-five metro PoPs with real geographic coordinates
+//! and metro-population demand weights, connected by a mesh whose degree
+//! distribution (2-5, mean ≈ 3.6) matches published tier-1 backbone maps.
+//! Link propagation latency is derived from great-circle distance at
+//! 200 km/ms (speed of light in fiber) with a 1.4× fiber-route inflation
+//! factor; link capacities default to 100 abstract capacity units
+//! (think 100 Gbps waves).
+
+use crate::graph::{Topology, TopologyBuilder};
+use sb_types::{Millis, Rate};
+
+/// Default per-link capacity of the generated backbone.
+pub const DEFAULT_LINK_CAPACITY: Rate = 100.0;
+
+/// `(name, latitude, longitude, metro population in millions)`.
+const CITIES: [(&str, f64, f64, f64); 25] = [
+    ("Seattle", 47.61, -122.33, 4.0),
+    ("Portland", 45.52, -122.68, 2.5),
+    ("SanFrancisco", 37.77, -122.42, 4.7),
+    ("SanJose", 37.34, -121.89, 2.0),
+    ("LosAngeles", 34.05, -118.24, 13.2),
+    ("SanDiego", 32.72, -117.16, 3.3),
+    ("LasVegas", 36.17, -115.14, 2.3),
+    ("Phoenix", 33.45, -112.07, 4.9),
+    ("SaltLakeCity", 40.76, -111.89, 1.2),
+    ("Denver", 39.74, -104.99, 3.0),
+    ("Albuquerque", 35.08, -106.65, 0.9),
+    ("Dallas", 32.78, -96.80, 7.6),
+    ("Houston", 29.76, -95.37, 7.1),
+    ("KansasCity", 39.10, -94.58, 2.2),
+    ("Minneapolis", 44.98, -93.27, 3.7),
+    ("Chicago", 41.88, -87.63, 9.5),
+    ("StLouis", 38.63, -90.20, 2.8),
+    ("Nashville", 36.16, -86.78, 2.0),
+    ("Atlanta", 33.75, -84.39, 6.1),
+    ("Miami", 25.76, -80.19, 6.2),
+    ("Charlotte", 35.23, -80.84, 2.7),
+    ("WashingtonDC", 38.91, -77.04, 6.4),
+    ("Philadelphia", 39.95, -75.17, 6.2),
+    ("NewYork", 40.71, -74.01, 19.8),
+    ("Boston", 42.36, -71.06, 4.9),
+];
+
+/// Backbone adjacency as index pairs into [`CITIES`]; every edge becomes a
+/// duplex link. Mirrors the long-haul fiber corridors of published tier-1
+/// maps (coastal chains, the I-10/I-40 southern routes, the I-80 northern
+/// route, and the eastern seaboard).
+const EDGES: [(usize, usize); 45] = [
+    (0, 1),   // Seattle - Portland
+    (0, 8),   // Seattle - SaltLake
+    (0, 14),  // Seattle - Minneapolis
+    (1, 2),   // Portland - SanFrancisco
+    (2, 3),   // SanFrancisco - SanJose
+    (2, 8),   // SanFrancisco - SaltLake
+    (3, 4),   // SanJose - LosAngeles
+    (4, 5),   // LosAngeles - SanDiego
+    (4, 6),   // LosAngeles - LasVegas
+    (4, 7),   // LosAngeles - Phoenix
+    (5, 7),   // SanDiego - Phoenix
+    (6, 8),   // LasVegas - SaltLake
+    (6, 7),   // LasVegas - Phoenix
+    (7, 10),  // Phoenix - Albuquerque
+    (8, 9),   // SaltLake - Denver
+    (9, 13),  // Denver - KansasCity
+    (9, 10),  // Denver - Albuquerque
+    (10, 11), // Albuquerque - Dallas
+    (11, 12), // Dallas - Houston
+    (11, 13), // Dallas - KansasCity
+    (11, 16), // Dallas - StLouis
+    (11, 18), // Dallas - Atlanta
+    (12, 18), // Houston - Atlanta
+    (12, 19), // Houston - Miami
+    (13, 15), // KansasCity - Chicago
+    (13, 16), // KansasCity - StLouis
+    (14, 15), // Minneapolis - Chicago
+    (14, 9),  // Minneapolis - Denver
+    (15, 16), // Chicago - StLouis
+    (15, 23), // Chicago - NewYork
+    (15, 21), // Chicago - WashingtonDC
+    (16, 17), // StLouis - Nashville
+    (17, 18), // Nashville - Atlanta
+    (17, 20), // Nashville - Charlotte
+    (18, 19), // Atlanta - Miami
+    (18, 20), // Atlanta - Charlotte
+    (19, 20), // Miami - Charlotte
+    (20, 21), // Charlotte - WashingtonDC
+    (21, 22), // WashingtonDC - Philadelphia
+    (22, 23), // Philadelphia - NewYork
+    (23, 24), // NewYork - Boston
+    (15, 24), // Chicago - Boston
+    (21, 18), // WashingtonDC - Atlanta
+    (2, 4),   // SanFrancisco - LosAngeles
+    (0, 2),   // Seattle - SanFrancisco
+];
+
+/// Great-circle distance in kilometers between two `(lat, lon)` points.
+#[must_use]
+pub fn great_circle_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    const R_KM: f64 = 6371.0;
+    let (la1, lo1) = (a.0.to_radians(), a.1.to_radians());
+    let (la2, lo2) = (b.0.to_radians(), b.1.to_radians());
+    let dla = la2 - la1;
+    let dlo = lo2 - lo1;
+    let h = (dla / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlo / 2.0).sin().powi(2);
+    2.0 * R_KM * h.sqrt().asin()
+}
+
+/// One-way propagation latency of a fiber route between two coordinates:
+/// distance at 200 km/ms, inflated 1.4× for fiber-route indirection.
+#[must_use]
+pub fn fiber_latency(a: (f64, f64), b: (f64, f64)) -> Millis {
+    Millis::new(great_circle_km(a, b) * 1.4 / 200.0)
+}
+
+/// Builds the 25-node backbone with the default link capacity.
+#[must_use]
+pub fn backbone() -> Topology {
+    backbone_with_capacity(DEFAULT_LINK_CAPACITY)
+}
+
+/// Builds the 25-node backbone with a uniform per-link capacity.
+///
+/// # Panics
+///
+/// Panics if `capacity` is not strictly positive.
+#[must_use]
+pub fn backbone_with_capacity(capacity: Rate) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let ids: Vec<_> = CITIES
+        .iter()
+        .map(|&(name, lat, lon, pop)| b.add_node(name, (lat, lon), pop))
+        .collect();
+    for &(i, j) in &EDGES {
+        let lat = fiber_latency((CITIES[i].1, CITIES[i].2), (CITIES[j].1, CITIES[j].2));
+        b.add_duplex_link(ids[i], ids[j], capacity, lat);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::Routing;
+
+    #[test]
+    fn backbone_shape() {
+        let t = backbone();
+        assert_eq!(t.num_nodes(), 25);
+        assert_eq!(t.num_links(), 2 * EDGES.len());
+    }
+
+    #[test]
+    fn all_nodes_reachable() {
+        let t = backbone();
+        let r = Routing::shortest_paths(&t);
+        for &a in &t.node_ids() {
+            for &b in &t.node_ids() {
+                assert!(r.reachable(a, b), "{a} cannot reach {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn coast_to_coast_latency_is_realistic() {
+        let t = backbone();
+        let r = Routing::shortest_paths(&t);
+        let sf = t.node_by_name("SanFrancisco").unwrap().id();
+        let ny = t.node_by_name("NewYork").unwrap().id();
+        let one_way = r.latency(sf, ny).value();
+        // Real US coast-to-coast one-way fiber latency is ~30-40 ms.
+        assert!(
+            (25.0..50.0).contains(&one_way),
+            "unrealistic coast-to-coast latency: {one_way} ms"
+        );
+    }
+
+    #[test]
+    fn degree_distribution_is_backbone_like() {
+        let t = backbone();
+        let mut total = 0usize;
+        for &n in &t.node_ids() {
+            let deg = t.links_from(n).count();
+            assert!((2..=7).contains(&deg), "degree {deg} at {n}");
+            total += deg;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let mean = total as f64 / t.num_nodes() as f64;
+        assert!((3.0..4.5).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    fn great_circle_known_distance() {
+        // NY <-> LA is about 3940 km.
+        let ny = (40.71, -74.01);
+        let la = (34.05, -118.24);
+        let d = great_circle_km(ny, la);
+        assert!((3900.0..4000.0).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn fiber_latency_scales_with_distance() {
+        let a = (40.0, -100.0);
+        let near = (40.0, -101.0);
+        let far = (40.0, -110.0);
+        assert!(fiber_latency(a, far) > fiber_latency(a, near) * 5.0);
+    }
+
+    #[test]
+    fn custom_capacity_is_applied() {
+        let t = backbone_with_capacity(40.0);
+        assert!(t.links().iter().all(|l| (l.bandwidth() - 40.0).abs() < 1e-12));
+    }
+}

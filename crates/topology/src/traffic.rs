@@ -1,0 +1,190 @@
+//! Gravity-model traffic matrices.
+//!
+//! Substitutes for the paper's March-2015 tier-1 traffic-matrix snapshot
+//! (Section 7.3). The gravity model is the standard synthetic stand-in for
+//! backbone traffic matrices: demand between two nodes is proportional to
+//! the product of their activity weights, here the metro populations carried
+//! by [`crate::Topology`] nodes, with optional log-normal jitter to break
+//! the model's rank-1 regularity the way real matrices do.
+
+use crate::graph::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_types::{NodeId, Rate};
+
+/// A dense origin-destination demand matrix over a topology's nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficMatrix {
+    n: usize,
+    demand: Vec<Rate>,
+}
+
+impl TrafficMatrix {
+    /// Builds a gravity-model matrix scaled so that total demand equals
+    /// `total`. `jitter` multiplies every entry by `exp(N(0, jitter²))`
+    /// noise from a deterministic RNG seeded with `seed`; pass `0.0` for the
+    /// pure gravity model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is negative, `jitter` is negative, or the topology
+    /// has fewer than two nodes.
+    #[must_use]
+    pub fn gravity(topology: &Topology, total: Rate, jitter: f64, seed: u64) -> Self {
+        assert!(total >= 0.0, "total demand must be non-negative");
+        assert!(jitter >= 0.0, "jitter must be non-negative");
+        let n = topology.num_nodes();
+        assert!(n >= 2, "traffic matrix needs at least two nodes");
+        let weights: Vec<f64> = topology.nodes().iter().map(|nd| nd.weight()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut demand = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let mut d = weights[i] * weights[j];
+                if jitter > 0.0 {
+                    // Box-Muller normal sample, exponentiated (log-normal).
+                    let u1: f64 = rng.gen_range(1e-12..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    d *= (jitter * z).exp();
+                }
+                demand[i * n + j] = d;
+            }
+        }
+        let sum: f64 = demand.iter().sum();
+        if sum > 0.0 {
+            let scale = total / sum;
+            for d in &mut demand {
+                *d *= scale;
+            }
+        }
+        Self { n, demand }
+    }
+
+    /// Builds a uniform matrix with identical demand on every ordered pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than two nodes.
+    #[must_use]
+    pub fn uniform(topology: &Topology, total: Rate) -> Self {
+        let n = topology.num_nodes();
+        assert!(n >= 2, "traffic matrix needs at least two nodes");
+        #[allow(clippy::cast_precision_loss)]
+        let per = total / (n * (n - 1)) as f64;
+        let mut demand = vec![per; n * n];
+        for i in 0..n {
+            demand[i * n + i] = 0.0;
+        }
+        Self { n, demand }
+    }
+
+    /// The demand from `a` to `b`.
+    #[must_use]
+    pub fn demand(&self, a: NodeId, b: NodeId) -> Rate {
+        self.demand[a.index() * self.n + b.index()]
+    }
+
+    /// Total demand over all ordered pairs.
+    #[must_use]
+    pub fn total(&self) -> Rate {
+        self.demand.iter().sum()
+    }
+
+    /// Total demand originating at `a` (row sum).
+    #[must_use]
+    pub fn egress_of(&self, a: NodeId) -> Rate {
+        self.demand[a.index() * self.n..(a.index() + 1) * self.n]
+            .iter()
+            .sum()
+    }
+
+    /// Rescales every entry by `factor` (the paper's uniform load-scaling
+    /// experiments multiply all chain demands by a common α).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            n: self.n,
+            demand: self.demand.iter().map(|d| d * factor).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier1;
+
+    #[test]
+    fn gravity_total_matches_target() {
+        let t = tier1::backbone();
+        let m = TrafficMatrix::gravity(&t, 1000.0, 0.0, 1);
+        assert!((m.total() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gravity_is_population_correlated() {
+        let t = tier1::backbone();
+        let m = TrafficMatrix::gravity(&t, 1000.0, 0.0, 1);
+        let ny = t.node_by_name("NewYork").unwrap().id();
+        let la = t.node_by_name("LosAngeles").unwrap().id();
+        let abq = t.node_by_name("Albuquerque").unwrap().id();
+        let slc = t.node_by_name("SaltLakeCity").unwrap().id();
+        assert!(m.demand(ny, la) > 50.0 * m.demand(abq, slc));
+    }
+
+    #[test]
+    fn gravity_diagonal_is_zero() {
+        let t = tier1::backbone();
+        let m = TrafficMatrix::gravity(&t, 1000.0, 0.3, 7);
+        for &n in &t.node_ids() {
+            assert_eq!(m.demand(n, n), 0.0);
+        }
+    }
+
+    #[test]
+    fn jittered_matrix_is_deterministic_per_seed() {
+        let t = tier1::backbone();
+        let a = TrafficMatrix::gravity(&t, 500.0, 0.5, 42);
+        let b = TrafficMatrix::gravity(&t, 500.0, 0.5, 42);
+        let c = TrafficMatrix::gravity(&t, 500.0, 0.5, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_matrix_is_flat() {
+        let t = tier1::backbone();
+        let m = TrafficMatrix::uniform(&t, 600.0);
+        assert!((m.total() - 600.0).abs() < 1e-9);
+        let ids = t.node_ids();
+        let d0 = m.demand(ids[0], ids[1]);
+        assert!(ids
+            .iter()
+            .flat_map(|&a| ids.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .all(|(a, b)| (m.demand(a, b) - d0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn scaling_multiplies_every_entry() {
+        let t = tier1::backbone();
+        let m = TrafficMatrix::gravity(&t, 100.0, 0.0, 1);
+        let s = m.scaled(2.5);
+        assert!((s.total() - 250.0).abs() < 1e-6);
+        let ny = t.node_by_name("NewYork").unwrap().id();
+        let la = t.node_by_name("LosAngeles").unwrap().id();
+        assert!((s.demand(ny, la) - 2.5 * m.demand(ny, la)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn egress_sums_rows() {
+        let t = tier1::backbone();
+        let m = TrafficMatrix::gravity(&t, 100.0, 0.0, 1);
+        let sum: f64 = t.node_ids().iter().map(|&n| m.egress_of(n)).sum();
+        assert!((sum - m.total()).abs() < 1e-9);
+    }
+}

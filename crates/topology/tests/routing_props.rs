@@ -1,0 +1,144 @@
+//! Property tests for shortest-path routing on random connected graphs:
+//! ECMP fractions conserve demand, the latency matrix satisfies the
+//! triangle-style optimality conditions of shortest paths, and the
+//! canonical path's length equals the reported latency.
+
+use proptest::prelude::*;
+use sb_topology::{Routing, Topology, TopologyBuilder};
+use sb_types::Millis;
+
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    nodes: usize,
+    chords: Vec<(usize, usize, f64)>,
+    ring_latencies: Vec<f64>,
+}
+
+fn arb_graph() -> impl Strategy<Value = RandomGraph> {
+    (3usize..9)
+        .prop_flat_map(|nodes| {
+            let chord = (0..nodes, 0..nodes, 0.5..20.0f64)
+                .prop_filter("distinct", |(a, b, _)| a != b);
+            (
+                Just(nodes),
+                prop::collection::vec(chord, 0..6),
+                prop::collection::vec(0.5..20.0f64, nodes),
+            )
+        })
+        .prop_map(|(nodes, chords, ring_latencies)| RandomGraph {
+            nodes,
+            chords,
+            ring_latencies,
+        })
+}
+
+fn build(g: &RandomGraph) -> Topology {
+    let mut tb = TopologyBuilder::new();
+    let ids: Vec<_> = (0..g.nodes)
+        .map(|i| tb.add_node(format!("n{i}"), (0.0, i as f64), 1.0))
+        .collect();
+    for i in 0..g.nodes {
+        tb.add_duplex_link(
+            ids[i],
+            ids[(i + 1) % g.nodes],
+            10.0,
+            Millis::new(g.ring_latencies[i]),
+        );
+    }
+    for &(a, b, lat) in &g.chords {
+        tb.add_duplex_link(ids[a], ids[b], 10.0, Millis::new(lat));
+    }
+    tb.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ECMP fractions form a unit flow from source to destination.
+    #[test]
+    fn fractions_form_unit_flow(g in arb_graph()) {
+        let topo = build(&g);
+        let r = Routing::shortest_paths(&topo);
+        let ids = topo.node_ids();
+        for &s in &ids {
+            for &d in &ids {
+                if s == d {
+                    continue;
+                }
+                for &u in &ids {
+                    let outflow: f64 =
+                        topo.links_from(u).map(|l| r.fraction(s, d, l.id())).sum();
+                    let inflow: f64 = topo
+                        .links()
+                        .iter()
+                        .filter(|l| l.to() == u)
+                        .map(|l| r.fraction(s, d, l.id()))
+                        .sum();
+                    let expect = if u == s { 1.0 } else if u == d { -1.0 } else { 0.0 };
+                    prop_assert!(
+                        (outflow - inflow - expect).abs() < 1e-6,
+                        "conservation broken at {u} for {s}->{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Bellman optimality: d(s, t) <= lat(s, u) + d(u, t) for every
+    /// outgoing link, with equality on at least one link (for s != t).
+    #[test]
+    fn latencies_satisfy_bellman_conditions(g in arb_graph()) {
+        let topo = build(&g);
+        let r = Routing::shortest_paths(&topo);
+        let ids = topo.node_ids();
+        for &s in &ids {
+            for &t in &ids {
+                if s == t {
+                    prop_assert_eq!(r.latency(s, t).value(), 0.0);
+                    continue;
+                }
+                let d_st = r.latency(s, t).value();
+                let mut tight = false;
+                for l in topo.links_from(s) {
+                    let via = l.latency().value() + r.latency(l.to(), t).value();
+                    prop_assert!(
+                        d_st <= via + 1e-9,
+                        "d({s},{t})={d_st} but via {} = {via}", l.to()
+                    );
+                    if (via - d_st).abs() < 1e-9 {
+                        tight = true;
+                    }
+                }
+                prop_assert!(tight, "no tight outgoing link at {s} toward {t}");
+            }
+        }
+    }
+
+    /// The canonical path is a real path whose hop latencies sum to the
+    /// shortest distance.
+    #[test]
+    fn canonical_path_length_matches_latency(g in arb_graph()) {
+        let topo = build(&g);
+        let r = Routing::shortest_paths(&topo);
+        let ids = topo.node_ids();
+        for &s in &ids {
+            for &t in &ids {
+                if s == t {
+                    continue;
+                }
+                let path = r.path(s, t);
+                prop_assert!(!path.is_empty());
+                let mut at = s;
+                let mut total = 0.0;
+                for &lid in path {
+                    let l = topo.link(lid).unwrap();
+                    prop_assert_eq!(l.from(), at, "disconnected canonical path");
+                    total += l.latency().value();
+                    at = l.to();
+                }
+                prop_assert_eq!(at, t);
+                prop_assert!((total - r.latency(s, t).value()).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! A stateful, connection-tracking firewall (the iptables stand-in).
+
+use crate::vnf::VnfBehavior;
+use sb_dataplane::Packet;
+use sb_types::{FlowKey, InstanceId, IpProtocol};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// What to do with a matching packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirewallAction {
+    /// Forward the packet and track the connection.
+    Allow,
+    /// Drop the packet.
+    Deny,
+}
+
+/// A match-action rule. `None` fields are wildcards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirewallRule {
+    /// Match on transport protocol.
+    pub protocol: Option<IpProtocol>,
+    /// Match on destination port.
+    pub dst_port: Option<u16>,
+    /// Match on a source prefix `(base, prefix_len)`.
+    pub src_prefix: Option<(Ipv4Addr, u8)>,
+    /// The action when all present fields match.
+    pub action: FirewallAction,
+}
+
+impl FirewallRule {
+    /// A rule allowing everything (commonly the last rule).
+    #[must_use]
+    pub fn allow_all() -> Self {
+        Self {
+            protocol: None,
+            dst_port: None,
+            src_prefix: None,
+            action: FirewallAction::Allow,
+        }
+    }
+
+    /// A rule denying everything.
+    #[must_use]
+    pub fn deny_all() -> Self {
+        Self {
+            protocol: None,
+            dst_port: None,
+            src_prefix: None,
+            action: FirewallAction::Deny,
+        }
+    }
+
+    fn matches(&self, key: FlowKey) -> bool {
+        if let Some(p) = self.protocol {
+            if key.protocol() != p {
+                return false;
+            }
+        }
+        if let Some(port) = self.dst_port {
+            if key.dst_port() != port {
+                return false;
+            }
+        }
+        if let Some((base, len)) = self.src_prefix {
+            let mask = if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - u32::from(len.min(32)))
+            };
+            if (u32::from(key.src_ip()) & mask) != (u32::from(base) & mask) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A stateful firewall: forward-direction packets are checked against the
+/// rule list (first match wins; default deny); allowed connections are
+/// tracked so reverse-direction packets pass without a rule — but *only at
+/// the instance holding the state*, which is why the paper routes both
+/// directions of a connection through the same instance.
+///
+/// # Examples
+///
+/// ```
+/// use sb_dataplane::Packet;
+/// use sb_types::{FlowKey, InstanceId, IpProtocol};
+/// use sb_vnfs::{Firewall, FirewallAction, FirewallRule, VnfBehavior};
+///
+/// let mut fw = Firewall::new(InstanceId::new(1), vec![FirewallRule {
+///     protocol: Some(IpProtocol::Tcp),
+///     dst_port: Some(80),
+///     src_prefix: None,
+///     action: FirewallAction::Allow,
+/// }]);
+/// let key = FlowKey::tcp([10, 0, 0, 1], 5000, [1, 2, 3, 4], 80);
+/// let fwd = Packet::unlabeled(key, 500);
+/// assert!(fw.process(fwd).is_some()); // allowed + tracked
+/// let rev = Packet::unlabeled(key.reversed(), 500);
+/// assert!(fw.process(rev).is_some()); // established
+/// ```
+#[derive(Debug, Clone)]
+pub struct Firewall {
+    instance: InstanceId,
+    rules: Vec<FirewallRule>,
+    established: HashSet<FlowKey>,
+    /// Packets dropped so far.
+    dropped: u64,
+    /// Packets forwarded so far.
+    forwarded: u64,
+}
+
+impl Firewall {
+    /// Creates a firewall with a rule list (evaluated first-match-wins;
+    /// unmatched packets are denied).
+    #[must_use]
+    pub fn new(instance: InstanceId, rules: Vec<FirewallRule>) -> Self {
+        Self {
+            instance,
+            rules,
+            established: HashSet::new(),
+            dropped: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Number of tracked (established) connections.
+    #[must_use]
+    pub fn connections(&self) -> usize {
+        self.established.len()
+    }
+
+    /// `(forwarded, dropped)` counters.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.forwarded, self.dropped)
+    }
+
+    /// Forgets a connection (flow completion).
+    pub fn expire(&mut self, key: FlowKey) {
+        self.established.remove(&key);
+        self.established.remove(&key.reversed());
+    }
+}
+
+impl VnfBehavior for Firewall {
+    fn instance(&self) -> InstanceId {
+        self.instance
+    }
+
+    fn kind(&self) -> &'static str {
+        "firewall"
+    }
+
+    fn supports_labels(&self) -> bool {
+        // The iptables-based prototype VNF does not understand Switchboard
+        // labels; the forwarder strips and re-affixes them (Section 5.3).
+        false
+    }
+
+    fn process(&mut self, packet: Packet) -> Option<Packet> {
+        let key = packet.key;
+        // Established state covers both directions.
+        if self.established.contains(&key) || self.established.contains(&key.reversed()) {
+            self.forwarded += 1;
+            return Some(packet);
+        }
+        let action = self
+            .rules
+            .iter()
+            .find(|r| r.matches(key))
+            .map_or(FirewallAction::Deny, |r| r.action);
+        match action {
+            FirewallAction::Allow => {
+                self.established.insert(key);
+                self.forwarded += 1;
+                Some(packet)
+            }
+            FirewallAction::Deny => {
+                self.dropped += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_only() -> Firewall {
+        Firewall::new(
+            InstanceId::new(1),
+            vec![FirewallRule {
+                protocol: Some(IpProtocol::Tcp),
+                dst_port: Some(80),
+                src_prefix: None,
+                action: FirewallAction::Allow,
+            }],
+        )
+    }
+
+    fn pkt(key: FlowKey) -> Packet {
+        Packet::unlabeled(key, 500)
+    }
+
+    #[test]
+    fn default_deny_without_match() {
+        let mut fw = http_only();
+        let ssh = FlowKey::tcp([10, 0, 0, 1], 5000, [1, 2, 3, 4], 22);
+        assert!(fw.process(pkt(ssh)).is_none());
+        assert_eq!(fw.counters(), (0, 1));
+        assert_eq!(fw.connections(), 0);
+    }
+
+    #[test]
+    fn reverse_without_established_state_is_dropped() {
+        let mut fw = http_only();
+        // Reverse of an HTTP connection: src port 80 -> dst port 5000.
+        let rev = FlowKey::tcp([1, 2, 3, 4], 80, [10, 0, 0, 1], 5000);
+        assert!(
+            fw.process(pkt(rev)).is_none(),
+            "reverse traffic must be dropped when the state lives elsewhere"
+        );
+    }
+
+    #[test]
+    fn established_state_admits_reverse() {
+        let mut fw = http_only();
+        let key = FlowKey::tcp([10, 0, 0, 1], 5000, [1, 2, 3, 4], 80);
+        assert!(fw.process(pkt(key)).is_some());
+        assert_eq!(fw.connections(), 1);
+        assert!(fw.process(pkt(key.reversed())).is_some());
+        assert_eq!(fw.counters(), (2, 0));
+    }
+
+    #[test]
+    fn expire_forgets_connection() {
+        let mut fw = http_only();
+        let key = FlowKey::tcp([10, 0, 0, 1], 5000, [1, 2, 3, 4], 80);
+        fw.process(pkt(key)).unwrap();
+        fw.expire(key);
+        assert_eq!(fw.connections(), 0);
+        // Reverse is now dropped again.
+        assert!(fw.process(pkt(key.reversed())).is_none());
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut fw = Firewall::new(
+            InstanceId::new(1),
+            vec![
+                FirewallRule {
+                    protocol: None,
+                    dst_port: Some(80),
+                    src_prefix: Some((Ipv4Addr::new(10, 0, 0, 0), 8)),
+                    action: FirewallAction::Deny,
+                },
+                FirewallRule::allow_all(),
+            ],
+        );
+        let internal = FlowKey::tcp([10, 9, 9, 9], 1, [1, 1, 1, 1], 80);
+        let external = FlowKey::tcp([11, 0, 0, 1], 1, [1, 1, 1, 1], 80);
+        assert!(fw.process(pkt(internal)).is_none());
+        assert!(fw.process(pkt(external)).is_some());
+    }
+
+    #[test]
+    fn prefix_matching_masks_correctly() {
+        let rule = FirewallRule {
+            protocol: None,
+            dst_port: None,
+            src_prefix: Some((Ipv4Addr::new(192, 168, 4, 0), 24)),
+            action: FirewallAction::Allow,
+        };
+        assert!(rule.matches(FlowKey::udp([192, 168, 4, 200], 1, [1, 1, 1, 1], 2)));
+        assert!(!rule.matches(FlowKey::udp([192, 168, 5, 1], 1, [1, 1, 1, 1], 2)));
+        let zero = FirewallRule {
+            src_prefix: Some((Ipv4Addr::new(0, 0, 0, 0), 0)),
+            ..rule
+        };
+        assert!(zero.matches(FlowKey::udp([8, 8, 8, 8], 1, [1, 1, 1, 1], 2)));
+    }
+
+    #[test]
+    fn firewall_is_label_unaware() {
+        let fw = http_only();
+        assert!(!fw.supports_labels());
+        assert_eq!(fw.kind(), "firewall");
+    }
+}

@@ -1,0 +1,37 @@
+//! Sample virtual network functions for the Switchboard reproduction.
+//!
+//! The paper's prototype chains "open-source VNFs including a caching
+//! proxy, a firewall, and a NAT" (Section 1) plus the GPU face-blurring
+//! demo VNF (Section 2). This crate provides their in-simulation
+//! equivalents, all operating on [`sb_dataplane::Packet`]s through the
+//! [`VnfBehavior`] trait:
+//!
+//! - [`Firewall`]: a stateful, connection-tracking packet filter (the
+//!   iptables stand-in of Figures 10-11). Its statefulness is what makes
+//!   *flow affinity* necessary;
+//! - [`Nat`]: a source NAT with a port pool. Reverse translation only
+//!   works at the instance holding the binding, which is what makes
+//!   *symmetric return* necessary (Section 5.3);
+//! - [`WebCache`]: a byte-budget LRU cache (the Squid stand-in of
+//!   Table 3), intrinsically multi-tenant so one instance can be shared
+//!   across chains;
+//! - [`Transform`]: a payload-transforming VNF with a configurable
+//!   processing delay (the face-blurring demo stand-in);
+//! - [`zipf::ZipfGenerator`]: the Zipf(α) object popularity generator that
+//!   drives the Table 3 workload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod firewall;
+mod nat;
+mod transform;
+mod vnf;
+pub mod zipf;
+
+pub use cache::{CacheOutcome, CacheStats, WebCache};
+pub use firewall::{Firewall, FirewallAction, FirewallRule};
+pub use nat::Nat;
+pub use transform::Transform;
+pub use vnf::VnfBehavior;

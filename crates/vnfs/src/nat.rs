@@ -1,0 +1,225 @@
+//! A source NAT with a port pool (the iptables MASQUERADE stand-in).
+
+use crate::vnf::VnfBehavior;
+use sb_dataplane::Packet;
+use sb_types::{FlowKey, InstanceId};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A source NAT: forward-direction packets get their source rewritten to
+/// the NAT's public address and a pool port; reverse-direction packets
+/// addressed to a bound public port get their destination translated back.
+///
+/// Translation state lives only in this instance, so the reverse direction
+/// *must* return here — the paper's motivating example for the symmetric
+/// return property ("some stateful VNF ... e.g., NATs, require symmetric
+/// return as well", Section 5.3).
+///
+/// # Examples
+///
+/// ```
+/// use sb_dataplane::Packet;
+/// use sb_types::{FlowKey, InstanceId};
+/// use sb_vnfs::{Nat, VnfBehavior};
+///
+/// let mut nat = Nat::new(InstanceId::new(1), [203, 0, 113, 7], 40_000..40_100);
+/// let inside = FlowKey::tcp([10, 0, 0, 5], 5555, [93, 184, 216, 34], 80);
+/// let out = nat.process(Packet::unlabeled(inside, 500)).unwrap();
+/// assert_eq!(out.key.src_ip().octets(), [203, 0, 113, 7]);
+///
+/// // The server's reply, addressed to the public endpoint:
+/// let reply = Packet::unlabeled(out.key.reversed(), 500);
+/// let back = nat.process(reply).unwrap();
+/// assert_eq!(back.key.dst_ip().octets(), [10, 0, 0, 5]);
+/// assert_eq!(back.key.dst_port(), 5555);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nat {
+    instance: InstanceId,
+    public_ip: Ipv4Addr,
+    port_range: std::ops::Range<u16>,
+    next_port: u16,
+    /// inside 5-tuple -> public port.
+    bindings: HashMap<FlowKey, u16>,
+    /// public port -> inside (ip, port).
+    reverse: HashMap<u16, (Ipv4Addr, u16)>,
+    dropped: u64,
+}
+
+impl Nat {
+    /// Creates a NAT with a public address and a port pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port range is empty.
+    #[must_use]
+    pub fn new(
+        instance: InstanceId,
+        public_ip: impl Into<Ipv4Addr>,
+        port_range: std::ops::Range<u16>,
+    ) -> Self {
+        assert!(!port_range.is_empty(), "port pool must be non-empty");
+        Self {
+            instance,
+            public_ip: public_ip.into(),
+            next_port: port_range.start,
+            port_range,
+            bindings: HashMap::new(),
+            reverse: HashMap::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Number of active bindings.
+    #[must_use]
+    pub fn bindings(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Packets dropped (reverse without binding, pool exhausted).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Releases the binding of an inside connection.
+    pub fn expire(&mut self, inside_key: FlowKey) {
+        if let Some(port) = self.bindings.remove(&inside_key) {
+            self.reverse.remove(&port);
+        }
+    }
+
+    fn allocate_port(&mut self) -> Option<u16> {
+        // Linear scan from the cursor; the pool is small in experiments.
+        let span = self.port_range.len();
+        for _ in 0..span {
+            let p = self.next_port;
+            self.next_port = if self.next_port + 1 >= self.port_range.end {
+                self.port_range.start
+            } else {
+                self.next_port + 1
+            };
+            if !self.reverse.contains_key(&p) {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+impl VnfBehavior for Nat {
+    fn instance(&self) -> InstanceId {
+        self.instance
+    }
+
+    fn kind(&self) -> &'static str {
+        "nat"
+    }
+
+    fn supports_labels(&self) -> bool {
+        false
+    }
+
+    fn process(&mut self, packet: Packet) -> Option<Packet> {
+        let key = packet.key;
+        // Reverse direction: packet addressed to our public endpoint.
+        if key.dst_ip() == self.public_ip {
+            if let Some(&(ip, port)) = self.reverse.get(&key.dst_port()) {
+                let mut out = packet;
+                out.key = key.with_destination(ip, port);
+                return Some(out);
+            }
+            self.dropped += 1;
+            return None;
+        }
+        // Forward direction: translate (or reuse an existing binding).
+        let public_port = if let Some(&p) = self.bindings.get(&key) {
+            p
+        } else {
+            let Some(p) = self.allocate_port() else {
+                self.dropped += 1;
+                return None;
+            };
+            self.bindings.insert(key, p);
+            self.reverse.insert(p, (key.src_ip(), key.src_port()));
+            p
+        };
+        let mut out = packet;
+        out.key = key.with_source(self.public_ip, public_port);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat() -> Nat {
+        Nat::new(InstanceId::new(1), [203, 0, 113, 7], 40_000..40_003)
+    }
+
+    fn inside(port: u16) -> FlowKey {
+        FlowKey::tcp([10, 0, 0, 5], port, [93, 184, 216, 34], 80)
+    }
+
+    #[test]
+    fn forward_translation_is_stable_per_connection() {
+        let mut n = nat();
+        let a = n.process(Packet::unlabeled(inside(1000), 64)).unwrap();
+        let b = n.process(Packet::unlabeled(inside(1000), 64)).unwrap();
+        assert_eq!(a.key, b.key, "same connection must keep its binding");
+        assert_eq!(n.bindings(), 1);
+    }
+
+    #[test]
+    fn distinct_connections_get_distinct_ports() {
+        let mut n = nat();
+        let a = n.process(Packet::unlabeled(inside(1000), 64)).unwrap();
+        let b = n.process(Packet::unlabeled(inside(1001), 64)).unwrap();
+        assert_ne!(a.key.src_port(), b.key.src_port());
+    }
+
+    #[test]
+    fn reverse_without_binding_is_dropped() {
+        let mut n = nat();
+        let stray = FlowKey::tcp([93, 184, 216, 34], 80, [203, 0, 113, 7], 40_000);
+        assert!(n.process(Packet::unlabeled(stray, 64)).is_none());
+        assert_eq!(n.dropped(), 1);
+    }
+
+    #[test]
+    fn pool_exhaustion_drops_new_connections() {
+        let mut n = nat(); // 3 ports
+        for p in 0..3 {
+            assert!(n.process(Packet::unlabeled(inside(1000 + p), 64)).is_some());
+        }
+        assert!(n.process(Packet::unlabeled(inside(2000), 64)).is_none());
+        assert_eq!(n.dropped(), 1);
+        // Expiring one binding frees a port.
+        n.expire(inside(1000));
+        assert!(n.process(Packet::unlabeled(inside(2000), 64)).is_some());
+    }
+
+    #[test]
+    fn round_trip_restores_inside_endpoint() {
+        let mut n = nat();
+        let out = n.process(Packet::unlabeled(inside(1234), 64)).unwrap();
+        let reply = Packet::unlabeled(out.key.reversed(), 64);
+        let back = n.process(reply).unwrap();
+        assert_eq!(back.key.dst_ip(), inside(1234).src_ip());
+        assert_eq!(back.key.dst_port(), 1234);
+        assert_eq!(back.key.src_ip(), inside(1234).dst_ip());
+    }
+
+    #[test]
+    fn meta_and_size_pass_through() {
+        let mut n = nat();
+        let out = n
+            .process(Packet::unlabeled(inside(1), 999).with_meta(77))
+            .unwrap();
+        assert_eq!(out.size, 999);
+        assert_eq!(out.meta, 77);
+        assert_eq!(n.kind(), "nat");
+        assert!(!n.supports_labels());
+    }
+}

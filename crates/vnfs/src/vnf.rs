@@ -1,0 +1,66 @@
+//! The VNF behaviour trait.
+
+use sb_dataplane::Packet;
+use sb_types::InstanceId;
+
+/// A network function instance processing packets between two forwarder
+/// hand-offs.
+///
+/// Implementations receive each packet after the ingress-side forwarder
+/// selected this instance, and return either the (possibly rewritten)
+/// packet to continue along the chain, or `None` to drop it.
+pub trait VnfBehavior {
+    /// The instance identifier the forwarder addresses this VNF by.
+    fn instance(&self) -> InstanceId;
+
+    /// A short human-readable type name (`"firewall"`, `"nat"`, …).
+    fn kind(&self) -> &'static str;
+
+    /// Whether the VNF forwards Switchboard's labels intact. Label-unaware
+    /// VNFs (Section 5.3) get labels stripped by the forwarder on the way
+    /// in and re-affixed on the way out.
+    fn supports_labels(&self) -> bool {
+        true
+    }
+
+    /// Processes one packet. `None` means the packet was dropped (e.g. a
+    /// firewall deny or a NAT without a binding).
+    fn process(&mut self, packet: Packet) -> Option<Packet>;
+
+    /// The per-packet processing latency the simulation should charge for
+    /// this VNF (zero for line-rate functions; large for compute-heavy
+    /// ones like the face-blurring demo).
+    fn processing_delay(&self) -> sb_types::Millis {
+        sb_types::Millis::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Passthrough(InstanceId);
+    impl VnfBehavior for Passthrough {
+        fn instance(&self) -> InstanceId {
+            self.0
+        }
+        fn kind(&self) -> &'static str {
+            "passthrough"
+        }
+        fn process(&mut self, packet: Packet) -> Option<Packet> {
+            Some(packet)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut v: Box<dyn VnfBehavior> = Box::new(Passthrough(InstanceId::new(1)));
+        assert_eq!(v.instance(), InstanceId::new(1));
+        assert!(v.supports_labels());
+        let pkt = Packet::unlabeled(
+            sb_types::FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2),
+            64,
+        );
+        assert_eq!(v.process(pkt), Some(pkt));
+    }
+}

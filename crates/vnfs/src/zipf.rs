@@ -1,0 +1,161 @@
+//! A Zipf-distributed object popularity generator.
+//!
+//! Table 3's workload "follows a Zipf distribution with exponent = 1 and a
+//! mean file size of 50 KB". [`ZipfGenerator`] samples object ranks by
+//! inverse-CDF over the precomputed harmonic weights, deterministically
+//! from a seeded RNG, and assigns each object a size drawn from an
+//! exponential-ish distribution around the configured mean (fixed per
+//! object, as real objects have fixed sizes).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_types::Bytes;
+
+/// A deterministic Zipf object sampler.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    /// Cumulative probability per rank.
+    cdf: Vec<f64>,
+    sizes: Vec<Bytes>,
+    rng: StdRng,
+}
+
+impl ZipfGenerator {
+    /// Creates a generator over `num_objects` objects with Zipf `exponent`
+    /// and mean object size `mean_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_objects` is zero, `exponent` is negative, or
+    /// `mean_size` is zero.
+    #[must_use]
+    pub fn new(num_objects: usize, exponent: f64, mean_size: Bytes, seed: u64) -> Self {
+        assert!(num_objects > 0, "need at least one object");
+        assert!(exponent >= 0.0, "exponent must be non-negative");
+        assert!(mean_size > 0, "mean size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut cdf = Vec::with_capacity(num_objects);
+        let mut acc = 0.0;
+        for rank in 1..=num_objects {
+            #[allow(clippy::cast_precision_loss)]
+            let w = 1.0 / (rank as f64).powf(exponent);
+            acc += w;
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+
+        // Object sizes: exponential around the mean, clamped to [1KB, 8x].
+        #[allow(clippy::cast_precision_loss)]
+        let mean = mean_size as f64;
+        let sizes = (0..num_objects)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-9..1.0);
+                let s = (-u.ln()) * mean;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                {
+                    (s.clamp(1024.0, mean * 8.0)) as Bytes
+                }
+            })
+            .collect();
+
+        Self { cdf, sizes, rng }
+    }
+
+    /// Number of objects in the catalog.
+    #[must_use]
+    pub fn num_objects(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The fixed size of `object`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    #[must_use]
+    pub fn size_of(&self, object: u64) -> Bytes {
+        self.sizes[usize::try_from(object).expect("object id fits usize")]
+    }
+
+    /// Samples the next request, returning `(object id, size)`.
+    pub fn next_request(&mut self) -> (u64, Bytes) {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        let idx = idx.min(self.cdf.len() - 1);
+        #[allow(clippy::cast_possible_truncation)]
+        let id = idx as u64;
+        (id, self.sizes[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn rank_one_dominates() {
+        let mut g = ZipfGenerator::new(1000, 1.0, 50_000, 1);
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            let (id, _) = g.next_request();
+            *counts.entry(id).or_insert(0) += 1;
+        }
+        let top = f64::from(counts[&0]);
+        let second = f64::from(counts[&1]);
+        // Zipf(1): p(rank 1) / p(rank 2) = 2.
+        assert!((top / second - 2.0).abs() < 0.3, "{}", top / second);
+        // Rank 1 share with 1000 objects is 1/H_1000 ~ 13.4%.
+        assert!((top / f64::from(n) - 0.134).abs() < 0.02);
+    }
+
+    #[test]
+    fn sizes_average_near_mean() {
+        let g = ZipfGenerator::new(10_000, 1.0, 50_000, 2);
+        #[allow(clippy::cast_precision_loss)]
+        let mean: f64 =
+            g.sizes.iter().map(|&s| s as f64).sum::<f64>() / g.sizes.len() as f64;
+        assert!(
+            (mean - 50_000.0).abs() < 10_000.0,
+            "mean object size drifted: {mean}"
+        );
+    }
+
+    #[test]
+    fn sizes_are_stable_per_object() {
+        let mut g = ZipfGenerator::new(100, 1.0, 50_000, 3);
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..10_000 {
+            let (id, size) = g.next_request();
+            let prev = seen.entry(id).or_insert(size);
+            assert_eq!(*prev, size, "object {id} changed size");
+            assert_eq!(g.size_of(id), size);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let mut a = ZipfGenerator::new(100, 1.0, 1000, 9);
+        let mut b = ZipfGenerator::new(100, 1.0, 1000, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let mut g = ZipfGenerator::new(10, 0.0, 1000, 4);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            let (id, _) = g.next_request();
+            counts[usize::try_from(id).unwrap()] += 1;
+        }
+        for &c in &counts {
+            assert!((f64::from(c) / 100_000.0 - 0.1).abs() < 0.02);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Capacity planning for cloud and VNF operators (Sections 4.2-4.3,
+//! Figure 13b/c).
+//!
+//! Two planning questions Switchboard's global view answers:
+//!
+//! 1. *Cloud operator*: I have `A` units of extra compute — which sites
+//!    should get it to sustain the most future traffic growth?
+//! 2. *VNF provider*: I can afford `y` new deployment sites — which sites
+//!    minimize my customers' latency?
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use switchboard::prelude::*;
+use switchboard::scenarios::{tier1, Tier1Config};
+use switchboard::te::dp::{route_chains, DpConfig};
+use switchboard::te::eval::Evaluation;
+use switchboard::te::{capacity, lp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = Tier1Config {
+        num_chains: 8,
+        num_vnfs: 6,
+        coverage: 0.4,
+        cpu_per_byte: 3.0,
+        site_capacity: 150.0,
+        background_ratio: 0.1,
+        ..Tier1Config::default()
+    };
+    let model = tier1(&cfg);
+    let topo = model.topology().clone();
+
+    // --- Cloud capacity planning -------------------------------------
+    let extra = 1_000.0;
+    let planned = capacity::plan_cloud_capacity(&model, extra)?;
+    let uniform = capacity::uniform_cloud_capacity(&model, extra);
+
+    println!("cloud capacity planning: {extra} extra units across 25 sites");
+    println!("top allocations by the planner:");
+    let mut ranked: Vec<_> = planned
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c - cfg.site_capacity, i))
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    for &(gain, i) in ranked.iter().take(3) {
+        if gain > 1.0 {
+            println!("  {:14} +{gain:.0} units", topo.nodes()[i].name());
+        }
+    }
+    let (_, a_planned) = lp::max_throughput(&capacity::rescale_model(&model, &planned))?;
+    let (_, a_uniform) = lp::max_throughput(&capacity::rescale_model(&model, &uniform))?;
+    println!(
+        "sustainable traffic growth: planned {a_planned:.2}x vs uniform {a_uniform:.2}x ({:+.0}%)\n",
+        (a_planned / a_uniform - 1.0) * 100.0
+    );
+
+    // --- VNF placement hints ------------------------------------------
+    // The placement question is about latency, so use a lightly-loaded
+    // model where every chain is routable (the heavy model above is
+    // deliberately compute-starved to make the cloud planner's choice
+    // matter).
+    let model = tier1(&Tier1Config {
+        num_chains: 24,
+        num_vnfs: 6,
+        coverage: 0.1,
+        total_traffic: 100.0,
+        ..Tier1Config::default()
+    });
+    let vnf = VnfId::new(0);
+    let existing = model.vnf(vnf)?.sites();
+    println!(
+        "vnf placement: {vnf} currently at {:?}",
+        existing
+            .iter()
+            .map(|&s| topo.nodes()[s.index()].name())
+            .collect::<Vec<_>>()
+    );
+    let mip = capacity::plan_vnf_placement_mip(&model, vnf, 1, cfg.site_capacity)?;
+    let greedy = capacity::plan_vnf_placement_greedy(&model, vnf, 1, cfg.site_capacity)?;
+    println!(
+        "exact MIP picks {:?}; greedy picks {:?}",
+        mip.iter()
+            .map(|&s| topo.nodes()[s.index()].name())
+            .collect::<Vec<_>>(),
+        greedy
+            .iter()
+            .map(|&s| topo.nodes()[s.index()].name())
+            .collect::<Vec<_>>(),
+    );
+
+    let latency_of = |m: &NetworkModel| {
+        let sol = route_chains(m, &DpConfig::default());
+        Evaluation::of(m, &sol).mean_latency()
+    };
+    let before = latency_of(&model);
+    let after = latency_of(&capacity::apply_placement(&model, vnf, &mip, cfg.site_capacity));
+    let random = capacity::random_vnf_placement(&model, vnf, 1, 3)?;
+    let after_random =
+        latency_of(&capacity::apply_placement(&model, vnf, &random, cfg.site_capacity));
+    println!(
+        "mean chain latency: before {before}, planned {after}, random {after_random}"
+    );
+    Ok(())
+}

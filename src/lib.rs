@@ -1,0 +1,2 @@
+//! Workspace umbrella crate: hosts the repository-level examples and integration tests.
+pub use switchboard;

@@ -1,0 +1,176 @@
+//! Integration: the full chain lifecycle across control plane, message
+//! bus, traffic engineering and data plane.
+
+use switchboard::prelude::*;
+use switchboard::scenarios;
+
+fn deploy() -> (Switchboard, ChainId, Vec<SiteId>) {
+    let (model, sites) = scenarios::line_testbed();
+    let mut sb = Switchboard::new(
+        model,
+        DelayModel::uniform(Millis::new(0.1), Millis::new(20.0)),
+        SwitchboardConfig::default(),
+    );
+    sb.use_passthrough_behaviors();
+    sb.register_attachment("in", sites[0]);
+    sb.register_attachment("out", sites[3]);
+    let chain = ChainId::new(1);
+    sb.deploy_chain(ChainRequest {
+        id: chain,
+        ingress_attachment: "in".into(),
+        egress_attachment: "out".into(),
+        vnfs: vec![VnfId::new(0), VnfId::new(1)],
+        forward: 5.0,
+        reverse: 1.0,
+    })
+    .expect("deploys");
+    (sb, chain, sites)
+}
+
+fn key(port: u16) -> FlowKey {
+    FlowKey::tcp([10, 0, 0, 1], port, [10, 9, 9, 9], 443)
+}
+
+#[test]
+fn traffic_flows_immediately_after_deployment() {
+    let (mut sb, chain, sites) = deploy();
+    for p in 0..50 {
+        let t = sb
+            .send(chain, sites[0], Packet::unlabeled(key(1000 + p), 700))
+            .expect("forwarded");
+        assert!(t.delivered);
+        assert_eq!(t.vnf_instances().len(), 2, "both VNFs traversed");
+    }
+}
+
+#[test]
+fn route_addition_preserves_established_flows() {
+    let (mut sb, chain, sites) = deploy();
+
+    // Establish 30 connections on the single-route chain.
+    let mut pinned = Vec::new();
+    for p in 0..30 {
+        let t = sb
+            .send(chain, sites[0], Packet::unlabeled(key(2000 + p), 700))
+            .unwrap();
+        pinned.push((key(2000 + p), t.vnf_instances(), t.forwarders()));
+    }
+
+    // Add a second route via whichever middle site the first route did
+    // not use.
+    let first_site = sb.routes_of(chain)[0].sites[0];
+    let other = if first_site == sites[1] { sites[2] } else { sites[1] };
+    let (_, report) = sb
+        .add_route_via(chain, vec![other, other])
+        .expect("route added");
+    assert!(report.total().value() > 0.0);
+    assert_eq!(sb.routes_of(chain).len(), 2);
+
+    // Every established connection keeps its exact instance path.
+    for (k, insts, fwds) in &pinned {
+        let t = sb.send(chain, sites[0], Packet::unlabeled(*k, 700)).unwrap();
+        assert_eq!(&t.vnf_instances(), insts, "affinity broken by route add");
+        assert_eq!(&t.forwarders(), fwds);
+    }
+
+    // New connections split across both routes (fractions 0.5/0.5).
+    let mut old_route = 0u32;
+    let mut new_route = 0u32;
+    for p in 0..600 {
+        let t = sb
+            .send(chain, sites[0], Packet::unlabeled(key(10_000 + p), 700))
+            .unwrap();
+        // Identify the route by which middle site's forwarder it used.
+        let via_other = t
+            .forwarders()
+            .iter()
+            .any(|f| sb.control_plane().forwarder_site(*f) == Some(other));
+        if via_other {
+            new_route += 1;
+        } else {
+            old_route += 1;
+        }
+    }
+    let frac = f64::from(new_route) / f64::from(old_route + new_route);
+    assert!(
+        (frac - 0.5).abs() < 0.1,
+        "new connections should split evenly, got {frac}"
+    );
+}
+
+#[test]
+fn removal_releases_vnf_capacity() {
+    let (mut sb, chain, _) = deploy();
+    let routes = sb.routes_of(chain);
+    let site = routes[0].sites[0];
+    let before = sb
+        .control_plane()
+        .vnf_controller(VnfId::new(0))
+        .unwrap()
+        .available_at(site);
+    sb.control_plane_mut().remove_chain(chain).unwrap();
+    let after = sb
+        .control_plane()
+        .vnf_controller(VnfId::new(0))
+        .unwrap()
+        .available_at(site);
+    assert!(after > before, "capacity must come back: {before} -> {after}");
+}
+
+#[test]
+fn deployment_report_names_figure4_phases() {
+    let (sb, chain, _) = deploy();
+    let _ = (sb, chain);
+    let (model, sites) = scenarios::line_testbed();
+    let mut sb = Switchboard::new(
+        model,
+        DelayModel::uniform(Millis::new(0.1), Millis::new(20.0)),
+        SwitchboardConfig::default(),
+    );
+    sb.register_attachment("in", sites[0]);
+    sb.register_attachment("out", sites[3]);
+    let handle = sb
+        .deploy_chain(ChainRequest {
+            id: ChainId::new(9),
+            ingress_attachment: "in".into(),
+            egress_attachment: "out".into(),
+            vnfs: vec![VnfId::new(0)],
+            forward: 1.0,
+            reverse: 0.0,
+        })
+        .unwrap();
+    let names: Vec<&str> = handle.report.steps.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.iter().any(|n| n.contains("resolve ingress/egress")));
+    assert!(names.iter().any(|n| n.contains("compute wide-area routes")));
+    assert!(names.iter().any(|n| n.contains("two-phase commit")));
+    assert!(names.iter().any(|n| n.contains("propagate routes")));
+    assert!(names.iter().any(|n| n.contains("install load-balancing rules")));
+}
+
+#[test]
+fn infeasible_demand_is_rejected_up_front() {
+    let (model, sites) = scenarios::line_testbed();
+    let mut sb = Switchboard::new(
+        model,
+        DelayModel::uniform(Millis::new(0.1), Millis::new(20.0)),
+        SwitchboardConfig::default(),
+    );
+    sb.register_attachment("in", sites[0]);
+    sb.register_attachment("out", sites[3]);
+    // VNF capacity is 200 per site (400 total); this chain needs
+    // 2 * (1000 + 1000) = far beyond it.
+    let err = sb
+        .deploy_chain(ChainRequest {
+            id: ChainId::new(1),
+            ingress_attachment: "in".into(),
+            egress_attachment: "out".into(),
+            vnfs: vec![VnfId::new(0)],
+            forward: 1000.0,
+            reverse: 0.0,
+        })
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        switchboard::types::Error::Infeasible { .. }
+    ));
+}

@@ -1,0 +1,154 @@
+//! Property-based end-to-end fuzzing: random chain populations deployed
+//! on the line testbed, with random traffic — conformity, affinity and
+//! accounting invariants must hold for every packet of every chain.
+
+use proptest::prelude::*;
+use switchboard::prelude::*;
+use switchboard::scenarios;
+
+#[derive(Debug, Clone)]
+struct ChainPlan {
+    vnfs: Vec<u32>,
+    forward: f64,
+    reverse: f64,
+    flows: u16,
+}
+
+fn arb_plans() -> impl Strategy<Value = Vec<ChainPlan>> {
+    // VNF lists are distinct subsets: the control plane rejects repeated
+    // VNFs within one chain (see `repeated_vnf_chain_is_rejected`).
+    prop::collection::vec(
+        (
+            prop::collection::btree_set(0u32..2, 1..=2),
+            1.0..5.0f64,
+            0.0..2.0f64,
+            1u16..8,
+        )
+            .prop_map(|(vnfs, forward, reverse, flows)| ChainPlan {
+                vnfs: vnfs.into_iter().collect(),
+                forward,
+                reverse,
+                flows,
+            }),
+        1..6,
+    )
+}
+
+#[test]
+fn repeated_vnf_chain_is_rejected() {
+    let (model, sites) = scenarios::line_testbed();
+    let mut sb = Switchboard::new(
+        model,
+        DelayModel::uniform(Millis::new(0.1), Millis::new(10.0)),
+        SwitchboardConfig::default(),
+    );
+    sb.register_attachment("in", sites[0]);
+    sb.register_attachment("out", sites[3]);
+    let err = sb
+        .deploy_chain(ChainRequest {
+            id: ChainId::new(1),
+            ingress_attachment: "in".into(),
+            egress_attachment: "out".into(),
+            vnfs: vec![VnfId::new(1), VnfId::new(1)],
+            forward: 1.0,
+            reverse: 0.0,
+        })
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        switchboard::types::Error::InvalidChain { .. }
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever mix of chains gets deployed, every delivered packet
+    /// traverses exactly its chain's VNF sequence, replays stay pinned,
+    /// and committed VNF capacity equals the sum of deployed chain loads.
+    #[test]
+    fn random_deployments_preserve_invariants(plans in arb_plans()) {
+        let (model, sites) = scenarios::line_testbed();
+        let mut sb = Switchboard::new(
+            model,
+            DelayModel::uniform(Millis::new(0.1), Millis::new(10.0)),
+            SwitchboardConfig::default(),
+        );
+        sb.use_passthrough_behaviors();
+        sb.register_attachment("in", sites[0]);
+        sb.register_attachment("out", sites[3]);
+
+        let mut deployed: Vec<(ChainId, ChainPlan)> = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            let id = ChainId::new(i as u64 + 1);
+            let req = ChainRequest {
+                id,
+                ingress_attachment: "in".into(),
+                egress_attachment: "out".into(),
+                vnfs: plan.vnfs.iter().map(|&v| VnfId::new(v)).collect(),
+                forward: plan.forward,
+                reverse: plan.reverse,
+            };
+            match sb.deploy_chain(req) {
+                Ok(_) => deployed.push((id, plan.clone())),
+                Err(switchboard::types::Error::Infeasible { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected deploy error: {e}"),
+            }
+        }
+
+        // Traffic invariants per deployed chain.
+        for (ci, (id, plan)) in deployed.iter().enumerate() {
+            for f in 0..plan.flows {
+                let key = FlowKey::tcp(
+                    [10, 1, ci as u8, 1],
+                    1000 + f,
+                    [10, 9, 9, 9],
+                    80,
+                );
+                let t = sb.send(*id, sites[0], Packet::unlabeled(key, 500));
+                let t = t.expect("deployed chain must forward");
+                prop_assert!(t.delivered);
+                prop_assert_eq!(
+                    t.vnf_instances().len(),
+                    plan.vnfs.len(),
+                    "conformity broken for chain {}", id
+                );
+                // Replay: identical instance path.
+                let again = sb.send(*id, sites[0], Packet::unlabeled(key, 500)).unwrap();
+                prop_assert_eq!(again.vnf_instances(), t.vnf_instances());
+                // Reverse direction delivered and mirrored.
+                let rev = sb
+                    .send(*id, sites[3], Packet::unlabeled(key.reversed(), 500))
+                    .unwrap();
+                prop_assert!(rev.delivered);
+                let mut expect = t.vnf_instances();
+                expect.reverse();
+                prop_assert_eq!(rev.vnf_instances(), expect);
+            }
+        }
+
+        // Capacity accounting: committed load at each VNF equals the sum
+        // over deployed chains of l_f * (in + out) traffic.
+        for vnf_idx in 0u32..2 {
+            let vnf = VnfId::new(vnf_idx);
+            let mut expected = 0.0;
+            for (id, plan) in &deployed {
+                let per_stage = plan.forward + plan.reverse;
+                let occurrences =
+                    plan.vnfs.iter().filter(|&&v| v == vnf_idx).count() as f64;
+                let _ = id;
+                expected += occurrences * 2.0 * per_stage;
+            }
+            let ctl = sb.control_plane().vnf_controller(vnf).unwrap();
+            let committed: f64 = ctl
+                .sites()
+                .iter()
+                .map(|&s| 200.0 - ctl.available_at(s))
+                .sum();
+            prop_assert!(
+                (committed - expected).abs() < 1e-6,
+                "{vnf}: committed {committed} vs expected {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Integration: the paper's headline comparative claims hold on the
+//! reproduced experiments (shape assertions, not absolute numbers).
+
+use sb_bench::{
+    fig10_dynamic_routing, fig11_e2e_routing, fig9_msgbus, table2_edge_addition,
+    table3_cache_sharing,
+};
+use sb_types::Millis;
+
+#[test]
+fn fig9_bus_beats_broadcast_by_an_order_of_magnitude() {
+    let (proxy, mesh) = fig9_msgbus::run(&fig9_msgbus::Config::default());
+    // "an order of magnitude higher latency than Switchboard"
+    assert!(
+        mesh.mean_latency > proxy.mean_latency * 10.0,
+        "latency: mesh {} vs proxy {}",
+        mesh.mean_latency,
+        proxy.mean_latency
+    );
+    // "Switchboard also has 57% higher throughput"
+    assert!(
+        proxy.throughput > mesh.throughput * 1.57,
+        "throughput: proxy {} vs mesh {}",
+        proxy.throughput,
+        mesh.throughput
+    );
+    // "full-mesh suffers from message drops due to buffer overflows"
+    assert!(mesh.dropped > 0);
+    assert_eq!(proxy.dropped, 0);
+}
+
+#[test]
+fn fig10_route_addition_doubles_throughput_within_a_second() {
+    let o = fig10_dynamic_routing::run();
+    let gain = o.throughput_after / o.throughput_before;
+    assert!(
+        (1.8..=2.2).contains(&gain),
+        "route addition should ~double throughput, got {gain}x"
+    );
+    assert!(
+        o.report.total().value() < 1000.0,
+        "update must complete within a second: {}",
+        o.report.total()
+    );
+    // "load is balanced evenly on the two routes"
+    assert_eq!(o.fractions.len(), 2);
+    assert!(o.fractions.iter().all(|f| (f - 0.5).abs() < 1e-9));
+}
+
+#[test]
+fn table2_steps_follow_the_paper_pattern() {
+    let report = table2_edge_addition::run();
+    assert_eq!(report.steps.len(), 6);
+    // First step is local: 0 ms.
+    assert_eq!(report.steps[0].1, Millis::ZERO);
+    // All remaining steps are positive; total under 600 ms.
+    for (name, d) in &report.steps[1..] {
+        assert!(d.value() > 0.0, "step '{name}' should cost time");
+    }
+    assert!(report.total().value() < 600.0, "{}", report.total());
+}
+
+#[test]
+fn fig11_switchboard_wins_both_metrics_on_both_testbeds() {
+    for one_way in [75.0, 40.0] {
+        let results = fig11_e2e_routing::run(Millis::new(one_way));
+        let get = |n: &str| results.iter().find(|r| r.name == n).unwrap();
+        let sb = get("switchboard");
+        let any = get("anycast");
+        let ca = get("compute-aware");
+        // "34% and 57% higher TCP throughput than Anycast"
+        assert!(
+            sb.throughput > any.throughput * 1.3,
+            "tput vs anycast: {} vs {}",
+            sb.throughput,
+            any.throughput
+        );
+        // "higher TCP throughput than Compute-Aware by 39% and 7%"
+        assert!(sb.throughput > ca.throughput * 1.05);
+        // "lower latency than Anycast" and "up to 49% and 43% lower
+        // latency compared to Compute-Aware"
+        assert!(sb.mean_rtt < any.mean_rtt);
+        assert!(sb.mean_rtt < ca.mean_rtt);
+        // Compute-Aware's detour makes its latency worse than Anycast's
+        // is... not necessarily; but Switchboard must be strictly best.
+    }
+}
+
+#[test]
+fn table3_sharing_beats_siloing_on_both_metrics() {
+    let cfg = table3_cache_sharing::Config {
+        requests_per_chain: 5_000,
+        objects: 8_000,
+        ..table3_cache_sharing::Config::default()
+    };
+    let (shared, siloed) = table3_cache_sharing::run(&cfg);
+    // "30% higher hit rate" — shared must clearly win.
+    assert!(
+        shared.hit_rate_pct > siloed.hit_rate_pct * 1.15,
+        "hit rate: shared {} vs siloed {}",
+        shared.hit_rate_pct,
+        siloed.hit_rate_pct
+    );
+    // "19% better download time".
+    assert!(
+        shared.download_ms < siloed.download_ms * 0.9,
+        "download: shared {} vs siloed {}",
+        shared.download_ms,
+        siloed.download_ms
+    );
+}

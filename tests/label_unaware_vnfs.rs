@@ -1,0 +1,116 @@
+//! Integration: label-unaware VNFs (Section 5.3's conformity mechanism).
+//!
+//! "Some VNFs may not support these labels ... Forwarders strip the labels
+//! before sending the packet to such VNFs" and re-affix them afterwards,
+//! using the instance ↔ label association. This test registers instances
+//! declared label-unaware with the VNF controller, binds behaviors that
+//! *record* whether labels reached them, and verifies that the data plane
+//! strips on the way in, re-affixes on the way out, and still delivers
+//! end-to-end in both directions.
+
+use sb_controller::InstanceRecord;
+use std::cell::Cell;
+use std::rc::Rc;
+use switchboard::prelude::*;
+use switchboard::scenarios;
+
+/// A probe VNF that records whether any packet arrived carrying labels.
+struct LabelProbe {
+    instance: InstanceId,
+    saw_labels: Rc<Cell<bool>>,
+    processed: Rc<Cell<u32>>,
+}
+
+impl VnfBehavior for LabelProbe {
+    fn instance(&self) -> InstanceId {
+        self.instance
+    }
+    fn kind(&self) -> &'static str {
+        "label-probe"
+    }
+    fn supports_labels(&self) -> bool {
+        false
+    }
+    fn process(&mut self, packet: Packet) -> Option<Packet> {
+        if packet.labels.is_some() {
+            self.saw_labels.set(true);
+        }
+        self.processed.set(self.processed.get() + 1);
+        Some(packet)
+    }
+}
+
+#[test]
+fn label_unaware_instances_get_stripped_and_reaffixed_end_to_end() {
+    let (model, sites) = scenarios::line_testbed();
+    let mut sb = Switchboard::new(
+        model,
+        DelayModel::uniform(Millis::new(0.1), Millis::new(10.0)),
+        SwitchboardConfig::default(),
+    );
+    sb.register_attachment("in", sites[0]);
+    sb.register_attachment("out", sites[3]);
+
+    // Replace VNF 0's auto-created instances at both sites with
+    // label-unaware ones BEFORE any chain is deployed, so the rule
+    // installation registers the strip/re-affix association.
+    let saw_labels = Rc::new(Cell::new(false));
+    let processed = Rc::new(Cell::new(0));
+    let mut probe_ids = Vec::new();
+    for &site in &[sites[1], sites[2]] {
+        let id = sb.control_plane_mut().allocate_instance_id();
+        sb.control_plane_mut()
+            .set_instances(
+                VnfId::new(0),
+                site,
+                vec![InstanceRecord {
+                    instance: id,
+                    weight: 1.0,
+                    supports_labels: false,
+                }],
+            )
+            .unwrap();
+        probe_ids.push(id);
+    }
+    for &id in &probe_ids {
+        sb.register_behavior(Box::new(LabelProbe {
+            instance: id,
+            saw_labels: Rc::clone(&saw_labels),
+            processed: Rc::clone(&processed),
+        }));
+    }
+
+    let chain = ChainId::new(1);
+    sb.deploy_chain(ChainRequest {
+        id: chain,
+        ingress_attachment: "in".into(),
+        egress_attachment: "out".into(),
+        vnfs: vec![VnfId::new(0)],
+        forward: 5.0,
+        reverse: 1.0,
+    })
+    .unwrap();
+
+    // Forward and reverse traffic across several connections.
+    for p in 0..20 {
+        let key = FlowKey::tcp([10, 0, 0, 1], 1000 + p, [10, 9, 9, 9], 80);
+        let fwd = sb
+            .send(chain, sites[0], Packet::unlabeled(key, 500))
+            .unwrap();
+        assert!(fwd.delivered);
+        assert_eq!(fwd.vnf_instances().len(), 1);
+        // The instance traversed must be one of our probes.
+        assert!(probe_ids.contains(&fwd.vnf_instances()[0]));
+
+        let rev = sb
+            .send(chain, sites[3], Packet::unlabeled(key.reversed(), 500))
+            .unwrap();
+        assert!(rev.delivered, "reverse must survive re-affixed labels");
+    }
+
+    assert!(processed.get() >= 40, "probes saw the traffic");
+    assert!(
+        !saw_labels.get(),
+        "label-unaware instances must never receive labeled packets"
+    );
+}
