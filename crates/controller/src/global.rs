@@ -24,7 +24,10 @@ use crate::local::LocalSwitchboard;
 use crate::messages::{ForwarderRecord, InstanceRecord, RouteAnnouncement};
 use crate::vnfctl::VnfController;
 use sb_dataplane::{Addr, WeightedChoice};
-use sb_msgbus::{BusTopology, DelayModel, Message, ProxyBus, SubscriberId, Topic};
+use sb_faults::{RpcPhase, SharedFaultPlan};
+use sb_msgbus::{
+    BusTopology, DelayModel, Message, ProxyBus, PublishOutcome, SubscriberId, Topic,
+};
 use sb_netsim::SimTime;
 use sb_te::dp::{self, DpConfig, LoadTracker};
 use sb_te::{ChainSpec, NetworkModel, RoutePath};
@@ -54,6 +57,14 @@ pub struct ControlPlaneConfig {
     pub compute_time: Millis,
     /// Modeled data-plane configuration time per element.
     pub config_delay: Millis,
+    /// Control-plane RPC retries (beyond the first attempt) before a
+    /// peer is declared failed. Only exercised under a fault plan.
+    pub max_rpc_retries: usize,
+    /// Virtual time charged per timed-out control-plane RPC attempt.
+    pub rpc_timeout: Millis,
+    /// Base of the exponential backoff between RPC retries (doubles with
+    /// each attempt).
+    pub retry_backoff_base: Millis,
 }
 
 impl Default for ControlPlaneConfig {
@@ -66,6 +77,9 @@ impl Default for ControlPlaneConfig {
             max_2pc_retries: 3,
             compute_time: Millis::new(5.0),
             config_delay: Millis::new(30.0),
+            max_rpc_retries: 2,
+            rpc_timeout: Millis::new(200.0),
+            retry_backoff_base: Millis::new(25.0),
         }
     }
 }
@@ -92,15 +106,32 @@ pub struct ChainRequest {
 pub struct DeploymentReport {
     /// `(step name, latency)` in execution order.
     pub steps: Vec<(String, Millis)>,
+    /// Degraded-but-survivable events observed while deploying (lost
+    /// publishes that were retried, commit acknowledgments that never
+    /// arrived, crashed sites routed around…). Empty on a clean run.
+    pub partial_failures: Vec<String>,
 }
 
 impl DeploymentReport {
     fn new() -> Self {
-        Self { steps: Vec::new() }
+        Self {
+            steps: Vec::new(),
+            partial_failures: Vec::new(),
+        }
     }
 
     fn push(&mut self, name: impl Into<String>, latency: Millis) {
         self.steps.push((name.into(), latency));
+    }
+
+    fn note(&mut self, what: impl Into<String>) {
+        self.partial_failures.push(what.into());
+    }
+
+    /// Whether the operation completed without degraded events.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.partial_failures.is_empty()
     }
 
     /// Total latency across steps.
@@ -138,6 +169,8 @@ pub struct ControlPlane {
     base_model: NetworkModel,
     delays: DelayModel,
     bus: ProxyBus,
+    /// Injected faults; `None` runs the control plane fault-free.
+    faults: Option<SharedFaultPlan>,
     /// One bus endpoint per site (its Local Switchboard).
     site_subs: HashMap<SiteId, SubscriberId>,
     now: SimTime,
@@ -212,6 +245,7 @@ impl ControlPlane {
             base_model,
             delays,
             bus,
+            faults: None,
             site_subs,
             now: SimTime::ZERO,
             edge: EdgeController::new(),
@@ -231,6 +265,105 @@ impl ControlPlane {
     #[must_use]
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Attaches a fault plan: bus messages and control-plane RPCs now
+    /// consult it. The same shared plan drives the message bus, so a
+    /// single seed determines the whole run.
+    pub fn set_fault_plan(&mut self, plan: SharedFaultPlan) {
+        self.bus.set_fault_plan(plan.clone());
+        self.faults = Some(plan);
+    }
+
+    /// The attached fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&SharedFaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The failure detector's current view: sites whose crash window
+    /// covers the present virtual time. Empty without a fault plan.
+    #[must_use]
+    pub fn dead_sites(&self) -> Vec<SiteId> {
+        let Some(plan) = &self.faults else {
+            return Vec::new();
+        };
+        let plan = plan.lock().expect("fault plan lock poisoned");
+        self.base_model
+            .sites()
+            .into_iter()
+            .filter(|&s| plan.site_is_down(self.now, s))
+            .collect()
+    }
+
+    fn site_down_now(&self, site: SiteId) -> bool {
+        self.faults.as_ref().is_some_and(|f| {
+            f.lock()
+                .expect("fault plan lock poisoned")
+                .site_is_down(self.now, site)
+        })
+    }
+
+    fn rpc_times_out(&self, phase: RpcPhase, site: SiteId) -> bool {
+        self.faults.as_ref().is_some_and(|f| {
+            f.lock()
+                .expect("fault plan lock poisoned")
+                .rpc_times_out(phase, site)
+        })
+    }
+
+    /// Exponential backoff before retry `attempt` (0-based).
+    fn backoff(&self, attempt: usize) -> Millis {
+        let mut b = self.config.retry_backoff_base;
+        for _ in 0..attempt.min(16) {
+            b = b * 2.0;
+        }
+        b
+    }
+
+    /// The virtual-time cost of a fully exhausted RPC retry budget.
+    fn full_retry_penalty(&self) -> Millis {
+        let mut extra = Millis::ZERO;
+        for attempt in 0..=self.config.max_rpc_retries {
+            extra += self.config.rpc_timeout + self.backoff(attempt);
+        }
+        extra
+    }
+
+    /// Drives one logical RPC's reply under the fault plan: draws
+    /// per-attempt timeouts, charging `rpc_timeout` plus exponential
+    /// backoff for each failed attempt. Returns the total extra virtual
+    /// time when some attempt got through, or `None` when the retry
+    /// budget is exhausted.
+    fn retry_rpc(&self, phase: RpcPhase, site: SiteId) -> Option<Millis> {
+        let mut extra = Millis::ZERO;
+        for attempt in 0..=self.config.max_rpc_retries {
+            if !self.rpc_times_out(phase, site) {
+                return Some(extra);
+            }
+            extra += self.config.rpc_timeout + self.backoff(attempt);
+        }
+        None
+    }
+
+    /// Removes crashed sites' VNF capacity from a routing model, so
+    /// route (re)computation degrades gracefully around failed sites
+    /// instead of proposing routes through them.
+    fn without_dead_sites(&self, mut model: NetworkModel) -> NetworkModel {
+        let dead = self.dead_sites();
+        if dead.is_empty() {
+            return model;
+        }
+        let vnf_ids: Vec<VnfId> = model.vnfs().iter().map(|v| v.id).collect();
+        for &site in &dead {
+            for &vnf in &vnf_ids {
+                let mut caps = model.vnfs()[vnf.index()].site_capacity.clone();
+                if caps.remove(&site).is_some() {
+                    model = model.with_vnf_sites(vnf, caps);
+                }
+            }
+        }
+        model
     }
 
     /// The edge controller.
@@ -411,7 +544,15 @@ impl ControlPlane {
                 })
                 .collect(),
             None => {
+                let dead = self.dead_sites();
+                if !dead.is_empty() {
+                    report.note(format!(
+                        "route computation excluded {} crashed site(s)",
+                        dead.len()
+                    ));
+                }
                 let model = self.base_model.with_chains(vec![spec.clone()]);
+                let model = self.without_dead_sites(model);
                 let mut trial_tracker = self.tracker.clone();
                 let paths =
                     dp::route_chain(&model, &mut trial_tracker, &self.config.dp, &spec);
@@ -458,6 +599,9 @@ impl ControlPlane {
                         caps.remove(&site);
                         model = model.with_vnf_sites(vnf, caps);
                     }
+                    // Degrade gracefully: never re-propose a site that has
+                    // crashed since the last attempt.
+                    model = self.without_dead_sites(model);
                     let mut trial_tracker = self.tracker.clone();
                     paths = dp::route_chain(&model, &mut trial_tracker, &self.config.dp, &spec);
                     if paths.is_empty() {
@@ -533,7 +677,24 @@ impl ControlPlane {
 
     /// Phase-1/phase-2 exchange with every VNF controller on the routes.
     /// Virtual time advances by two round trips to the farthest
-    /// participant (prepares run in parallel, then commits).
+    /// participant (prepares run in parallel, then commits), plus any
+    /// timeout and backoff penalties under an attached fault plan.
+    ///
+    /// Fault handling follows the coordinator rules that keep 2PC atomic:
+    ///
+    /// - A prepare whose reply times out is retried with exponential
+    ///   backoff; when every attempt times out the participant is treated
+    ///   as failed and **every** prepared reservation — including the
+    ///   timed-out participant's, which may have been applied before its
+    ///   reply was lost — is aborted. Nothing leaks.
+    /// - A commit whose acknowledgment times out is re-sent (commit is
+    ///   idempotent at the participant). The commit decision is final, so
+    ///   an exhausted budget degrades to a report note, never an abort:
+    ///   the reservation is already durable at the participant.
+    /// - A reservation at a site whose crash window covers the present is
+    ///   vetoed outright by the controller's failure detector; every other
+    ///   prepare is aborted and the coordinator recomputes around the
+    ///   dead site.
     fn two_phase_commit(
         &mut self,
         spec: &ChainSpec,
@@ -542,6 +703,7 @@ impl ControlPlane {
     ) -> Result<()> {
         let mut prepared: Vec<(VnfId, ChainId, RouteId, SiteId)> = Vec::new();
         let mut max_rtt = Millis::ZERO;
+        let mut penalty = Millis::ZERO;
         let mut failure: Option<Error> = None;
 
         'outer: for ann in announcements {
@@ -549,16 +711,54 @@ impl ControlPlane {
                 let load = self.base_model.vnfs()[vnf.index()].load_per_unit
                     * (spec.stage_traffic(z) + spec.stage_traffic(z + 1))
                     * ann.fraction;
-                let ctl = self
+                let home = self
                     .vnf_ctls
-                    .get_mut(&vnf)
-                    .ok_or_else(|| Error::unknown("vnf", vnf))?;
-                let rtt = self.delays.between(self.config.gsb_site, ctl.home_site()) * 2.0;
+                    .get(&vnf)
+                    .ok_or_else(|| Error::unknown("vnf", vnf))?
+                    .home_site();
+                let rtt = self.delays.between(self.config.gsb_site, home) * 2.0;
                 if rtt > max_rtt {
                     max_rtt = rtt;
                 }
-                match ctl.prepare(ann.chain, ann.route, site, load) {
-                    Ok(()) => prepared.push((vnf, ann.chain, ann.route, site)),
+                // A reservation at a crashed site can never be honoured —
+                // the instances there are gone. The controller's failure
+                // detector vetoes it outright (no timeout burned), and the
+                // coordinator recomputes around the site.
+                if self.site_down_now(site) {
+                    failure = Some(Error::CommitRejected {
+                        participant: format!("{vnf}@{site}"),
+                        reason: format!("{site} is down; reservation refused"),
+                    });
+                    break 'outer;
+                }
+                match self
+                    .vnf_ctls
+                    .get_mut(&vnf)
+                    .expect("looked up above")
+                    .prepare(ann.chain, ann.route, site, load)
+                {
+                    Ok(()) => {
+                        // The reservation now exists at the participant.
+                        // A lost reply leaves the coordinator unsure of
+                        // the vote: it must either reach the participant
+                        // on retry or abort everything, including this
+                        // reservation.
+                        prepared.push((vnf, ann.chain, ann.route, site));
+                        match self.retry_rpc(RpcPhase::Prepare, site) {
+                            Some(extra) => penalty += extra,
+                            None => {
+                                penalty += self.full_retry_penalty();
+                                failure = Some(Error::CommitRejected {
+                                    participant: format!("{vnf}@{site}"),
+                                    reason: format!(
+                                        "prepare timed out after {} retries",
+                                        self.config.max_rpc_retries
+                                    ),
+                                });
+                                break 'outer;
+                            }
+                        }
+                    }
                     Err(e) => {
                         failure = Some(e);
                         break 'outer;
@@ -583,21 +783,83 @@ impl ControlPlane {
                     .expect("prepared controller exists")
                     .abort(chain, route, site);
             }
-            self.now += max_rtt;
-            report.push("two-phase commit (rejected)", max_rtt);
+            let dt = max_rtt + penalty;
+            self.now += dt;
+            report.push("two-phase commit (rejected)", dt);
             return Err(e);
         }
 
-        for (vnf, chain, route, site) in prepared {
-            self.vnf_ctls
-                .get_mut(&vnf)
-                .expect("prepared controller exists")
-                .commit(chain, route, site)?;
+        for &(vnf, chain, route, site) in &prepared {
+            let mut acked = false;
+            for attempt in 0..=self.config.max_rpc_retries {
+                // Re-sent commits are idempotent no-ops at the
+                // participant, so retrying after a lost ack is safe.
+                self.vnf_ctls
+                    .get_mut(&vnf)
+                    .expect("prepared controller exists")
+                    .commit(chain, route, site)?;
+                if !self.rpc_times_out(RpcPhase::Commit, site) {
+                    acked = true;
+                    break;
+                }
+                penalty += self.config.rpc_timeout + self.backoff(attempt);
+            }
+            if !acked {
+                report.note(format!(
+                    "commit ack from {vnf}@{site} lost after {} retries; \
+                     the reservation is durable at the participant",
+                    self.config.max_rpc_retries
+                ));
+            }
         }
-        let dt = max_rtt * 2.0; // prepare RTT + commit RTT
+        let dt = max_rtt * 2.0 + penalty; // prepare RTT + commit RTT
         self.now += dt;
         report.push("two-phase commit", dt);
         Ok(())
+    }
+
+    /// Publishes `msg` from `from` at `at`, re-sending with exponential
+    /// backoff while copies are lost under the fault plan. Republishing
+    /// re-sends to every subscriber (at-least-once delivery); state
+    /// messages are idempotent, so duplicates are harmless. Exhausted
+    /// retries are recorded as a partial failure in `report`.
+    fn publish_with_retry(
+        &mut self,
+        at: SimTime,
+        from: SiteId,
+        msg: &Message,
+        what: &str,
+        report: &mut DeploymentReport,
+    ) -> PublishOutcome {
+        let mut out = self.bus.publish(at, from, msg.clone());
+        if self.faults.is_none() || (out.dropped == 0 && out.delivered > 0) {
+            return out;
+        }
+        let mut extra = Millis::ZERO;
+        for attempt in 0..self.config.max_rpc_retries {
+            extra += self.config.rpc_timeout + self.backoff(attempt);
+            let retry = self.bus.publish(at + extra, from, msg.clone());
+            let clean = retry.dropped == 0 && retry.delivered > 0;
+            out.delivered += retry.delivered;
+            out.wan_copies += retry.wan_copies;
+            out.dropped += retry.dropped;
+            out.last_delivery = match (out.last_delivery, retry.last_delivery) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            if clean {
+                report.note(format!(
+                    "{what}: republished after message loss ({} attempt(s))",
+                    attempt + 1
+                ));
+                return out;
+            }
+        }
+        report.note(format!(
+            "{what}: delivery incomplete after {} republish attempts",
+            self.config.max_rpc_retries
+        ));
+        out
     }
 
     /// Arrows 3-5 of Figure 4 for a set of routes.
@@ -622,10 +884,13 @@ impl ControlPlane {
         }
         let mut t_done = self.now;
         for ann in announcements {
-            let out = self.bus.publish(
+            let msg = Message::json(route_topic.clone(), ann);
+            let out = self.publish_with_retry(
                 self.now,
                 self.config.gsb_site,
-                Message::json(route_topic.clone(), ann),
+                &msg,
+                "route announcement",
+                report,
             );
             if let Some(t) = out.last_delivery {
                 t_done = t_done.max(t);
@@ -653,6 +918,7 @@ impl ControlPlane {
                     .get(&vnf)
                     .ok_or_else(|| Error::unknown("vnf", vnf))?;
                 let records = ctl.instances_at(site);
+                let home = ctl.home_site();
                 let inst_topic = Topic::vnf_instances(
                     ann.labels.chain().value(),
                     ann.labels.egress().value(),
@@ -661,11 +927,9 @@ impl ControlPlane {
                 );
                 let sub = self.site_subs[&site];
                 self.bus.subscribe(sub, inst_topic.clone());
-                let out = self.bus.publish(
-                    t_start,
-                    ctl.home_site(),
-                    Message::json(inst_topic, &records),
-                );
+                let msg = Message::json(inst_topic, &records);
+                let out =
+                    self.publish_with_retry(t_start, home, &msg, "instance records", report);
                 if let Some(t) = out.last_delivery {
                     t_done = t_done.max(t);
                 }
@@ -693,9 +957,9 @@ impl ControlPlane {
                     let sub = self.site_subs[&n];
                     self.bus.subscribe(sub, fwd_topic.clone());
                 }
+                let msg = Message::json(fwd_topic, &fwd_records);
                 let out =
-                    self.bus
-                        .publish(t_start, site, Message::json(fwd_topic, &fwd_records));
+                    self.publish_with_retry(t_start, site, &msg, "forwarder records", report);
                 if let Some(t) = out.last_delivery {
                     t_done = t_done.max(t);
                 }
@@ -948,10 +1212,13 @@ impl ControlPlane {
             .expect("route site exists")
             .forwarder_records(nearest.vnfs[0]);
         let t_start = self.now;
-        let out = self.bus.publish(
+        let msg = Message::json(fwd_topic, &records);
+        let out = self.publish_with_retry(
             t_start,
             first_site,
-            Message::json(fwd_topic, &records),
+            &msg,
+            "first VNF forwarder info",
+            &mut report,
         );
         let t_recv = out.last_delivery.unwrap_or(t_start);
         self.now = self.now.max(t_recv);
@@ -987,11 +1254,9 @@ impl ControlPlane {
         let vnf_sub = self.site_subs[&first_site];
         self.bus.subscribe(vnf_sub, edge_topic.clone());
         let t_start = self.now;
-        let out = self.bus.publish(
-            t_start,
-            site,
-            Message::json(edge_topic, &vec![edge_id.value()]),
-        );
+        let msg = Message::json(edge_topic, &vec![edge_id.value()]);
+        let out =
+            self.publish_with_retry(t_start, site, &msg, "edge forwarder info", &mut report);
         let t_recv = out.last_delivery.unwrap_or(t_start);
         self.now = self.now.max(t_recv);
         report.push(

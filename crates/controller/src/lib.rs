@@ -26,6 +26,14 @@
 //!
 //! All cross-site interactions run over the [`sb_msgbus::ProxyBus`] on
 //! virtual time, so every reported latency is deterministic.
+//!
+//! The control plane optionally consults a seeded
+//! [`sb_faults::FaultPlan`] (attached with
+//! [`ControlPlane::set_fault_plan`]): bus publishes are then subject to
+//! loss/duplication/delay, crashed sites are routed around, and the
+//! two-phase commit injects prepare/commit timeouts that are absorbed by
+//! retries with exponential backoff — or rolled back without leaking a
+//! reservation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,4 +48,5 @@ pub use edge::{EdgeController, EdgeInstance};
 pub use global::{ChainHandle, ChainRequest, ControlPlane, ControlPlaneConfig, DeploymentReport};
 pub use local::LocalSwitchboard;
 pub use messages::{ForwarderRecord, InstanceRecord, RouteAnnouncement};
+pub use sb_faults::{FaultPlan, FaultSpec, SharedFaultPlan};
 pub use vnfctl::VnfController;

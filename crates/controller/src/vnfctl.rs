@@ -2,7 +2,7 @@
 
 use crate::messages::InstanceRecord;
 use sb_types::{ChainId, Error, LoadUnits, Result, RouteId, SiteId, VnfId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One site's pool of instances for a VNF.
 #[derive(Debug, Clone)]
@@ -10,6 +10,9 @@ struct SitePool {
     capacity: LoadUnits,
     committed: LoadUnits,
     prepared: HashMap<(ChainId, RouteId), LoadUnits>,
+    /// Keys whose reservation has already been committed, so a retried
+    /// commit (after a lost acknowledgment) is an idempotent no-op.
+    committed_keys: HashSet<(ChainId, RouteId)>,
     instances: Vec<InstanceRecord>,
 }
 
@@ -68,6 +71,7 @@ impl VnfController {
                 capacity,
                 committed: 0.0,
                 prepared: HashMap::new(),
+                committed_keys: HashSet::new(),
                 instances,
             },
         );
@@ -134,21 +138,33 @@ impl VnfController {
 
     /// Two-phase commit, phase 2: make the reservation durable.
     ///
+    /// Commit is **idempotent**: once a `(chain, route)` reservation has
+    /// been committed at `site`, committing it again is a no-op success.
+    /// The coordinator relies on this to retry commits whose
+    /// acknowledgment was lost (the commit decision is final, so the only
+    /// safe recovery is re-sending it).
+    ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownEntity`] when nothing was prepared for this
-    /// chain route at `site`.
+    /// Returns [`Error::UnknownEntity`] when nothing was prepared (and
+    /// nothing previously committed) for this chain route at `site`.
     pub fn commit(&mut self, chain: ChainId, route: RouteId, site: SiteId) -> Result<()> {
         let pool = self
             .pools
             .get_mut(&site)
             .ok_or_else(|| Error::unknown("vnf deployment site", site))?;
-        let load = pool
-            .prepared
-            .remove(&(chain, route))
-            .ok_or_else(|| Error::unknown("prepared reservation", format!("{chain}/{route}")))?;
-        pool.committed += load;
-        Ok(())
+        match pool.prepared.remove(&(chain, route)) {
+            Some(load) => {
+                pool.committed += load;
+                pool.committed_keys.insert((chain, route));
+                Ok(())
+            }
+            None if pool.committed_keys.contains(&(chain, route)) => Ok(()),
+            None => Err(Error::unknown(
+                "prepared reservation",
+                format!("{chain}/{route}"),
+            )),
+        }
     }
 
     /// Two-phase commit: release a reservation (vote-no cleanup).
@@ -156,6 +172,27 @@ impl VnfController {
         if let Some(pool) = self.pools.get_mut(&site) {
             pool.prepared.remove(&(chain, route));
         }
+    }
+
+    /// All outstanding (prepared but neither committed nor aborted)
+    /// reservations, as `(site, chain, route, load)` tuples sorted for
+    /// determinism. A correct coordinator leaves this empty between
+    /// deployments — the atomicity property the chaos tests assert.
+    #[must_use]
+    pub fn pending_reservations(&self) -> Vec<(SiteId, ChainId, RouteId, LoadUnits)> {
+        let mut out: Vec<_> = self
+            .pools
+            .iter()
+            .flat_map(|(&site, pool)| {
+                pool.prepared
+                    .iter()
+                    .map(move |(&(chain, route), &load)| (site, chain, route, load))
+            })
+            .collect();
+        out.sort_by_key(|&(site, chain, route, _)| {
+            (site.value(), chain.value(), route.value())
+        });
+        out
     }
 
     /// Releases committed capacity (chain teardown).
@@ -239,6 +276,40 @@ mod tests {
         assert!(c
             .commit(ChainId::new(1), RouteId::new(1), SiteId::new(0))
             .is_err());
+    }
+
+    #[test]
+    fn commit_is_idempotent_after_lost_ack() {
+        let mut c = ctl();
+        c.prepare(ChainId::new(1), RouteId::new(1), SiteId::new(0), 6.0)
+            .unwrap();
+        c.commit(ChainId::new(1), RouteId::new(1), SiteId::new(0))
+            .unwrap();
+        // The coordinator's ack was lost; it retries the commit.
+        c.commit(ChainId::new(1), RouteId::new(1), SiteId::new(0))
+            .unwrap();
+        assert!((c.available_at(SiteId::new(0)) - 4.0).abs() < 1e-12);
+        // A different, never-prepared key still fails.
+        assert!(c
+            .commit(ChainId::new(9), RouteId::new(9), SiteId::new(0))
+            .is_err());
+    }
+
+    #[test]
+    fn pending_reservations_tracks_outstanding_prepares() {
+        let mut c = ctl();
+        assert!(c.pending_reservations().is_empty());
+        c.prepare(ChainId::new(1), RouteId::new(1), SiteId::new(0), 2.0)
+            .unwrap();
+        c.prepare(ChainId::new(2), RouteId::new(2), SiteId::new(0), 3.0)
+            .unwrap();
+        let pending = c.pending_reservations();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].1, ChainId::new(1));
+        c.commit(ChainId::new(1), RouteId::new(1), SiteId::new(0))
+            .unwrap();
+        c.abort(ChainId::new(2), RouteId::new(2), SiteId::new(0));
+        assert!(c.pending_reservations().is_empty());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use sb_controller::{
     RouteAnnouncement,
 };
 use sb_dataplane::{Addr, Packet};
+use sb_faults::{FaultPlan, FaultSpec};
 use sb_msgbus::DelayModel;
 use sb_te::NetworkModel;
 use sb_types::{ChainId, Error, InstanceId, Millis, Result, SiteId};
@@ -21,6 +22,9 @@ pub struct SwitchboardConfig {
     /// Safety bound on data-plane hops per packet (loops indicate broken
     /// rules and are reported as forwarding errors).
     pub max_hops: usize,
+    /// Seeded fault injection for the control plane and message bus;
+    /// `None` (the default) runs fault-free.
+    pub faults: Option<FaultSpec>,
 }
 
 /// The assembled Switchboard middleware. See the [crate docs](crate) for a
@@ -52,7 +56,10 @@ impl Switchboard {
         } else {
             config.max_hops
         };
-        let cp = ControlPlane::new(model.clone(), delays, config.control);
+        let mut cp = ControlPlane::new(model.clone(), delays, config.control);
+        if let Some(spec) = config.faults {
+            cp.set_fault_plan(sb_faults::shared(FaultPlan::new(spec)));
+        }
         Self {
             cp,
             model,

@@ -89,6 +89,7 @@ pub use runner::{Passthrough, Transit};
 
 pub use sb_controller as controller;
 pub use sb_dataplane as dataplane;
+pub use sb_faults as faults;
 pub use sb_lp as lp_solver;
 pub use sb_msgbus as msgbus;
 pub use sb_netsim as netsim;
@@ -102,6 +103,7 @@ pub mod prelude {
     pub use crate::{Passthrough, Switchboard, SwitchboardConfig, Transit};
     pub use sb_controller::{ChainRequest, ControlPlaneConfig, DeploymentReport};
     pub use sb_dataplane::{Addr, Packet};
+    pub use sb_faults::{FaultPlan, FaultSpec};
     pub use sb_msgbus::DelayModel;
     pub use sb_te::{ChainSpec, NetworkModel};
     pub use sb_topology::{tier1, Routing, TopologyBuilder, TrafficMatrix};

@@ -1,0 +1,508 @@
+//! Deterministic, seedable fault injection for the Switchboard reproduction.
+//!
+//! The paper's control plane (Section 5) must stay correct when the wide
+//! area misbehaves: messages are lost or reordered, sites crash mid-deploy,
+//! and two-phase-commit participants time out. This crate supplies the
+//! simulated adversary: a [`FaultPlan`] built from a declarative
+//! [`FaultSpec`] that decides, per event, whether to drop, duplicate, or
+//! delay a bus message, whether a site is down at a simulated instant, and
+//! whether a 2PC prepare/commit RPC times out.
+//!
+//! # Determinism contract
+//!
+//! A plan is driven by a seeded RNG and **no wall clock**: given the same
+//! seed and the same sequence of calls (same order, same arguments on the
+//! calls that consume randomness), a plan produces the same outcomes. Crash
+//! windows are pure functions of simulated time and consume no randomness,
+//! so they may be queried freely without perturbing the stream. This is
+//! what makes chaos tests reproducible from a single `u64` seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use sb_faults::{FaultPlan, FaultSpec, MessageFate};
+//! use sb_netsim::SimTime;
+//! use sb_types::SiteId;
+//!
+//! let spec = FaultSpec::new(42).with_drop_probability(1.0);
+//! let mut plan = FaultPlan::new(spec);
+//! let fate = plan.message_fate(SimTime::ZERO, SiteId::new(0), SiteId::new(1));
+//! assert_eq!(fate, MessageFate::Drop);
+//! assert_eq!(plan.stats().dropped, 1);
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_netsim::SimTime;
+use sb_types::{Millis, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// Probabilistic fault rates for one direction of a site pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairFaults {
+    /// Source site of the wide-area hop.
+    pub from: SiteId,
+    /// Destination site of the wide-area hop.
+    pub to: SiteId,
+    /// Probability that a message on this hop is dropped.
+    pub drop_probability: f64,
+    /// Probability that a message on this hop is duplicated.
+    pub duplicate_probability: f64,
+    /// Probability that a message on this hop is delayed.
+    pub delay_probability: f64,
+}
+
+impl PairFaults {
+    /// A pair override that drops every message from `from` to `to`.
+    #[must_use]
+    pub fn blackhole(from: SiteId, to: SiteId) -> Self {
+        Self {
+            from,
+            to,
+            drop_probability: 1.0,
+            duplicate_probability: 0.0,
+            delay_probability: 0.0,
+        }
+    }
+}
+
+/// A site outage over simulated time: down from `from` (inclusive) until
+/// `until` (exclusive), or forever when `until` is `None`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrashWindow {
+    /// The crashed site.
+    pub site: SiteId,
+    /// Crash instant, in simulated nanoseconds.
+    pub from_nanos: u64,
+    /// Recovery instant in simulated nanoseconds, or `None` if permanent.
+    pub until_nanos: Option<u64>,
+}
+
+impl CrashWindow {
+    /// A permanent crash starting at `from`.
+    #[must_use]
+    pub fn permanent(site: SiteId, from: SimTime) -> Self {
+        Self {
+            site,
+            from_nanos: from.as_nanos(),
+            until_nanos: None,
+        }
+    }
+
+    /// A crash at `from` with recovery at `until`.
+    #[must_use]
+    pub fn recovering(site: SiteId, from: SimTime, until: SimTime) -> Self {
+        Self {
+            site,
+            from_nanos: from.as_nanos(),
+            until_nanos: Some(until.as_nanos()),
+        }
+    }
+
+    /// Whether the site is down at `at`.
+    #[must_use]
+    pub fn covers(&self, at: SimTime) -> bool {
+        let t = at.as_nanos();
+        t >= self.from_nanos && self.until_nanos.is_none_or(|u| t < u)
+    }
+}
+
+/// Which control-plane RPC a timeout decision applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcPhase {
+    /// Two-phase-commit prepare.
+    Prepare,
+    /// Two-phase-commit commit.
+    Commit,
+}
+
+/// Declarative description of the faults to inject. Feed it to
+/// [`FaultPlan::new`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// RNG seed. Identical specs with identical seeds replay identically.
+    pub seed: u64,
+    /// Default per-message drop probability on wide-area hops.
+    pub drop_probability: f64,
+    /// Default per-message duplication probability on wide-area hops.
+    pub duplicate_probability: f64,
+    /// Default per-message extra-delay probability on wide-area hops.
+    pub delay_probability: f64,
+    /// Upper bound on injected extra delay (uniform in `(0, max]`).
+    pub max_extra_delay: Millis,
+    /// Per-site-pair overrides; first match wins.
+    pub pair_overrides: Vec<PairFaults>,
+    /// Site outages over simulated time.
+    pub crashes: Vec<CrashWindow>,
+    /// Probability that a 2PC prepare RPC times out.
+    pub prepare_timeout_probability: f64,
+    /// Probability that a 2PC commit RPC times out.
+    pub commit_timeout_probability: f64,
+}
+
+impl FaultSpec {
+    /// A fault-free spec with the given seed. Compose with the `with_*`
+    /// builders.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            delay_probability: 0.0,
+            max_extra_delay: Millis::new(50.0),
+            pair_overrides: Vec::new(),
+            crashes: Vec::new(),
+            prepare_timeout_probability: 0.0,
+            commit_timeout_probability: 0.0,
+        }
+    }
+
+    /// Sets the default drop probability.
+    #[must_use]
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p;
+        self
+    }
+
+    /// Sets the default duplication probability.
+    #[must_use]
+    pub fn with_duplicate_probability(mut self, p: f64) -> Self {
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Sets the default extra-delay probability and bound.
+    #[must_use]
+    pub fn with_delay(mut self, p: f64, max: Millis) -> Self {
+        self.delay_probability = p;
+        self.max_extra_delay = max;
+        self
+    }
+
+    /// Adds a per-pair override.
+    #[must_use]
+    pub fn with_pair(mut self, pair: PairFaults) -> Self {
+        self.pair_overrides.push(pair);
+        self
+    }
+
+    /// Adds a crash window.
+    #[must_use]
+    pub fn with_crash(mut self, crash: CrashWindow) -> Self {
+        self.crashes.push(crash);
+        self
+    }
+
+    /// Sets the 2PC prepare-timeout probability.
+    #[must_use]
+    pub fn with_prepare_timeouts(mut self, p: f64) -> Self {
+        self.prepare_timeout_probability = p;
+        self
+    }
+
+    /// Sets the 2PC commit-timeout probability.
+    #[must_use]
+    pub fn with_commit_timeouts(mut self, p: f64) -> Self {
+        self.commit_timeout_probability = p;
+        self
+    }
+}
+
+/// What the plan decided for one message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MessageFate {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop.
+    Drop,
+    /// Deliver twice.
+    Duplicate,
+    /// Deliver once, `0` extra delay excluded.
+    Delay(Millis),
+}
+
+/// Counters for every fault the plan actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped by probability or pair override.
+    pub dropped: u64,
+    /// Messages duplicated.
+    pub duplicated: u64,
+    /// Messages given extra delay.
+    pub delayed: u64,
+    /// Messages suppressed because an endpoint site was crashed.
+    pub suppressed_by_crash: u64,
+    /// Injected 2PC prepare timeouts.
+    pub prepare_timeouts: u64,
+    /// Injected 2PC commit timeouts.
+    pub commit_timeouts: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.dropped
+            + self.duplicated
+            + self.delayed
+            + self.suppressed_by_crash
+            + self.prepare_timeouts
+            + self.commit_timeouts
+    }
+}
+
+/// An instantiated fault plan: the seeded RNG plus the spec, consumed one
+/// decision at a time. See the crate docs for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// Instantiates `spec` with its embedded seed.
+    #[must_use]
+    pub fn new(spec: FaultSpec) -> Self {
+        let rng = StdRng::seed_from_u64(spec.seed);
+        Self {
+            spec,
+            rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The spec this plan was built from.
+    #[must_use]
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Counters of injected faults so far.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Whether `site` is crashed at simulated time `at`. Pure — consumes no
+    /// randomness, so callers may poll it without perturbing the stream.
+    #[must_use]
+    pub fn site_is_down(&self, at: SimTime, site: SiteId) -> bool {
+        self.spec
+            .crashes
+            .iter()
+            .any(|c| c.site == site && c.covers(at))
+    }
+
+    /// Records that a message was suppressed because of a crash window.
+    /// The bus calls this when [`Self::site_is_down`] made it drop traffic.
+    pub fn note_crash_suppression(&mut self) {
+        self.stats.suppressed_by_crash += 1;
+    }
+
+    /// Decides the fate of one wide-area message from `from` to `to` at
+    /// simulated time `at`. Draws randomness; call order matters.
+    ///
+    /// Crash windows are the bus's concern (it checks [`Self::site_is_down`]
+    /// for both endpoints); this method only applies the probabilistic
+    /// faults. Local (same-site) hops are never faulted: `from == to`
+    /// returns [`MessageFate::Deliver`] without consuming randomness, since
+    /// the paper's failure model is about the wide area.
+    pub fn message_fate(&mut self, _at: SimTime, from: SiteId, to: SiteId) -> MessageFate {
+        if from == to {
+            return MessageFate::Deliver;
+        }
+        let (p_drop, p_dup, p_delay) = match self
+            .spec
+            .pair_overrides
+            .iter()
+            .find(|p| p.from == from && p.to == to)
+        {
+            Some(p) => (p.drop_probability, p.duplicate_probability, p.delay_probability),
+            None => (
+                self.spec.drop_probability,
+                self.spec.duplicate_probability,
+                self.spec.delay_probability,
+            ),
+        };
+        // Always three decision draws per wide-area message, so the stream
+        // position depends only on the call sequence, not on the rates.
+        let drop = self.rng.gen_bool(clamp(p_drop));
+        let dup = self.rng.gen_bool(clamp(p_dup));
+        let delay = self.rng.gen_bool(clamp(p_delay));
+        if drop {
+            self.stats.dropped += 1;
+            MessageFate::Drop
+        } else if dup {
+            self.stats.duplicated += 1;
+            MessageFate::Duplicate
+        } else if delay {
+            self.stats.delayed += 1;
+            let extra = self.rng.gen_range(0.0..self.spec.max_extra_delay.value());
+            MessageFate::Delay(Millis::new(extra.max(f64::EPSILON)))
+        } else {
+            MessageFate::Deliver
+        }
+    }
+
+    /// Decides whether one 2PC RPC against `_site` times out. Draws
+    /// randomness; call order matters.
+    pub fn rpc_times_out(&mut self, phase: RpcPhase, _site: SiteId) -> bool {
+        let p = match phase {
+            RpcPhase::Prepare => self.spec.prepare_timeout_probability,
+            RpcPhase::Commit => self.spec.commit_timeout_probability,
+        };
+        let timed_out = self.rng.gen_bool(clamp(p));
+        if timed_out {
+            match phase {
+                RpcPhase::Prepare => self.stats.prepare_timeouts += 1,
+                RpcPhase::Commit => self.stats.commit_timeouts += 1,
+            }
+        }
+        timed_out
+    }
+}
+
+fn clamp(p: f64) -> f64 {
+    p.clamp(0.0, 1.0)
+}
+
+/// A fault plan shared between the bus and the control plane. Both sides
+/// consume the same stream, so the combined call order is what determinism
+/// is defined over.
+pub type SharedFaultPlan = Arc<Mutex<FaultPlan>>;
+
+/// Wraps a plan for sharing.
+#[must_use]
+pub fn shared(plan: FaultPlan) -> SharedFaultPlan {
+    Arc::new(Mutex::new(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fate_seq(seed: u64, n: usize) -> Vec<MessageFate> {
+        let spec = FaultSpec::new(seed)
+            .with_drop_probability(0.2)
+            .with_duplicate_probability(0.2)
+            .with_delay(0.2, Millis::new(10.0));
+        let mut plan = FaultPlan::new(spec);
+        (0..n)
+            .map(|i| {
+                plan.message_fate(
+                    SimTime::from_millis(i as f64),
+                    SiteId::new(0),
+                    SiteId::new(1 + (i as u32 % 3)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        assert_eq!(fate_seq(7, 200), fate_seq(7, 200));
+        assert_ne!(fate_seq(7, 200), fate_seq(8, 200));
+    }
+
+    #[test]
+    fn local_hops_are_never_faulted() {
+        let spec = FaultSpec::new(1).with_drop_probability(1.0);
+        let mut plan = FaultPlan::new(spec);
+        for i in 0..50 {
+            let fate = plan.message_fate(
+                SimTime::from_millis(f64::from(i)),
+                SiteId::new(3),
+                SiteId::new(3),
+            );
+            assert_eq!(fate, MessageFate::Deliver);
+        }
+        assert_eq!(plan.stats().total(), 0);
+    }
+
+    #[test]
+    fn pair_override_beats_default() {
+        let spec = FaultSpec::new(1)
+            .with_pair(PairFaults::blackhole(SiteId::new(0), SiteId::new(1)));
+        let mut plan = FaultPlan::new(spec);
+        for _ in 0..20 {
+            assert_eq!(
+                plan.message_fate(SimTime::ZERO, SiteId::new(0), SiteId::new(1)),
+                MessageFate::Drop
+            );
+            // The reverse direction is not matched by the override.
+            assert_eq!(
+                plan.message_fate(SimTime::ZERO, SiteId::new(1), SiteId::new(0)),
+                MessageFate::Deliver
+            );
+        }
+        assert_eq!(plan.stats().dropped, 20);
+    }
+
+    #[test]
+    fn crash_windows_cover_expected_interval() {
+        let spec = FaultSpec::new(1)
+            .with_crash(CrashWindow::recovering(
+                SiteId::new(2),
+                SimTime::from_millis(10.0),
+                SimTime::from_millis(20.0),
+            ))
+            .with_crash(CrashWindow::permanent(
+                SiteId::new(3),
+                SimTime::from_millis(5.0),
+            ));
+        let plan = FaultPlan::new(spec);
+        let s2 = SiteId::new(2);
+        assert!(!plan.site_is_down(SimTime::from_millis(9.9), s2));
+        assert!(plan.site_is_down(SimTime::from_millis(10.0), s2));
+        assert!(plan.site_is_down(SimTime::from_millis(19.9), s2));
+        assert!(!plan.site_is_down(SimTime::from_millis(20.0), s2));
+        let s3 = SiteId::new(3);
+        assert!(plan.site_is_down(SimTime::from_millis(1e9), s3));
+        assert!(!plan.site_is_down(SimTime::ZERO, s3));
+    }
+
+    #[test]
+    fn rpc_timeouts_follow_probability_and_count() {
+        let spec = FaultSpec::new(9)
+            .with_prepare_timeouts(1.0)
+            .with_commit_timeouts(0.0);
+        let mut plan = FaultPlan::new(spec);
+        for _ in 0..10 {
+            assert!(plan.rpc_times_out(RpcPhase::Prepare, SiteId::new(1)));
+            assert!(!plan.rpc_times_out(RpcPhase::Commit, SiteId::new(1)));
+        }
+        assert_eq!(plan.stats().prepare_timeouts, 10);
+        assert_eq!(plan.stats().commit_timeouts, 0);
+    }
+
+    #[test]
+    fn delay_fate_is_bounded_and_positive() {
+        let spec = FaultSpec::new(4).with_delay(1.0, Millis::new(7.5));
+        let mut plan = FaultPlan::new(spec);
+        for _ in 0..100 {
+            match plan.message_fate(SimTime::ZERO, SiteId::new(0), SiteId::new(1)) {
+                MessageFate::Delay(d) => {
+                    assert!(d.value() > 0.0 && d.value() <= 7.5, "{d:?}")
+                }
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_serde_value() {
+        let spec = FaultSpec::new(11)
+            .with_drop_probability(0.1)
+            .with_pair(PairFaults::blackhole(SiteId::new(0), SiteId::new(2)))
+            .with_crash(CrashWindow::permanent(SiteId::new(1), SimTime::ZERO));
+        let v = serde::Serialize::to_value(&spec);
+        let back: FaultSpec = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back.seed, spec.seed);
+        assert_eq!(back.pair_overrides.len(), 1);
+        assert_eq!(back.crashes.len(), 1);
+    }
+}

@@ -15,6 +15,7 @@
 use crate::delay::DelayModel;
 use crate::message::Message;
 use crate::topic::Topic;
+use sb_faults::{MessageFate, SharedFaultPlan};
 use sb_netsim::SimTime;
 use sb_types::{Millis, SiteId};
 use std::collections::{BTreeSet, HashMap};
@@ -91,6 +92,14 @@ pub struct BusStats {
     pub dropped: u64,
     /// Copies that crossed the wide area.
     pub wan_messages: u64,
+    /// Copies dropped by an injected fault (see [`sb_faults`]).
+    pub fault_dropped: u64,
+    /// Copies duplicated by an injected fault.
+    pub fault_duplicated: u64,
+    /// Copies given extra delay by an injected fault.
+    pub fault_delayed: u64,
+    /// Copies suppressed because an endpoint site was crashed.
+    pub crash_suppressed: u64,
 }
 
 /// The outcome of a single publish.
@@ -116,6 +125,8 @@ struct BusCore {
     /// Uplink busy-until per site.
     uplink_busy: HashMap<SiteId, SimTime>,
     stats: BusStats,
+    /// Optional fault injection; `None` means the bus is ideal.
+    faults: Option<SharedFaultPlan>,
 }
 
 impl BusCore {
@@ -127,7 +138,72 @@ impl BusCore {
             mailboxes: Vec::new(),
             uplink_busy: HashMap::new(),
             stats: BusStats::default(),
+            faults: None,
         }
+    }
+
+    /// Whether `site` is crashed at `at` under the attached fault plan.
+    fn site_down(&self, at: SimTime, site: SiteId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.lock().expect("fault plan lock poisoned").site_is_down(at, site))
+    }
+
+    /// Records `copies` message copies suppressed by a crash window, in both
+    /// the bus counters and the plan's own stats.
+    fn note_crash_suppressed(&mut self, copies: u64) {
+        self.stats.crash_suppressed += copies;
+        if let Some(f) = &self.faults {
+            let mut plan = f.lock().expect("fault plan lock poisoned");
+            for _ in 0..copies {
+                plan.note_crash_suppression();
+            }
+        }
+    }
+
+    /// One wide-area hop from `from` to `to` starting at `t`: consults the
+    /// fault plan for the copy's fate, then pushes each surviving copy
+    /// through `from`'s uplink. Returns the arrival times at `to` (empty on
+    /// a drop, two entries on a duplication) and the number of copies lost
+    /// to faults or full queues.
+    fn wan_hop(&mut self, t: SimTime, from: SiteId, to: SiteId) -> (Vec<SimTime>, usize) {
+        let fate = match &self.faults {
+            Some(f) => f
+                .lock()
+                .expect("fault plan lock poisoned")
+                .message_fate(t, from, to),
+            None => MessageFate::Deliver,
+        };
+        let (copies, extra) = match fate {
+            MessageFate::Drop => {
+                self.stats.fault_dropped += 1;
+                return (Vec::new(), 1);
+            }
+            MessageFate::Deliver => (1, Millis::ZERO),
+            MessageFate::Duplicate => {
+                self.stats.fault_duplicated += 1;
+                (2, Millis::ZERO)
+            }
+            MessageFate::Delay(d) => {
+                self.stats.fault_delayed += 1;
+                (1, d)
+            }
+        };
+        let mut arrivals = Vec::new();
+        let mut lost = 0;
+        for _ in 0..copies {
+            match self.uplink_send(from, t) {
+                Some(dep) => {
+                    self.stats.wan_messages += 1;
+                    arrivals.push(dep + self.topo.delays.between(from, to) + extra);
+                }
+                None => {
+                    self.stats.dropped += 1;
+                    lost += 1;
+                }
+            }
+        }
+        (arrivals, lost)
     }
 
     fn register_subscriber(&mut self, site: SiteId) -> SubscriberId {
@@ -214,6 +290,18 @@ macro_rules! shared_bus_api {
         pub fn stats(&self) -> BusStats {
             self.core.stats
         }
+
+        /// Attaches a shared fault plan; every subsequent publish consults
+        /// it. Without one the bus is ideal (the seed behaviour).
+        pub fn set_fault_plan(&mut self, plan: SharedFaultPlan) {
+            self.core.faults = Some(plan);
+        }
+
+        /// The attached fault plan, if any.
+        #[must_use]
+        pub fn fault_plan(&self) -> Option<&SharedFaultPlan> {
+            self.core.faults.as_ref()
+        }
     };
 }
 
@@ -241,26 +329,32 @@ impl ProxyBus {
         let local = self.core.topo.delays.local();
         let owner = msg.topic().owner();
 
-        // Publisher -> its own proxy.
-        let mut t = at + local;
-        // Publisher proxy -> owner proxy (only when publishing remotely).
-        if from_site != owner {
-            match self.core.uplink_send(from_site, t) {
-                Some(dep) => {
-                    self.core.stats.wan_messages += 1;
-                    t = dep + self.core.topo.delays.between(from_site, owner);
-                }
-                None => {
-                    self.core.stats.dropped += 1;
-                    return PublishOutcome {
-                        delivered: 0,
-                        dropped: 1,
-                        wan_copies: 0,
-                        last_delivery: None,
-                    };
-                }
-            }
+        let mut outcome = PublishOutcome {
+            delivered: 0,
+            dropped: 0,
+            wan_copies: 0,
+            last_delivery: None,
+        };
+
+        // A publish from a crashed site goes nowhere.
+        if self.core.site_down(at, from_site) {
+            self.core.note_crash_suppressed(1);
+            return outcome;
         }
+
+        // Publisher -> its own proxy.
+        let t0 = at + local;
+        // Publisher proxy -> owner proxy (only when publishing remotely).
+        // Under a fault plan the relay copy may be lost, doubled, or late;
+        // each surviving relay arrival fans out independently below.
+        let relay_arrivals = if from_site == owner {
+            vec![t0]
+        } else {
+            let (arrivals, lost) = self.core.wan_hop(t0, from_site, owner);
+            outcome.wan_copies += arrivals.len();
+            outcome.dropped += lost;
+            arrivals
+        };
 
         let subs = self.core.subscribers_of(msg.topic());
         // Group subscribers by site: one WAN copy per remote site.
@@ -274,39 +368,37 @@ impl ProxyBus {
         let mut sites: Vec<_> = by_site.into_iter().collect();
         sites.sort_by_key(|&(site, _)| site);
 
-        let mut outcome = PublishOutcome {
-            delivered: 0,
-            dropped: 0,
-            wan_copies: if from_site == owner { 0 } else { 1 },
-            last_delivery: None,
-        };
-        for (site, subs) in sites {
-            let arrival = if site == owner {
-                Some(t)
-            } else {
-                match self.core.uplink_send(owner, t) {
-                    Some(dep) => {
-                        self.core.stats.wan_messages += 1;
-                        outcome.wan_copies += 1;
-                        Some(dep + self.core.topo.delays.between(owner, site))
+        for t in relay_arrivals {
+            // The owner proxy cannot relay while its site is down.
+            if from_site != owner && self.core.site_down(t, owner) {
+                self.core.note_crash_suppressed(1);
+                continue;
+            }
+            for (site, subs) in &sites {
+                let arrivals = if *site == owner {
+                    vec![t]
+                } else {
+                    let (arrivals, lost) = self.core.wan_hop(t, owner, *site);
+                    outcome.wan_copies += arrivals.len();
+                    outcome.dropped += lost * subs.len();
+                    arrivals
+                };
+                for arrival in arrivals {
+                    // A crashed destination site receives nothing.
+                    if self.core.site_down(arrival, *site) {
+                        self.core.note_crash_suppressed(1);
+                        continue;
                     }
-                    None => {
-                        self.core.stats.dropped += 1;
-                        outcome.dropped += subs.len();
-                        None
+                    for &sub in subs {
+                        let deliver_at = arrival + local;
+                        self.core.deliver(sub, msg.clone(), deliver_at);
+                        outcome.delivered += 1;
+                        outcome.last_delivery = Some(
+                            outcome
+                                .last_delivery
+                                .map_or(deliver_at, |t: SimTime| t.max(deliver_at)),
+                        );
                     }
-                }
-            };
-            if let Some(arrival) = arrival {
-                for sub in subs {
-                    let deliver_at = arrival + local;
-                    self.core.deliver(sub, msg.clone(), deliver_at);
-                    outcome.delivered += 1;
-                    outcome.last_delivery = Some(
-                        outcome
-                            .last_delivery
-                            .map_or(deliver_at, |t: SimTime| t.max(deliver_at)),
-                    );
                 }
             }
         }
@@ -345,26 +437,30 @@ impl FullMeshBus {
             wan_copies: 0,
             last_delivery: None,
         };
+
+        // A publish from a crashed site goes nowhere.
+        if self.core.site_down(at, from_site) {
+            self.core.note_crash_suppressed(1);
+            return outcome;
+        }
+
         for sub in subs {
             let site = self.core.sub_sites[sub.0 as usize];
             let t = at + local;
-            let arrival = if site == from_site {
-                Some(t)
+            let arrivals = if site == from_site {
+                vec![t]
             } else {
-                match self.core.uplink_send(from_site, t) {
-                    Some(dep) => {
-                        self.core.stats.wan_messages += 1;
-                        outcome.wan_copies += 1;
-                        Some(dep + self.core.topo.delays.between(from_site, site))
-                    }
-                    None => {
-                        self.core.stats.dropped += 1;
-                        outcome.dropped += 1;
-                        None
-                    }
-                }
+                let (arrivals, lost) = self.core.wan_hop(t, from_site, site);
+                outcome.wan_copies += arrivals.len();
+                outcome.dropped += lost;
+                arrivals
             };
-            if let Some(arrival) = arrival {
+            for arrival in arrivals {
+                // A crashed destination site receives nothing.
+                if self.core.site_down(arrival, site) {
+                    self.core.note_crash_suppressed(1);
+                    continue;
+                }
                 self.core.deliver(sub, msg.clone(), arrival);
                 outcome.delivered += 1;
                 outcome.last_delivery = Some(

@@ -52,4 +52,5 @@ mod topic;
 pub use bus::{BusStats, BusTopology, FullMeshBus, ProxyBus, PublishOutcome, SubscriberId};
 pub use delay::DelayModel;
 pub use message::Message;
+pub use sb_faults::SharedFaultPlan;
 pub use topic::Topic;

@@ -1,0 +1,134 @@
+//! Property-based two-phase-commit atomicity: under arbitrary seeded
+//! message and RPC faults, no deployment ever leaves a reservation
+//! prepared-but-undecided at any VNF controller, and committed capacity
+//! always equals the load of the chains that actually deployed.
+//!
+//! Companion to `deployment_fuzz.rs`, which checks the same accounting
+//! invariants on the fault-free path.
+
+use proptest::prelude::*;
+use switchboard::faults::FaultSpec;
+use switchboard::prelude::*;
+use switchboard::scenarios;
+use switchboard::types::Error;
+
+#[derive(Debug, Clone)]
+struct ChainPlan {
+    vnfs: Vec<u32>,
+    forward: f64,
+    reverse: f64,
+}
+
+fn arb_plans() -> impl Strategy<Value = Vec<ChainPlan>> {
+    prop::collection::vec(
+        (
+            prop::collection::btree_set(0u32..2, 1..=2),
+            1.0..6.0f64,
+            0.0..2.0f64,
+        )
+            .prop_map(|(vnfs, forward, reverse)| ChainPlan {
+                vnfs: vnfs.into_iter().collect(),
+                forward,
+                reverse,
+            }),
+        1..7,
+    )
+}
+
+fn arb_faults() -> impl Strategy<Value = FaultSpec> {
+    (
+        any::<u64>(),
+        0.0..0.4f64,
+        0.0..0.3f64,
+        0.0..0.4f64,
+        0.0..0.5f64,
+        0.0..0.5f64,
+    )
+        .prop_map(|(seed, drop, dup, delay, prep, commit)| {
+            FaultSpec::new(seed)
+                .with_drop_probability(drop)
+                .with_duplicate_probability(dup)
+                .with_delay(delay, Millis::new(30.0))
+                .with_prepare_timeouts(prep)
+                .with_commit_timeouts(commit)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every random fault plan and chain population: after each
+    /// deployment attempt there are zero pending reservations anywhere
+    /// (commit-or-abort, never in between), and at the end the committed
+    /// capacity at each VNF equals the summed load of exactly the chains
+    /// that reported success.
+    #[test]
+    fn two_phase_commit_is_atomic_under_faults(
+        plans in arb_plans(),
+        spec in arb_faults(),
+    ) {
+        let (model, sites) = scenarios::line_testbed();
+        let mut sb = Switchboard::new(
+            model,
+            DelayModel::uniform(Millis::new(0.1), Millis::new(10.0)),
+            SwitchboardConfig {
+                faults: Some(spec),
+                ..SwitchboardConfig::default()
+            },
+        );
+        sb.register_attachment("in", sites[0]);
+        sb.register_attachment("out", sites[3]);
+
+        let mut deployed: Vec<ChainPlan> = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            let req = ChainRequest {
+                id: ChainId::new(i as u64 + 1),
+                ingress_attachment: "in".into(),
+                egress_attachment: "out".into(),
+                vnfs: plan.vnfs.iter().map(|&v| VnfId::new(v)).collect(),
+                forward: plan.forward,
+                reverse: plan.reverse,
+            };
+            match sb.deploy_chain(req) {
+                Ok(_) => deployed.push(plan.clone()),
+                Err(Error::Infeasible { .. } | Error::CommitRejected { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected deploy error: {e}"),
+            }
+            // The atomicity property, checked after EVERY attempt: a
+            // coordinator never leaves a participant holding a prepared
+            // reservation once the outcome is decided.
+            for v in 0u32..2 {
+                let ctl = sb.control_plane().vnf_controller(VnfId::new(v)).unwrap();
+                let pending = ctl.pending_reservations();
+                prop_assert!(
+                    pending.is_empty(),
+                    "vnf {} leaked reservations after attempt {}: {:?}",
+                    v, i, pending
+                );
+            }
+        }
+
+        // Accounting: only fully-deployed chains hold capacity.
+        for v in 0u32..2 {
+            let vnf = VnfId::new(v);
+            let expected: f64 = deployed
+                .iter()
+                .map(|plan| {
+                    let occurrences =
+                        plan.vnfs.iter().filter(|&&x| x == v).count() as f64;
+                    occurrences * 2.0 * (plan.forward + plan.reverse)
+                })
+                .sum();
+            let ctl = sb.control_plane().vnf_controller(vnf).unwrap();
+            let committed: f64 = ctl
+                .sites()
+                .iter()
+                .map(|&s| 200.0 - ctl.available_at(s))
+                .sum();
+            prop_assert!(
+                (committed - expected).abs() < 1e-6,
+                "{vnf}: committed {committed} vs expected {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the structural API the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`, `criterion_main!`) with a minimal
+//! timing loop instead of criterion's statistical machinery: each benchmark
+//! runs a handful of timed iterations and prints the mean. Good enough to
+//! keep `cargo bench` runnable and benches compiling; not a measurement
+//! tool of criterion's quality.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for code using `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (plus one warm-up).
+const ITERS: u32 = 10;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_one(&id.into().label, f);
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into().label), f);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into().label), |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Throughput annotation (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs the closure under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = ITERS;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    if b.iters > 0 {
+        let mean = b.total / b.iters;
+        println!("bench {label:<50} {mean:>12.2?}/iter ({} iters)", b.iters);
+    } else {
+        println!("bench {label:<50} (no iterations recorded)");
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls (for the
+//! vendored miniserde-style `serde`) by walking the raw `TokenStream` —
+//! there is no `syn`/`quote` available offline. Supported shapes cover what
+//! this workspace derives:
+//!
+//! - structs with named fields,
+//! - tuple structs with one field (newtypes — always transparent, which is
+//!   also serde's behavior, so `#[serde(transparent)]` is accepted),
+//! - enums with unit and one-field tuple variants (externally tagged).
+//!
+//! Generics, struct variants, and other `#[serde(...)]` attributes are
+//! rejected with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    NewtypeStruct,
+    Enum { variants: Vec<(String, bool)> },
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Consumes leading attributes (`#[...]`) from `toks[*pos]`.
+fn skip_attrs(toks: &[TokenTree], pos: &mut usize) {
+    while *pos < toks.len() && is_punct(&toks[*pos], '#') {
+        *pos += 1; // '#'
+        if *pos < toks.len() {
+            if let TokenTree::Group(g) = &toks[*pos] {
+                if g.delimiter() == Delimiter::Bracket {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(toks: &[TokenTree], pos: &mut usize) {
+    if *pos < toks.len() && ident_of(&toks[*pos]).as_deref() == Some("pub") {
+        *pos += 1;
+        if *pos < toks.len() {
+            if let TokenTree::Group(g) = &toks[*pos] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < toks.len() {
+        skip_attrs(&toks, &mut pos);
+        skip_vis(&toks, &mut pos);
+        if pos >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[pos]).expect("expected field name");
+        pos += 1;
+        assert!(
+            pos < toks.len() && is_punct(&toks[pos], ':'),
+            "expected `:` after field `{name}`"
+        );
+        pos += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while pos < toks.len() {
+            match &toks[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if is_punct(toks.last().unwrap(), ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, bool)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < toks.len() {
+        skip_attrs(&toks, &mut pos);
+        if pos >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[pos]).expect("expected variant name");
+        pos += 1;
+        let mut has_payload = false;
+        if pos < toks.len() {
+            if let TokenTree::Group(g) = &toks[pos] {
+                match g.delimiter() {
+                    Delimiter::Parenthesis => {
+                        assert!(
+                            count_tuple_fields(g.stream()) == 1,
+                            "serde stand-in: variant `{name}` must have exactly one field"
+                        );
+                        has_payload = true;
+                        pos += 1;
+                    }
+                    Delimiter::Brace => {
+                        panic!("serde stand-in: struct variants are unsupported (`{name}`)")
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if pos < toks.len() && is_punct(&toks[pos], '=') {
+            panic!("serde stand-in: explicit discriminants are unsupported (`{name}`)");
+        }
+        if pos < toks.len() && is_punct(&toks[pos], ',') {
+            pos += 1;
+        }
+        variants.push((name, has_payload));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&toks, &mut pos);
+    skip_vis(&toks, &mut pos);
+    let kind = ident_of(&toks[pos]).expect("expected `struct` or `enum`");
+    pos += 1;
+    let name = ident_of(&toks[pos]).expect("expected type name");
+    pos += 1;
+    if pos < toks.len() && is_punct(&toks[pos], '<') {
+        panic!("serde stand-in: generic types are unsupported (`{name}`)");
+    }
+    let shape = match (kind.as_str(), &toks[pos]) {
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct {
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert!(
+                count_tuple_fields(g.stream()) == 1,
+                "serde stand-in: tuple struct `{name}` must have exactly one field"
+            );
+            Shape::NewtypeStruct
+        }
+        ("enum", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+            variants: parse_variants(g.stream()),
+        },
+        _ => panic!("serde stand-in: cannot derive for `{kind} {name}` with this body"),
+    };
+    Item { name, shape }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct { fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut obj: Vec<(String, ::serde::Value)> = Vec::new(); {pushes} \
+                 ::serde::Value::Object(obj)"
+            )
+        }
+        Shape::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Enum { variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Value::Object(vec![({v:?}\
+                             .to_string(), ::serde::Serialize::to_value(inner))]),"
+                        )
+                    } else {
+                        format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),")
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct { fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(v, {name:?}, {f:?})?,"))
+                .collect();
+            format!("Ok(Self {{ {inits} }})")
+        }
+        Shape::NewtypeStruct => {
+            "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Shape::Enum { variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, p)| !p)
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, p)| *p)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => return Ok({name}::{v}(::serde::Deserialize::from_value(\
+                         inner)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => {{\n\
+                         match s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                         Err(::serde::Error::msg(format!(\
+                             \"unknown variant {{s:?}} of {name}\")))\n\
+                     }}\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{ {payload_arms} _ => {{}} }}\n\
+                         Err(::serde::Error::msg(format!(\
+                             \"unknown variant {{tag:?}} of {name}\")))\n\
+                     }}\n\
+                     other => Err(::serde::Error::msg(format!(\
+                         \"{name}: unexpected value {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+             {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl must parse")
+}
