@@ -1,0 +1,59 @@
+//! Emits the machine-readable data-plane throughput baseline
+//! (`BENCH_dataplane.json`).
+//!
+//! ```text
+//! cargo run --release -p sb-bench --bin bench-dataplane -- --out BENCH_dataplane.json
+//! cargo run --release -p sb-bench --bin bench-dataplane -- --quick   # CI smoke
+//! ```
+//!
+//! Without `--out` the JSON goes to stdout. `--quick` uses short CI-scale
+//! parameters; the default is the full checked-in baseline matrix. See
+//! `sb_bench::dataplane_baseline` for the document schema.
+
+use sb_bench::dataplane_baseline::{run, to_json, BaselineConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = BaselineConfig::full();
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cfg = BaselineConfig::quick(),
+            "--out" | "-o" => {
+                out_path = it.next().cloned();
+                if out_path.is_none() {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: bench-dataplane [--quick] [--out <path>]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'; usage: bench-dataplane [--quick] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let baseline = run(&cfg);
+    let json = to_json(&baseline);
+    eprintln!(
+        "[bench-dataplane: {} cells in {:.1}s]",
+        baseline.single_instance.len() + baseline.scaleout.len() + baseline.batch_sweep.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, json).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("[bench-dataplane: wrote {path}]");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -1,0 +1,296 @@
+//! The machine-readable data-plane throughput baseline
+//! (`BENCH_dataplane.json`).
+//!
+//! Unlike the figure modules (which print paper-style rows), this module
+//! produces a stable JSON document that is checked in at the repo root and
+//! serves as the reference point for future performance PRs: per-mode
+//! single-instance Mpps across the Figure 8 flow counts, isolated scale-out
+//! points, and a batch-size sweep showing the amortization curve of
+//! [`sb_dataplane::Forwarder::process_batch`].
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p sb-bench --bin bench-dataplane -- --out BENCH_dataplane.json
+//! ```
+//!
+//! CI runs the same binary with `--quick` as a smoke check that the
+//! harness works and the JSON stays well-formed.
+
+use sb_dataplane::runner::{measure_isolated, ScaleoutConfig};
+use sb_dataplane::ForwarderMode;
+use serde::Serialize;
+use std::time::Duration;
+
+/// One single-instance cell: a mode at a flow count.
+#[derive(Debug, Clone, Serialize)]
+pub struct SingleCell {
+    /// Forwarder mode (`bridge` / `overlay` / `affinity`).
+    pub mode: &'static str,
+    /// Concurrent flows.
+    pub flows: usize,
+    /// Measured steady-state throughput.
+    pub mpps: f64,
+    /// Flow-table entries at the end of the run.
+    pub flow_entries: usize,
+}
+
+/// One isolated scale-out cell (Affinity mode).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleCell {
+    /// Forwarder instances (each measured in isolation, rates summed).
+    pub instances: usize,
+    /// Flows per instance.
+    pub flows_per_instance: usize,
+    /// Aggregate throughput.
+    pub mpps: f64,
+}
+
+/// One batch-size cell (Affinity mode, 2K flows).
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchCell {
+    /// Packets per `process_batch` call (1 = per-packet `process`).
+    pub batch_size: usize,
+    /// Measured steady-state throughput.
+    pub mpps: f64,
+}
+
+/// The full baseline document.
+#[derive(Debug, Clone, Serialize)]
+pub struct Baseline {
+    /// Document identifier.
+    pub benchmark: &'static str,
+    /// Packet size used throughout (bytes).
+    pub packet_size: u16,
+    /// How the numbers were measured.
+    pub methodology: &'static str,
+    /// Measurement duration per cell (ms).
+    pub duration_ms: u64,
+    /// Per-mode single-instance throughput across flow counts.
+    pub single_instance: Vec<SingleCell>,
+    /// Affinity-mode isolated scale-out points.
+    pub scaleout: Vec<ScaleCell>,
+    /// Throughput vs batch size (Affinity, smallest flow count).
+    pub batch_sweep: Vec<BatchCell>,
+}
+
+/// Parameters of a baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Measurement duration per cell.
+    pub duration: Duration,
+    /// Warmup per cell (the runner additionally enforces a per-flow
+    /// steady-state packet minimum).
+    pub warmup: Duration,
+    /// Flow counts for the single-instance matrix.
+    pub flow_counts: Vec<usize>,
+    /// Instance counts for the scale-out points.
+    pub instance_counts: Vec<usize>,
+    /// Batch sizes for the amortization sweep.
+    pub batch_sizes: Vec<usize>,
+}
+
+impl BaselineConfig {
+    /// Fast parameters for CI smoke runs (seconds, not minutes).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            duration: Duration::from_millis(60),
+            warmup: Duration::from_millis(15),
+            flow_counts: vec![2_048, 65_536],
+            instance_counts: vec![1, 2],
+            batch_sizes: vec![1, 32],
+        }
+    }
+
+    /// The checked-in baseline parameters (2K/64K/512K flows).
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            duration: Duration::from_millis(800),
+            warmup: Duration::from_millis(200),
+            flow_counts: vec![2_048, 65_536, 524_288],
+            instance_counts: vec![1, 2, 4],
+            batch_sizes: vec![1, 8, 32, 256],
+        }
+    }
+}
+
+fn mode_name(mode: ForwarderMode) -> &'static str {
+    match mode {
+        ForwarderMode::Bridge => "bridge",
+        ForwarderMode::Overlay => "overlay",
+        ForwarderMode::Affinity => "affinity",
+    }
+}
+
+fn scaleout_config(cfg: &BaselineConfig, mode: ForwarderMode, flows: usize) -> ScaleoutConfig {
+    ScaleoutConfig {
+        instances: 1,
+        flows_per_instance: flows,
+        packet_size: 64,
+        mode,
+        duration: cfg.duration,
+        warmup: cfg.warmup,
+        ..ScaleoutConfig::default()
+    }
+}
+
+/// Runs the full baseline matrix.
+#[must_use]
+pub fn run(cfg: &BaselineConfig) -> Baseline {
+    let mut single = Vec::new();
+    for mode in [
+        ForwarderMode::Bridge,
+        ForwarderMode::Overlay,
+        ForwarderMode::Affinity,
+    ] {
+        for &flows in &cfg.flow_counts {
+            let r = measure_isolated(&scaleout_config(cfg, mode, flows));
+            single.push(SingleCell {
+                mode: mode_name(mode),
+                flows,
+                mpps: r.throughput.value(),
+                flow_entries: r.flow_entries,
+            });
+        }
+    }
+
+    let scale_flows = cfg.flow_counts.get(1).copied().unwrap_or(65_536);
+    let mut scaleout = Vec::new();
+    for &instances in &cfg.instance_counts {
+        let r = measure_isolated(&ScaleoutConfig {
+            instances,
+            ..scaleout_config(cfg, ForwarderMode::Affinity, scale_flows)
+        });
+        scaleout.push(ScaleCell {
+            instances,
+            flows_per_instance: scale_flows,
+            mpps: r.throughput.value(),
+        });
+    }
+
+    let sweep_flows = cfg.flow_counts.first().copied().unwrap_or(2_048);
+    let mut batch_sweep = Vec::new();
+    for &batch_size in &cfg.batch_sizes {
+        let r = measure_isolated(&ScaleoutConfig {
+            batch_size,
+            ..scaleout_config(cfg, ForwarderMode::Affinity, sweep_flows)
+        });
+        batch_sweep.push(BatchCell {
+            batch_size,
+            mpps: r.throughput.value(),
+        });
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    let duration_ms = cfg.duration.as_millis() as u64;
+    Baseline {
+        benchmark: "dataplane",
+        packet_size: 64,
+        methodology: "isolated per-instance generate->process loops \
+                      (sb_dataplane::runner::measure_isolated), aggregate = sum of \
+                      per-instance steady-state rates",
+        duration_ms,
+        single_instance: single,
+        scaleout,
+        batch_sweep,
+    }
+}
+
+/// Serializes a baseline as indented JSON (the vendored `serde_json` has no
+/// pretty printer, so we re-indent its compact output; string literals in
+/// the document contain no braces or brackets, which keeps this safe).
+///
+/// # Panics
+///
+/// Panics if serialization fails (plain data, cannot happen).
+#[must_use]
+pub fn to_json(baseline: &Baseline) -> String {
+    let compact = serde_json::to_string(baseline).expect("baseline serializes");
+    indent_json(&compact)
+}
+
+fn indent_json(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth: usize = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    for c in compact.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                depth += 1;
+                newline(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            _ => out.push(c),
+        }
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_well_formed_json() {
+        let cfg = BaselineConfig {
+            duration: Duration::from_millis(20),
+            warmup: Duration::from_millis(5),
+            flow_counts: vec![128],
+            instance_counts: vec![1],
+            batch_sizes: vec![1, 16],
+        };
+        let b = run(&cfg);
+        assert_eq!(b.single_instance.len(), 3);
+        assert!(b.single_instance.iter().all(|c| c.mpps > 0.0));
+        let json = to_json(&b);
+        let parsed = serde_json::from_str_value(&json).unwrap();
+        assert!(parsed.get("single_instance").is_some());
+        assert!(parsed.get("batch_sweep").is_some());
+    }
+
+    #[test]
+    fn indentation_preserves_content() {
+        let compact = r#"{"a":[1,2],"b":"x{]y"}"#;
+        let pretty = indent_json(compact);
+        let a = serde_json::from_str_value(compact).unwrap();
+        let b = serde_json::from_str_value(&pretty).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -51,6 +51,7 @@ pub fn measure_mode(mode: ForwarderMode, flows: usize, millis: u64) -> f64 {
         mode,
         duration: Duration::from_millis(millis),
         warmup: Duration::from_millis(millis / 4),
+        ..ScaleoutConfig::default()
     });
     r.throughput.value()
 }

@@ -46,6 +46,7 @@ pub fn run(scale: Scale) -> Vec<Cell> {
                 mode: ForwarderMode::Affinity,
                 duration,
                 warmup: duration / 3,
+                ..ScaleoutConfig::default()
             });
             cells.push(Cell {
                 instances,

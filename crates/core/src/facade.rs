@@ -195,120 +195,282 @@ impl Switchboard {
     /// egress site; the edge's learned pins and the forwarders' reverse
     /// flow-table entries retrace the forward path backwards.
     ///
+    /// Implemented as a one-packet [`send_batch`](Self::send_batch).
+    ///
     /// # Errors
     ///
     /// - [`Error::Forwarding`] on missing rules, unbound instances (without
     ///   passthrough default), unknown forwarders, or loops.
     pub fn send(&mut self, chain: ChainId, ingress_site: SiteId, packet: Packet) -> Result<Transit> {
-        let edge = self
-            .cp
-            .edge_mut()
-            .instance_at_mut(ingress_site)
-            .ok_or_else(|| Error::unknown("edge instance at site", ingress_site))?;
-        let edge_addr = edge.addr();
-        let (mut pkt, mut hop) = edge.ingress(chain, packet)?;
+        self.send_batch(chain, ingress_site, &[packet])
+            .pop()
+            .expect("one result per packet")
+    }
 
-        let mut hops = vec![edge_addr];
-        let mut latency = Millis::ZERO;
-        let mut current_site = ingress_site;
-        let mut from = edge_addr;
-
-        for _ in 0..self.max_hops {
-            match hop {
-                Addr::Forwarder(f) => {
-                    let site = self
-                        .cp
-                        .forwarder_site(f)
-                        .ok_or_else(|| Error::unknown("forwarder", f))?;
-                    if site != current_site {
-                        latency += self.prop(current_site, site)?;
-                        current_site = site;
-                    }
-                    let fw = self
-                        .cp
-                        .local_mut(site)
-                        .and_then(|l| l.forwarder_mut(f))
-                        .ok_or_else(|| Error::unknown("forwarder", f))?;
-                    let (out, next) = fw.process(pkt, from)?;
-                    hops.push(Addr::Forwarder(f));
-                    pkt = out;
-                    from = Addr::Forwarder(f);
-                    hop = next;
-                }
-                Addr::Vnf(instance) => {
-                    hops.push(Addr::Vnf(instance));
-                    let passthrough_default = self.passthrough_default;
-                    let behavior = match self.behaviors.entry(instance) {
-                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(v) => {
-                            if passthrough_default {
-                                v.insert(Box::new(Passthrough::new(instance)))
-                            } else {
-                                return Err(Error::forwarding(format!(
-                                    "no behavior bound to {instance}"
-                                )));
-                            }
-                        }
-                    };
-                    latency += behavior.processing_delay();
-                    let Some(out) = behavior.process(pkt) else {
-                        // Dropped by the VNF (firewall deny, NAT miss).
-                        return Ok(Transit {
-                            hops,
-                            latency,
-                            delivered: false,
-                            output: None,
-                        });
-                    };
-                    pkt = out;
-                    // Back to the forwarder serving this instance.
-                    let fid = self
-                        .cp
-                        .local(current_site)
-                        .and_then(|l| l.forwarder_of_instance(instance))
-                        .ok_or_else(|| {
-                            Error::unknown("forwarder of instance", instance)
-                        })?;
-                    from = Addr::Vnf(instance);
-                    hop = Addr::Forwarder(fid);
-                }
-                Addr::Edge(e) => {
-                    let edge_site = self
-                        .cp
-                        .edge()
-                        .sites()
-                        .into_iter()
-                        .find(|&s| {
-                            self.cp
-                                .edge()
-                                .instance_at(s)
-                                .is_some_and(|i| i.id() == e)
-                        })
-                        .ok_or_else(|| Error::unknown("edge instance", e))?;
-                    if edge_site != current_site {
-                        latency += self.prop(current_site, edge_site)?;
-                    }
-                    let edge = self
-                        .cp
-                        .edge_mut()
-                        .instance_mut(e)
-                        .ok_or_else(|| Error::unknown("edge instance", e))?;
-                    let out = edge.egress(pkt, from);
-                    hops.push(Addr::Edge(e));
-                    return Ok(Transit {
-                        hops,
-                        latency,
-                        delivered: true,
-                        output: Some(out),
-                    });
+    /// Injects a burst of packets into `chain` at `ingress_site` and walks
+    /// them through the data plane together, returning one [`Transit`] (or
+    /// error) per packet, in order.
+    ///
+    /// The packets advance through the topology in lockstep rounds; within
+    /// each round, all packets standing at the same forwarder with the same
+    /// previous hop are handed over in one
+    /// [`sb_dataplane::Forwarder::process_batch`] call, which amortizes
+    /// per-packet dispatch (see the dataplane crate docs). VNF behaviors and
+    /// edge instances remain per-packet — they are stateful middleboxes, not
+    /// batchable header processing.
+    pub fn send_batch(
+        &mut self,
+        chain: ChainId,
+        ingress_site: SiteId,
+        packets: &[Packet],
+    ) -> Vec<Result<Transit>> {
+        let mut results: Vec<Option<Result<Transit>>> = packets.iter().map(|_| None).collect();
+        let mut live: Vec<InFlight> = Vec::with_capacity(packets.len());
+        {
+            let Some(edge) = self.cp.edge_mut().instance_at_mut(ingress_site) else {
+                return packets
+                    .iter()
+                    .map(|_| Err(Error::unknown("edge instance at site", ingress_site)))
+                    .collect();
+            };
+            let edge_addr = edge.addr();
+            for (idx, &packet) in packets.iter().enumerate() {
+                match edge.ingress(chain, packet) {
+                    Ok((pkt, hop)) => live.push(InFlight {
+                        idx,
+                        pkt,
+                        from: edge_addr,
+                        hop,
+                        hops: vec![edge_addr],
+                        latency: Millis::ZERO,
+                        site: ingress_site,
+                    }),
+                    Err(e) => results[idx] = Some(Err(e)),
                 }
             }
         }
-        Err(Error::forwarding(format!(
-            "hop bound ({}) exceeded — forwarding loop?",
-            self.max_hops
-        )))
+
+        for _ in 0..self.max_hops {
+            if live.is_empty() {
+                break;
+            }
+            live = self.step_round(live, &mut results);
+        }
+        for flight in live {
+            results[flight.idx] = Some(Err(Error::forwarding(format!(
+                "hop bound ({}) exceeded — forwarding loop?",
+                self.max_hops
+            ))));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every packet resolved"))
+            .collect()
     }
+
+    /// Advances every in-flight packet by one data-plane element. Packets
+    /// standing at the same forwarder with the same previous hop are
+    /// processed as one batch; completed or failed packets land in
+    /// `results`, the rest are returned for the next round.
+    fn step_round(
+        &mut self,
+        live: Vec<InFlight>,
+        results: &mut [Option<Result<Transit>>],
+    ) -> Vec<InFlight> {
+        // Group forwarder-bound packets by (forwarder, previous hop),
+        // preserving first-arrival order for determinism.
+        let mut groups: Vec<((sb_types::ForwarderId, Addr), Vec<InFlight>)> = Vec::new();
+        let mut singles: Vec<InFlight> = Vec::new();
+        for flight in live {
+            match flight.hop {
+                Addr::Forwarder(fid) => {
+                    let key = (fid, flight.from);
+                    match groups.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, g)) => g.push(flight),
+                        None => groups.push((key, vec![flight])),
+                    }
+                }
+                Addr::Vnf(_) | Addr::Edge(_) => singles.push(flight),
+            }
+        }
+
+        let mut next_live = Vec::new();
+        for ((fid, from), group) in groups {
+            self.step_forwarder_group(fid, from, group, results, &mut next_live);
+        }
+        for flight in singles {
+            match flight.hop {
+                Addr::Vnf(_) => self.step_vnf(flight, results, &mut next_live),
+                Addr::Edge(_) => self.step_edge(flight, results),
+                Addr::Forwarder(_) => unreachable!("grouped above"),
+            }
+        }
+        next_live
+    }
+
+    /// One round's worth of packets arriving at forwarder `fid` from `from`:
+    /// charge propagation, then process the whole group in one batch call.
+    fn step_forwarder_group(
+        &mut self,
+        fid: sb_types::ForwarderId,
+        from: Addr,
+        group: Vec<InFlight>,
+        results: &mut [Option<Result<Transit>>],
+        next_live: &mut Vec<InFlight>,
+    ) {
+        let Some(site) = self.cp.forwarder_site(fid) else {
+            for g in group {
+                results[g.idx] = Some(Err(Error::unknown("forwarder", fid)));
+            }
+            return;
+        };
+        // Charge wide-area propagation per packet (sites may differ when
+        // reverse traffic converges from several origins).
+        let mut arrived = Vec::with_capacity(group.len());
+        for mut g in group {
+            if site != g.site {
+                match self.prop(g.site, site) {
+                    Ok(d) => {
+                        g.latency += d;
+                        g.site = site;
+                    }
+                    Err(e) => {
+                        results[g.idx] = Some(Err(e));
+                        continue;
+                    }
+                }
+            }
+            arrived.push(g);
+        }
+        if arrived.is_empty() {
+            return;
+        }
+        let Some(fw) = self.cp.local_mut(site).and_then(|l| l.forwarder_mut(fid)) else {
+            for g in arrived {
+                results[g.idx] = Some(Err(Error::unknown("forwarder", fid)));
+            }
+            return;
+        };
+        let mut pkts: Vec<Packet> = arrived.iter().map(|g| g.pkt).collect();
+        let outs = fw.process_batch(&mut pkts, from);
+        for ((mut g, pkt), res) in arrived.into_iter().zip(pkts).zip(outs) {
+            g.hops.push(Addr::Forwarder(fid));
+            match res {
+                Ok(next) => {
+                    g.pkt = pkt;
+                    g.from = Addr::Forwarder(fid);
+                    g.hop = next;
+                    next_live.push(g);
+                }
+                Err(e) => results[g.idx] = Some(Err(e)),
+            }
+        }
+    }
+
+    /// One packet through its VNF behavior (behaviors are stateful and
+    /// per-packet by nature).
+    fn step_vnf(
+        &mut self,
+        mut flight: InFlight,
+        results: &mut [Option<Result<Transit>>],
+        next_live: &mut Vec<InFlight>,
+    ) {
+        let Addr::Vnf(instance) = flight.hop else {
+            unreachable!("caller dispatches on hop kind");
+        };
+        flight.hops.push(Addr::Vnf(instance));
+        let passthrough_default = self.passthrough_default;
+        let behavior = match self.behaviors.entry(instance) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if passthrough_default {
+                    v.insert(Box::new(Passthrough::new(instance)))
+                } else {
+                    results[flight.idx] = Some(Err(Error::forwarding(format!(
+                        "no behavior bound to {instance}"
+                    ))));
+                    return;
+                }
+            }
+        };
+        flight.latency += behavior.processing_delay();
+        let Some(out) = behavior.process(flight.pkt) else {
+            // Dropped by the VNF (firewall deny, NAT miss).
+            results[flight.idx] = Some(Ok(Transit {
+                hops: flight.hops,
+                latency: flight.latency,
+                delivered: false,
+                output: None,
+            }));
+            return;
+        };
+        flight.pkt = out;
+        // Back to the forwarder serving this instance.
+        let Some(fid) = self
+            .cp
+            .local(flight.site)
+            .and_then(|l| l.forwarder_of_instance(instance))
+        else {
+            results[flight.idx] = Some(Err(Error::unknown("forwarder of instance", instance)));
+            return;
+        };
+        flight.from = Addr::Vnf(instance);
+        flight.hop = Addr::Forwarder(fid);
+        next_live.push(flight);
+    }
+
+    /// One packet leaving at its egress edge instance.
+    fn step_edge(&mut self, mut flight: InFlight, results: &mut [Option<Result<Transit>>]) {
+        let Addr::Edge(e) = flight.hop else {
+            unreachable!("caller dispatches on hop kind");
+        };
+        let Some(edge_site) = self.cp.edge().sites().into_iter().find(|&s| {
+            self.cp
+                .edge()
+                .instance_at(s)
+                .is_some_and(|i| i.id() == e)
+        }) else {
+            results[flight.idx] = Some(Err(Error::unknown("edge instance", e)));
+            return;
+        };
+        if edge_site != flight.site {
+            match self.prop(flight.site, edge_site) {
+                Ok(d) => flight.latency += d,
+                Err(err) => {
+                    results[flight.idx] = Some(Err(err));
+                    return;
+                }
+            }
+        }
+        let Some(edge) = self.cp.edge_mut().instance_mut(e) else {
+            results[flight.idx] = Some(Err(Error::unknown("edge instance", e)));
+            return;
+        };
+        let out = edge.egress(flight.pkt, flight.from);
+        flight.hops.push(Addr::Edge(e));
+        results[flight.idx] = Some(Ok(Transit {
+            hops: flight.hops,
+            latency: flight.latency,
+            delivered: true,
+            output: Some(out),
+        }));
+    }
+}
+
+/// One packet mid-walk through the data plane (see
+/// [`Switchboard::send_batch`]).
+struct InFlight {
+    /// Index into the caller's packet slice / result vector.
+    idx: usize,
+    pkt: Packet,
+    /// The element the packet last left.
+    from: Addr,
+    /// The element the packet is about to enter.
+    hop: Addr,
+    hops: Vec<Addr>,
+    latency: Millis,
+    /// The site the packet is currently at (for propagation charging).
+    site: SiteId,
 }
 
 #[cfg(test)]
@@ -446,5 +608,50 @@ mod tests {
             .unwrap();
         assert!(!t.delivered);
         assert!(t.output.is_none());
+    }
+
+    #[test]
+    fn send_batch_matches_sequential_sends() {
+        // The same burst through two identical deployments: per-packet
+        // `send` on one, a single `send_batch` on the other. Every packet
+        // must take the same path with the same outcome.
+        let (mut seq_sb, chain, ingress, _) = two_vnf_chain();
+        let (mut batch_sb, _, _, _) = two_vnf_chain();
+        let packets: Vec<Packet> = (0..20u16)
+            .map(|p| {
+                let key = FlowKey::tcp([10, 0, 0, 1], 5000 + p % 6, [10, 9, 9, 9], 80);
+                Packet::unlabeled(key, 500)
+            })
+            .collect();
+
+        let seq: Vec<Transit> = packets
+            .iter()
+            .map(|&p| seq_sb.send(chain, ingress, p).unwrap())
+            .collect();
+        let batch = batch_sb.send_batch(chain, ingress, &packets);
+
+        assert_eq!(seq.len(), batch.len());
+        for (i, (s, b)) in seq.iter().zip(&batch).enumerate() {
+            let b = b.as_ref().unwrap_or_else(|e| panic!("packet {i}: {e}"));
+            assert!(b.delivered, "packet {i}");
+            assert_eq!(s.hops, b.hops, "packet {i}: path");
+            assert_eq!(s.output, b.output, "packet {i}: output");
+        }
+    }
+
+    #[test]
+    fn send_batch_reports_per_packet_outcomes() {
+        let (mut sb, chain, ingress, _) = two_vnf_chain();
+        let key = FlowKey::tcp([10, 0, 0, 1], 5000, [10, 9, 9, 9], 80);
+        let burst = vec![Packet::unlabeled(key, 500); 8];
+        let results = sb.send_batch(chain, ingress, &burst);
+        assert_eq!(results.len(), 8);
+        let first = results[0].as_ref().unwrap();
+        for r in &results {
+            let t = r.as_ref().unwrap();
+            assert!(t.delivered);
+            // Flow affinity holds within the burst: one flow, one path.
+            assert_eq!(t.vnf_instances(), first.vnf_instances());
+        }
     }
 }

@@ -14,14 +14,26 @@
 //! | reversed 5-tuple        | `FromWire` | adjacent VNF inst.  |
 //! | reversed 5-tuple        | `FromVnf`  | previous forwarder  |
 //!
-//! The table uses FNV hashing of the canonical key bytes so lookups are
-//! deterministic across runs and fast enough to measure the cache-miss
-//! throughput decay of Figure 8.
+//! # Layout
+//!
+//! The table is a flat open-addressing hash table with power-of-two
+//! buckets, linear probing, and backward-shift deletion (no tombstones):
+//! a lookup walks a contiguous array of 8-byte hash tags, touching the
+//! fixed-size entry array only on a tag match. Compared to the previous
+//! `HashMap`-based table this removes per-probe pointer chasing from the
+//! forwarding hot path while keeping the Figure 8 cache-decay shape: as
+//! the live table outgrows the CPU caches, probes miss all the same.
+//!
+//! The table grows geometrically from a small initial allocation up to the
+//! configured capacity limit, so idle forwarders stay cheap. Hashing is a
+//! deterministic mix of [`FlowKey::stable_hash`] with the chain label and
+//! arrival context, so lookups are identical across runs and the hash can
+//! be computed once per packet and shared with weighted load-balancer
+//! selection (see [`crate::Forwarder`]).
 
 use crate::packet::Addr;
 use sb_types::{ChainLabel, Error, FlowKey, Result};
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::Hasher;
 
 /// Whether the packet arrived from the wire/tunnel side (needs delivery to
 /// the adjacent VNF) or came back from the attached VNF (needs forwarding to
@@ -49,45 +61,48 @@ pub struct FlowTableKey {
     pub context: FlowContext,
 }
 
-impl std::hash::Hash for FlowTableKey {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        // Single write keeps FNV fast; stable_hash canonicalizes the tuple.
+impl FlowTableKey {
+    /// The table slot hash for this key, given the precomputed
+    /// [`FlowKey::stable_hash`] of `self.key`. Forwarders compute the flow
+    /// hash once at parse time and thread it through both flow-table
+    /// lookups and load-balancer selection; passing a hash of a *different*
+    /// flow key produces garbage lookups, never unsoundness.
+    ///
+    /// Never returns zero (zero is the table's empty-slot sentinel).
+    #[inline]
+    #[must_use]
+    pub fn slot_hash(&self, flow_hash: u64) -> u64 {
         let ctx = match self.context {
             FlowContext::FromWire => 0u64,
             FlowContext::FromVnf => 1u64,
         };
-        state.write_u64(
-            self.key
-                .stable_hash()
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                ^ (u64::from(self.chain.value()) << 1)
-                ^ ctx,
-        );
-    }
-}
-
-/// FNV-1a finalizer over the pre-mixed 64-bit key.
-#[derive(Debug, Default, Clone)]
-pub struct FnvHasher(u64);
-
-impl Hasher for FnvHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(PRIME);
+        let mixed = flow_hash
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (u64::from(self.chain.value()) << 1)
+            ^ ctx;
+        let h = mixed.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        if h == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            h
         }
     }
-    fn write_u64(&mut self, v: u64) {
-        // The key is already well-mixed; one multiply finishes the job.
-        self.0 = v.wrapping_mul(0xff51_afd7_ed55_8ccd);
+}
+
+impl std::hash::Hash for FlowTableKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Kept for model-based tests that mirror the table with a std
+        // `HashMap`; the table itself uses `slot_hash` directly.
+        state.write_u64(self.slot_hash(self.key.stable_hash()));
     }
 }
 
-type FnvState = BuildHasherDefault<FnvHasher>;
+/// One occupied table entry; fixed-size so the entry array is flat.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: FlowTableKey,
+    next: Addr,
+}
 
 /// The connection table of one forwarder.
 ///
@@ -96,27 +111,80 @@ type FnvState = BuildHasherDefault<FnvHasher>;
 /// inserting past the limit fails with [`Error::ResourceExhausted`].
 #[derive(Debug, Clone)]
 pub struct FlowTable {
-    entries: HashMap<FlowTableKey, Addr, FnvState>,
+    /// Per-bucket hash tags; `0` marks an empty bucket. Probing touches
+    /// only this dense array until a tag matches.
+    hashes: Vec<u64>,
+    /// Entry payloads, parallel to `hashes` (valid where the tag is
+    /// non-zero).
+    slots: Vec<Slot>,
+    mask: usize,
+    len: usize,
     capacity: usize,
+}
+
+/// Initial bucket count (kept small: idle forwarders shouldn't pay for the
+/// capacity limit up front).
+const MIN_BUCKETS: usize = 64;
+/// Grow when occupancy would exceed 7/8 of the buckets.
+const LOAD_NUM: usize = 7;
+const LOAD_DEN: usize = 8;
+
+fn empty_slot() -> Slot {
+    Slot {
+        key: FlowTableKey {
+            chain: ChainLabel::new(0),
+            key: FlowKey::udp([0, 0, 0, 0], 0, [0, 0, 0, 0], 0),
+            context: FlowContext::FromWire,
+        },
+        next: Addr::Edge(sb_types::EdgeInstanceId::new(0)),
+    }
 }
 
 impl FlowTable {
     /// Creates a table bounded at `capacity` entries.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
+        let buckets = MIN_BUCKETS.min(Self::max_buckets(capacity));
         Self {
-            entries: HashMap::with_capacity_and_hasher(
-                capacity.min(1 << 20),
-                FnvState::default(),
-            ),
+            hashes: vec![0; buckets],
+            slots: vec![empty_slot(); buckets],
+            mask: buckets - 1,
+            len: 0,
             capacity,
         }
+    }
+
+    /// The bucket count that holds `capacity` entries below the load
+    /// threshold; growth stops here.
+    fn max_buckets(capacity: usize) -> usize {
+        (capacity.saturating_mul(LOAD_DEN) / LOAD_NUM + 1)
+            .next_power_of_two()
+            .max(MIN_BUCKETS)
     }
 
     /// Looks up the pinned next hop for a key.
     #[must_use]
     pub fn get(&self, key: &FlowTableKey) -> Option<Addr> {
-        self.entries.get(key).copied()
+        self.get_hashed(key, key.key.stable_hash())
+    }
+
+    /// [`get`](Self::get) with the flow hash precomputed by the caller
+    /// (the forwarder computes it once per packet at parse time).
+    #[inline]
+    #[must_use]
+    pub fn get_hashed(&self, key: &FlowTableKey, flow_hash: u64) -> Option<Addr> {
+        let h = key.slot_hash(flow_hash);
+        let mut i = (h as usize) & self.mask;
+        loop {
+            let tag = self.hashes[i];
+            if tag == 0 {
+                return None;
+            }
+            if tag == h && self.slots[i].key == *key {
+                return Some(self.slots[i].next);
+            }
+            i = (i + 1) & self.mask;
+        }
     }
 
     /// Pins `next` for `key`. Overwrites an existing entry (rule churn never
@@ -127,13 +195,102 @@ impl FlowTable {
     /// Returns [`Error::ResourceExhausted`] when inserting a new key would
     /// exceed the capacity limit.
     pub fn insert(&mut self, key: FlowTableKey, next: Addr) -> Result<()> {
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            return Err(Error::ResourceExhausted {
-                resource: "flow table",
-            });
+        self.insert_hashed(key, key.key.stable_hash(), next)
+    }
+
+    /// [`insert`](Self::insert) with the flow hash precomputed by the
+    /// caller. A single probe sequence finds either the existing entry (to
+    /// overwrite) or the insertion point (where the capacity limit is
+    /// checked).
+    #[inline]
+    pub fn insert_hashed(&mut self, key: FlowTableKey, flow_hash: u64, next: Addr) -> Result<()> {
+        let buckets = self.hashes.len();
+        if (self.len + 1) * LOAD_DEN > buckets * LOAD_NUM && buckets < Self::max_buckets(self.capacity)
+        {
+            self.grow();
         }
-        self.entries.insert(key, next);
-        Ok(())
+        let h = key.slot_hash(flow_hash);
+        let mut i = (h as usize) & self.mask;
+        loop {
+            let tag = self.hashes[i];
+            if tag == 0 {
+                if self.len >= self.capacity {
+                    return Err(Error::ResourceExhausted {
+                        resource: "flow table",
+                    });
+                }
+                self.hashes[i] = h;
+                self.slots[i] = Slot { key, next };
+                self.len += 1;
+                return Ok(());
+            }
+            if tag == h && self.slots[i].key == key {
+                self.slots[i].next = next;
+                return Ok(());
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Doubles the bucket arrays and reinserts every live entry.
+    fn grow(&mut self) {
+        let new_buckets = self.hashes.len() * 2;
+        let old_hashes = std::mem::replace(&mut self.hashes, vec![0; new_buckets]);
+        let old_slots = std::mem::replace(&mut self.slots, vec![empty_slot(); new_buckets]);
+        self.mask = new_buckets - 1;
+        for (tag, slot) in old_hashes.into_iter().zip(old_slots) {
+            if tag == 0 {
+                continue;
+            }
+            let mut i = (tag as usize) & self.mask;
+            while self.hashes[i] != 0 {
+                i = (i + 1) & self.mask;
+            }
+            self.hashes[i] = tag;
+            self.slots[i] = slot;
+        }
+    }
+
+    /// Removes one entry, returning its next hop. Uses backward-shift
+    /// deletion: subsequent probe-chain entries slide back over the hole so
+    /// the table never accumulates tombstones.
+    pub fn remove(&mut self, key: &FlowTableKey) -> Option<Addr> {
+        let h = key.slot_hash(key.key.stable_hash());
+        let mut i = (h as usize) & self.mask;
+        loop {
+            let tag = self.hashes[i];
+            if tag == 0 {
+                return None;
+            }
+            if tag == h && self.slots[i].key == *key {
+                let removed = self.slots[i].next;
+                self.backward_shift(i);
+                self.len -= 1;
+                return Some(removed);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Empties bucket `hole`, then slides displaced successors back so every
+    /// remaining entry stays reachable from its ideal bucket.
+    fn backward_shift(&mut self, mut hole: usize) {
+        self.hashes[hole] = 0;
+        let mut cur = (hole + 1) & self.mask;
+        while self.hashes[cur] != 0 {
+            let ideal = (self.hashes[cur] as usize) & self.mask;
+            // `cur` may fill the hole iff its ideal bucket lies at or before
+            // the hole along the cyclic probe path ending at `cur`.
+            let dist_ideal = cur.wrapping_sub(ideal) & self.mask;
+            let dist_hole = cur.wrapping_sub(hole) & self.mask;
+            if dist_ideal >= dist_hole {
+                self.hashes[hole] = self.hashes[cur];
+                self.slots[hole] = self.slots[cur];
+                self.hashes[cur] = 0;
+                hole = cur;
+            }
+            cur = (cur + 1) & self.mask;
+        }
     }
 
     /// Removes all four entries of a connection (both directions, both
@@ -145,7 +302,6 @@ impl FlowTable {
         for k in [key, key.reversed()] {
             for context in [FlowContext::FromWire, FlowContext::FromVnf] {
                 if self
-                    .entries
                     .remove(&FlowTableKey {
                         chain,
                         key: k,
@@ -163,13 +319,13 @@ impl FlowTable {
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the table is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// The capacity limit.
@@ -178,9 +334,21 @@ impl FlowTable {
         self.capacity
     }
 
-    /// Drops every entry.
+    /// Current bucket count (grows geometrically toward the capacity
+    /// limit); exposed for tests and capacity planning.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Drops every entry and releases the grown bucket arrays (a restarted
+    /// forwarder starts from a cold, small table).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        let buckets = MIN_BUCKETS.min(Self::max_buckets(self.capacity));
+        self.hashes = vec![0; buckets];
+        self.slots = vec![empty_slot(); buckets];
+        self.mask = buckets - 1;
+        self.len = 0;
     }
 }
 
@@ -309,5 +477,64 @@ mod tests {
     fn default_capacity_fits_figure8_population() {
         let t = FlowTable::default();
         assert!(t.capacity() >= 4 * 512 * 1024);
+    }
+
+    #[test]
+    fn table_grows_past_initial_buckets() {
+        let mut t = FlowTable::with_capacity(100_000);
+        let initial = t.buckets();
+        let a = Addr::Vnf(InstanceId::new(7));
+        for p in 0..5_000u16 {
+            t.insert(ftk(p, FlowContext::FromWire), a).unwrap();
+        }
+        assert!(t.buckets() > initial, "table must grow beyond {initial}");
+        assert_eq!(t.len(), 5_000);
+        for p in 0..5_000u16 {
+            assert_eq!(t.get(&ftk(p, FlowContext::FromWire)), Some(a), "port {p}");
+        }
+    }
+
+    #[test]
+    fn backward_shift_keeps_probe_chains_reachable() {
+        // Fill enough of a small, growth-capped table to force clustering,
+        // then delete in an interleaved order and check every survivor.
+        let mut t = FlowTable::with_capacity(48);
+        let a = Addr::Vnf(InstanceId::new(1));
+        for p in 0..48u16 {
+            t.insert(ftk(p, FlowContext::FromWire), a).unwrap();
+        }
+        assert_eq!(t.buckets(), 64, "stays at one growth step");
+        for p in (0..48u16).step_by(3) {
+            assert!(t.remove(&ftk(p, FlowContext::FromWire)).is_some());
+        }
+        for p in 0..48u16 {
+            let want = if p % 3 == 0 { None } else { Some(a) };
+            assert_eq!(t.get(&ftk(p, FlowContext::FromWire)), want, "port {p}");
+        }
+        assert_eq!(t.len(), 32);
+    }
+
+    #[test]
+    fn hashed_and_unhashed_paths_agree() {
+        let mut t = FlowTable::with_capacity(16);
+        let a = Addr::Vnf(InstanceId::new(3));
+        let k = ftk(9, FlowContext::FromVnf);
+        let h = k.key.stable_hash();
+        t.insert_hashed(k, h, a).unwrap();
+        assert_eq!(t.get(&k), Some(a));
+        assert_eq!(t.get_hashed(&k, h), Some(a));
+    }
+
+    #[test]
+    fn clear_releases_grown_buckets() {
+        let mut t = FlowTable::with_capacity(100_000);
+        let a = Addr::Vnf(InstanceId::new(1));
+        for p in 0..5_000u16 {
+            t.insert(ftk(p, FlowContext::FromWire), a).unwrap();
+        }
+        let grown = t.buckets();
+        t.clear();
+        assert!(t.buckets() < grown);
+        assert_eq!(t.get(&ftk(1, FlowContext::FromWire)), None);
     }
 }

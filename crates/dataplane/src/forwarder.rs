@@ -18,11 +18,26 @@
 //! - [`ForwarderMode::Affinity`] — the full Switchboard forwarder: overlay
 //!   processing plus flow-table learn/lookup for flow affinity and
 //!   symmetric return.
+//!
+//! # Fast path
+//!
+//! The hot path follows the software-dataplane playbook (VPP, DPDK l3fwd):
+//!
+//! - [`FlowKey::stable_hash`] is computed **once** per packet at parse time
+//!   and threaded through synthetic header work, flow-table lookup
+//!   ([`crate::FlowTable::get_hashed`]), and weighted selection
+//!   ([`WeightedChoice::select`]).
+//! - [`Forwarder::process_batch`] amortizes mode dispatch and rule lookup
+//!   across a batch and interleaves the per-packet header-work loops of up
+//!   to [`IO_WORK_LANES`] packets, breaking the serial dependency chain
+//!   that dominates single-packet processing. Batched processing is
+//!   packet-for-packet equivalent to calling [`Forwarder::process`] in a
+//!   loop — same next hops, same errors, same counters, same `work_sink`.
 
 use crate::flow_table::{FlowContext, FlowTable, FlowTableKey};
 use crate::loadbalancer::WeightedChoice;
 use crate::packet::{Addr, Packet, TunnelHeader};
-use sb_types::{Error, ForwarderId, InstanceId, LabelPair, Result, SiteId};
+use sb_types::{Error, FlowKey, ForwarderId, InstanceId, LabelPair, Result, SiteId};
 use std::collections::HashMap;
 
 /// The processing mode of a forwarder (Figure 7's three configurations).
@@ -65,6 +80,14 @@ pub struct ForwarderStats {
     /// Flow-table misses that ran weighted selection.
     pub flow_misses: u64,
 }
+
+/// Header-work loops interleaved per batch chunk (see
+/// [`Forwarder::process_batch`]). Eight independent accumulators are enough
+/// to saturate the multiply pipeline on current cores.
+pub const IO_WORK_LANES: usize = 8;
+
+/// Packets staged per internal batch chunk; bounds the stack scratch space.
+const BATCH_CHUNK: usize = 32;
 
 /// A Switchboard forwarder.
 ///
@@ -178,8 +201,19 @@ impl Forwarder {
     }
 
     /// Removes all flow-table state for a connection (flow completion).
-    pub fn expire_connection(&mut self, labels: LabelPair, key: sb_types::FlowKey) -> usize {
+    pub fn expire_connection(&mut self, labels: LabelPair, key: FlowKey) -> usize {
         self.flow_table.remove_connection(labels.chain(), key)
+    }
+
+    /// Drops every flow-table entry, modeling the flow-table loss of a
+    /// forwarder process restart (DESIGN.md §8). Rules, label registrations,
+    /// and counters survive — the control plane re-pushes configuration on
+    /// reconnect far faster than flows drain. Established connections lose
+    /// their pins and re-run weighted selection on their next packet;
+    /// selection is deterministic in the flow hash, so under unchanged rules
+    /// a restarted forwarder re-pins each flow to the same instance.
+    pub fn clear_flow_state(&mut self) {
+        self.flow_table.clear();
     }
 
     /// Per-packet work rounds charged by every mode: parsing, copying and
@@ -194,18 +228,65 @@ impl Forwarder {
     /// pipeline (on top of the actual flow-table operations).
     pub const AFFINITY_WORK_ROUNDS: u32 = 48;
 
-    /// Synthetic per-packet header work: a mixing loop standing in for the
-    /// parse/copy/checksum cost of each processing layer.
+    /// The header-work rounds charged per packet in `mode`.
+    const fn work_rounds(mode: ForwarderMode) -> u32 {
+        match mode {
+            ForwarderMode::Bridge => Self::BASE_WORK_ROUNDS,
+            ForwarderMode::Overlay => Self::BASE_WORK_ROUNDS + Self::LABEL_WORK_ROUNDS,
+            ForwarderMode::Affinity => {
+                Self::BASE_WORK_ROUNDS + Self::LABEL_WORK_ROUNDS + Self::AFFINITY_WORK_ROUNDS
+            }
+        }
+    }
+
+    /// One packet's synthetic header-work chain over its seed
+    /// (`flow_hash ^ size`): a mixing loop standing in for the
+    /// parse/copy/checksum cost of each processing layer. Each step depends
+    /// on the previous one, which is exactly why batching pays — see
+    /// [`Self::io_work_batch`].
     #[inline]
-    fn io_work(&mut self, pkt: &Packet, rounds: u32) {
-        let mut acc = pkt.key.stable_hash() ^ u64::from(pkt.size);
+    fn mix_rounds(mut acc: u64, rounds: u32) -> u64 {
         for i in 0..rounds {
             acc = acc
                 .rotate_left(13)
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(u64::from(i));
         }
-        self.work_sink ^= acc;
+        acc
+    }
+
+    /// Synthetic per-packet header work for the single-packet path.
+    #[inline]
+    fn io_work(&mut self, seed: u64, rounds: u32) {
+        self.work_sink ^= Self::mix_rounds(seed, rounds);
+    }
+
+    /// Batched synthetic header work: runs the same per-seed mixing chains
+    /// as [`Self::io_work`], but interleaved [`IO_WORK_LANES`] packets at a
+    /// time so the chains' serial dependencies overlap across lanes. The
+    /// XOR-fold into `work_sink` is order-independent, so the result is
+    /// bit-identical to per-packet processing.
+    fn io_work_batch(&mut self, seeds: &[u64], rounds: u32) {
+        let mut sink = 0u64;
+        for chunk in seeds.chunks(IO_WORK_LANES) {
+            let mut accs = [0u64; IO_WORK_LANES];
+            accs[..chunk.len()].copy_from_slice(chunk);
+            for i in 0..rounds {
+                let add = u64::from(i);
+                // Fixed trip count over all lanes (unused lanes mix a dummy
+                // seed and are never folded in) keeps the loop unrollable.
+                for acc in &mut accs {
+                    *acc = acc
+                        .rotate_left(13)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(add);
+                }
+            }
+            for &acc in &accs[..chunk.len()] {
+                sink ^= acc;
+            }
+        }
+        self.work_sink ^= sink;
     }
 
     /// Processes one packet arriving from `from`, returning the (possibly
@@ -227,6 +308,158 @@ impl Forwarder {
         result
     }
 
+    /// Processes a batch of packets that arrived together from `from`,
+    /// rewriting each packet in place (decapsulation, label strip/re-affix,
+    /// tunnel encapsulation) and returning one next-hop result per packet,
+    /// in order.
+    ///
+    /// Equivalent to calling [`Self::process`] per packet — same next hops,
+    /// errors, counters, flow-table state, and `work_sink` — but amortizes
+    /// mode dispatch and rule lookup across the batch and interleaves the
+    /// per-packet header-work chains (see [`Self::io_work_batch`]). One
+    /// difference: packets whose result is `Err` may still have been
+    /// rewritten in place (they are drops either way).
+    pub fn process_batch(&mut self, pkts: &mut [Packet], from: Addr) -> Vec<Result<Addr>> {
+        let mut out = Vec::new();
+        self.process_batch_into(pkts, from, &mut out);
+        out
+    }
+
+    /// [`Self::process_batch`] writing results into a caller-provided buffer
+    /// (cleared first), so steady-state callers reuse one allocation.
+    pub fn process_batch_into(
+        &mut self,
+        pkts: &mut [Packet],
+        from: Addr,
+        out: &mut Vec<Result<Addr>>,
+    ) {
+        out.clear();
+        out.reserve(pkts.len());
+        for chunk in pkts.chunks_mut(BATCH_CHUNK) {
+            if self.mode == ForwarderMode::Bridge {
+                self.bridge_chunk(chunk, out);
+            } else {
+                self.labeled_chunk(chunk, from, out);
+            }
+        }
+    }
+
+    /// Batch fast path for [`ForwarderMode::Bridge`]: parse + header work,
+    /// one shared next hop.
+    fn bridge_chunk(&mut self, chunk: &mut [Packet], out: &mut Vec<Result<Addr>>) {
+        self.stats.rx += chunk.len() as u64;
+        let mut seeds = [0u64; BATCH_CHUNK];
+        for (seed, pkt) in seeds.iter_mut().zip(chunk.iter_mut()) {
+            if pkt.tunnel.is_some() {
+                *pkt = pkt.decapsulated();
+            }
+            *seed = pkt.key.stable_hash() ^ u64::from(pkt.size);
+        }
+        self.io_work_batch(&seeds[..chunk.len()], Self::BASE_WORK_ROUNDS);
+        match self.bridge_next {
+            Some(next) => {
+                self.stats.tx += chunk.len() as u64;
+                out.extend(chunk.iter().map(|_| Ok(next)));
+            }
+            None => {
+                self.stats.drops += chunk.len() as u64;
+                out.extend(
+                    chunk
+                        .iter()
+                        .map(|_| Err(Error::forwarding("bridge has no next hop configured"))),
+                );
+            }
+        }
+    }
+
+    /// Batch path for the label-switched modes: parse + hash every packet
+    /// once, run interleaved header work for the labeled ones, then resolve
+    /// next hops in arrival order (order matters: the first packet of a flow
+    /// installs the entries later packets of the same batch hit).
+    fn labeled_chunk(&mut self, chunk: &mut [Packet], from: Addr, out: &mut Vec<Result<Addr>>) {
+        self.stats.rx += chunk.len() as u64;
+        let mut hashes = [0u64; BATCH_CHUNK];
+        let mut seeds = [0u64; BATCH_CHUNK];
+        let mut n_seeds = 0usize;
+        for (i, pkt) in chunk.iter_mut().enumerate() {
+            if pkt.tunnel.is_some() {
+                *pkt = pkt.decapsulated();
+            }
+            if pkt.labels.is_none() {
+                if let Addr::Vnf(inst) = from {
+                    if let Some(&l) = self.vnf_labels.get(&inst) {
+                        *pkt = pkt.with_labels(l);
+                    }
+                }
+            }
+            let h = pkt.key.stable_hash();
+            hashes[i] = h;
+            // Label-less packets are dropped before header work (matching
+            // `process`), so they contribute no seed.
+            if pkt.labels.is_some() {
+                seeds[n_seeds] = h ^ u64::from(pkt.size);
+                n_seeds += 1;
+            }
+        }
+        self.io_work_batch(&seeds[..n_seeds], Self::work_rounds(self.mode));
+
+        let context = match from {
+            Addr::Vnf(_) => FlowContext::FromVnf,
+            Addr::Forwarder(_) | Addr::Edge(_) => FlowContext::FromWire,
+        };
+        let overlay = self.mode == ForwarderMode::Overlay;
+        let Self {
+            ref rules,
+            ref mut flow_table,
+            ref mut stats,
+            ref label_unaware,
+            site,
+            ..
+        } = *self;
+        // One-entry rule cache: packets of a batch overwhelmingly share one
+        // label pair, so the HashMap lookup happens once per batch, not once
+        // per packet.
+        let mut cached: Option<(LabelPair, &RuleSet)> = None;
+        for (i, pkt) in chunk.iter_mut().enumerate() {
+            let Some(labels) = pkt.labels else {
+                stats.drops += 1;
+                out.push(Err(Error::forwarding("packet has no labels")));
+                continue;
+            };
+            let hash = hashes[i];
+            let res = if overlay {
+                stats.flow_misses += 1;
+                let rule = match cached {
+                    Some((l, r)) if l == labels => Ok(r),
+                    _ => match rules_for_in(rules, labels) {
+                        Ok(r) => {
+                            cached = Some((labels, r));
+                            Ok(r)
+                        }
+                        Err(e) => Err(e),
+                    },
+                };
+                rule.map(|r| match context {
+                    FlowContext::FromWire => r.to_vnf.select(hash),
+                    FlowContext::FromVnf => r.to_next.select(hash),
+                })
+            } else {
+                affinity_next_in(flow_table, stats, rules, pkt.key, hash, labels, context, from)
+            };
+            match res {
+                Ok(next) => {
+                    finish_output(label_unaware, site, pkt, labels, next);
+                    stats.tx += 1;
+                    out.push(Ok(next));
+                }
+                Err(e) => {
+                    stats.drops += 1;
+                    out.push(Err(e));
+                }
+            }
+        }
+    }
+
     fn process_inner(&mut self, mut pkt: Packet, from: Addr) -> Result<(Packet, Addr)> {
         // Decapsulate wide-area tunnel, if any (all modes parse headers).
         if pkt.tunnel.is_some() {
@@ -234,7 +467,8 @@ impl Forwarder {
         }
 
         if self.mode == ForwarderMode::Bridge {
-            self.io_work(&pkt, Self::BASE_WORK_ROUNDS);
+            let hash = pkt.key.stable_hash();
+            self.io_work(hash ^ u64::from(pkt.size), Self::BASE_WORK_ROUNDS);
             let next = self
                 .bridge_next
                 .ok_or_else(|| Error::forwarding("bridge has no next hop configured"))?;
@@ -253,16 +487,13 @@ impl Forwarder {
             .labels
             .ok_or_else(|| Error::forwarding("packet has no labels"))?;
 
+        // The flow hash is computed exactly once per packet and threaded
+        // through header work, flow-table lookup, and weighted selection.
+        let hash = pkt.key.stable_hash();
+
         // Base forwarding plus label + tunnel processing cost; the
         // affinity pipeline adds its learn/resubmit stage on top.
-        let rounds = match self.mode {
-            ForwarderMode::Bridge => unreachable!("handled above"),
-            ForwarderMode::Overlay => Self::BASE_WORK_ROUNDS + Self::LABEL_WORK_ROUNDS,
-            ForwarderMode::Affinity => {
-                Self::BASE_WORK_ROUNDS + Self::LABEL_WORK_ROUNDS + Self::AFFINITY_WORK_ROUNDS
-            }
-        };
-        self.io_work(&pkt, rounds);
+        self.io_work(hash ^ u64::from(pkt.size), Self::work_rounds(self.mode));
 
         let context = match from {
             Addr::Vnf(_) => FlowContext::FromVnf,
@@ -276,116 +507,153 @@ impl Forwarder {
                 self.stats.flow_misses += 1;
                 let rules = self.rules_for(labels)?;
                 match context {
-                    FlowContext::FromWire => rules.to_vnf.select(pkt.key.stable_hash()),
-                    FlowContext::FromVnf => rules.to_next.select(pkt.key.stable_hash()),
+                    FlowContext::FromWire => rules.to_vnf.select(hash),
+                    FlowContext::FromVnf => rules.to_next.select(hash),
                 }
             }
-            ForwarderMode::Affinity => self.affinity_next(&pkt, labels, context, from)?,
+            ForwarderMode::Affinity => {
+                let Self {
+                    ref rules,
+                    ref mut flow_table,
+                    ref mut stats,
+                    ..
+                } = *self;
+                affinity_next_in(flow_table, stats, rules, pkt.key, hash, labels, context, from)?
+            }
         };
 
-        // Strip labels when handing to a label-unaware VNF; encapsulate when
-        // crossing to another forwarder.
-        match next {
-            Addr::Vnf(inst) if self.label_unaware.contains_key(&inst) => {
-                pkt = pkt.without_labels();
-            }
-            Addr::Forwarder(_) => {
-                pkt = pkt.encapsulated(TunnelHeader {
-                    vni: labels.chain().value(),
-                    src_site: self.site,
-                    dst_site: self.site, // caller rewrites for remote peers
-                });
-            }
-            _ => {}
-        }
+        finish_output(&self.label_unaware, self.site, &mut pkt, labels, next);
         Ok((pkt, next))
-    }
-
-    /// The affinity-mode next hop: flow-table hit, or weighted selection
-    /// plus entry installation on the first packet (Figure 6).
-    fn affinity_next(
-        &mut self,
-        pkt: &Packet,
-        labels: LabelPair,
-        context: FlowContext,
-        from: Addr,
-    ) -> Result<Addr> {
-        let ftk = FlowTableKey {
-            chain: labels.chain(),
-            key: pkt.key,
-            context,
-        };
-        if let Some(next) = self.flow_table.get(&ftk) {
-            self.stats.flow_hits += 1;
-            return Ok(next);
-        }
-        self.stats.flow_misses += 1;
-        let hash = pkt.key.stable_hash();
-        let (next, reverse_prev) = {
-            let rules = self.rules_for(labels)?;
-            match context {
-                FlowContext::FromWire => (rules.to_vnf.select(hash), Some(from)),
-                FlowContext::FromVnf => (rules.to_next.select(hash), None),
-            }
-        };
-        self.flow_table.insert(ftk, next)?;
-        match context {
-            FlowContext::FromWire => {
-                // Reverse-direction packets must hit the same VNF
-                // instance...
-                self.flow_table.insert(
-                    FlowTableKey {
-                        chain: labels.chain(),
-                        key: pkt.key.reversed(),
-                        context: FlowContext::FromWire,
-                    },
-                    next,
-                )?;
-                // ...and, after it, return to the element this packet came
-                // from (symmetric return).
-                if let Some(prev) = reverse_prev {
-                    self.flow_table.insert(
-                        FlowTableKey {
-                            chain: labels.chain(),
-                            key: pkt.key.reversed(),
-                            context: FlowContext::FromVnf,
-                        },
-                        prev,
-                    )?;
-                }
-            }
-            FlowContext::FromVnf => {
-                // A header-modifying VNF (e.g. a NAT) may emit a tuple the
-                // wire side never saw. Reverse-direction packets carrying
-                // the reversed *output* tuple must return to this exact
-                // instance, so pin it now (Section 5.3: affinity must hold
-                // "even if that VNF modifies packet headers").
-                self.flow_table.insert(
-                    FlowTableKey {
-                        chain: labels.chain(),
-                        key: pkt.key.reversed(),
-                        context: FlowContext::FromWire,
-                    },
-                    from,
-                )?;
-            }
-        }
-        Ok(next)
     }
 
     /// Rule lookup: exact label pair first, then any rule for the same
     /// chain label (reverse-direction packets carry the opposite egress
     /// label but belong to the same chain).
     fn rules_for(&self, labels: LabelPair) -> Result<&RuleSet> {
-        if let Some(r) = self.rules.get(&labels) {
-            return Ok(r);
-        }
-        self.rules
-            .iter()
-            .find(|(l, _)| l.chain() == labels.chain())
-            .map(|(_, r)| r)
-            .ok_or_else(|| Error::forwarding(format!("no rule for labels {labels}")))
+        rules_for_in(&self.rules, labels)
     }
+}
+
+/// [`Forwarder::rules_for`] over a borrowed rule map, so batch loops can
+/// hold the rule cache while mutating the flow table and counters.
+fn rules_for_in(rules: &HashMap<LabelPair, RuleSet>, labels: LabelPair) -> Result<&RuleSet> {
+    if let Some(r) = rules.get(&labels) {
+        return Ok(r);
+    }
+    rules
+        .iter()
+        .find(|(l, _)| l.chain() == labels.chain())
+        .map(|(_, r)| r)
+        .ok_or_else(|| Error::forwarding(format!("no rule for labels {labels}")))
+}
+
+/// Output rewrite shared by the single-packet and batch paths: strip labels
+/// when handing to a label-unaware VNF; encapsulate when crossing to another
+/// forwarder.
+#[inline]
+fn finish_output(
+    label_unaware: &HashMap<InstanceId, ()>,
+    site: SiteId,
+    pkt: &mut Packet,
+    labels: LabelPair,
+    next: Addr,
+) {
+    match next {
+        Addr::Vnf(inst) if label_unaware.contains_key(&inst) => {
+            *pkt = pkt.without_labels();
+        }
+        Addr::Forwarder(_) => {
+            *pkt = pkt.encapsulated(TunnelHeader {
+                vni: labels.chain().value(),
+                src_site: site,
+                dst_site: site, // caller rewrites for remote peers
+            });
+        }
+        _ => {}
+    }
+}
+
+/// The affinity-mode next hop: flow-table hit, or weighted selection plus
+/// entry installation on the first packet (Figure 6). Takes the forwarder's
+/// fields split apart so batch loops can keep disjoint borrows; `hash` is
+/// the packet's precomputed [`FlowKey::stable_hash`].
+#[allow(clippy::too_many_arguments)]
+fn affinity_next_in(
+    flow_table: &mut FlowTable,
+    stats: &mut ForwarderStats,
+    rules: &HashMap<LabelPair, RuleSet>,
+    key: FlowKey,
+    hash: u64,
+    labels: LabelPair,
+    context: FlowContext,
+    from: Addr,
+) -> Result<Addr> {
+    let ftk = FlowTableKey {
+        chain: labels.chain(),
+        key,
+        context,
+    };
+    if let Some(next) = flow_table.get_hashed(&ftk, hash) {
+        stats.flow_hits += 1;
+        return Ok(next);
+    }
+    stats.flow_misses += 1;
+    let (next, reverse_prev) = {
+        let rules = rules_for_in(rules, labels)?;
+        match context {
+            FlowContext::FromWire => (rules.to_vnf.select(hash), Some(from)),
+            FlowContext::FromVnf => (rules.to_next.select(hash), None),
+        }
+    };
+    flow_table.insert_hashed(ftk, hash, next)?;
+    // The miss path installs reverse-direction entries; their hash is also
+    // computed exactly once.
+    let rev_key = key.reversed();
+    let rev_hash = rev_key.stable_hash();
+    match context {
+        FlowContext::FromWire => {
+            // Reverse-direction packets must hit the same VNF instance...
+            flow_table.insert_hashed(
+                FlowTableKey {
+                    chain: labels.chain(),
+                    key: rev_key,
+                    context: FlowContext::FromWire,
+                },
+                rev_hash,
+                next,
+            )?;
+            // ...and, after it, return to the element this packet came
+            // from (symmetric return).
+            if let Some(prev) = reverse_prev {
+                flow_table.insert_hashed(
+                    FlowTableKey {
+                        chain: labels.chain(),
+                        key: rev_key,
+                        context: FlowContext::FromVnf,
+                    },
+                    rev_hash,
+                    prev,
+                )?;
+            }
+        }
+        FlowContext::FromVnf => {
+            // A header-modifying VNF (e.g. a NAT) may emit a tuple the
+            // wire side never saw. Reverse-direction packets carrying
+            // the reversed *output* tuple must return to this exact
+            // instance, so pin it now (Section 5.3: affinity must hold
+            // "even if that VNF modifies packet headers").
+            flow_table.insert_hashed(
+                FlowTableKey {
+                    chain: labels.chain(),
+                    key: rev_key,
+                    context: FlowContext::FromWire,
+                },
+                rev_hash,
+                from,
+            )?;
+        }
+    }
+    Ok(next)
 }
 
 #[cfg(test)]
@@ -612,5 +880,180 @@ mod tests {
         assert!(f.process(pkt2, edge()).is_err());
         // Established flow still forwards.
         assert!(f.process(pkt1, edge()).is_ok());
+    }
+
+    #[test]
+    fn restarted_forwarder_repins_flows_deterministically() {
+        let mut f = affinity_forwarder();
+        let pkt = Packet::labeled(labels(), key(1000), 500);
+        let (_, first) = f.process(pkt, edge()).unwrap();
+        assert!(f.flow_entries() > 0);
+
+        // The forwarder process restarts: flow-table state is gone
+        // (DESIGN.md §8), rules survive via the control-plane re-push.
+        f.clear_flow_state();
+        assert_eq!(f.flow_entries(), 0);
+
+        // The next packet re-runs selection; under unchanged rules it
+        // re-pins to the same instance as before the restart...
+        let (_, repinned) = f.process(pkt, edge()).unwrap();
+        assert_eq!(repinned, first);
+        // ...and the miss counter shows state really was lost.
+        assert_eq!(f.stats().flow_misses, 2);
+
+        // A brand-new forwarder with the same rules pins identically, so
+        // the re-pin is deterministic, not a lucky cache leftover.
+        let mut fresh = affinity_forwarder();
+        let (_, fresh_pin) = fresh.process(pkt, edge()).unwrap();
+        assert_eq!(fresh_pin, first);
+    }
+
+    /// Drives the same packet sequence through `process` one-by-one and
+    /// through `process_batch`, asserting identical next hops, errors,
+    /// counters, flow-table population, `work_sink`, and output packets.
+    fn assert_batch_equivalent(
+        make: impl Fn() -> Forwarder,
+        pkts: &[Packet],
+        from: Addr,
+    ) {
+        let mut seq_fwd = make();
+        let seq: Vec<Result<(Packet, Addr)>> =
+            pkts.iter().map(|&p| seq_fwd.process(p, from)).collect();
+
+        let mut batch_fwd = make();
+        let mut batch_pkts = pkts.to_vec();
+        let batch = batch_fwd.process_batch(&mut batch_pkts, from);
+
+        assert_eq!(seq.len(), batch.len());
+        for (i, (s, b)) in seq.iter().zip(&batch).enumerate() {
+            match (s, b) {
+                (Ok((sp, sn)), Ok(bn)) => {
+                    assert_eq!(sn, bn, "packet {i}: next hop");
+                    assert_eq!(*sp, batch_pkts[i], "packet {i}: rewritten packet");
+                }
+                (Err(se), Err(be)) => {
+                    assert_eq!(se.to_string(), be.to_string(), "packet {i}: error");
+                }
+                _ => panic!("packet {i}: {s:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(seq_fwd.stats(), batch_fwd.stats());
+        assert_eq!(seq_fwd.flow_entries(), batch_fwd.flow_entries());
+        assert_eq!(seq_fwd.work_sink, batch_fwd.work_sink);
+    }
+
+    #[test]
+    fn batch_matches_sequential_affinity() {
+        // Mixed traffic: new flows, repeats (hits within the same batch),
+        // an unlabeled drop, an unknown-label drop, and a tunneled packet;
+        // sized to span multiple internal chunks.
+        let mut pkts = Vec::new();
+        for port in 0..40u16 {
+            pkts.push(Packet::labeled(labels(), key(1000 + port % 7), 500));
+        }
+        pkts.push(Packet::unlabeled(key(9), 64));
+        pkts.push(Packet::labeled(
+            LabelPair::new(ChainLabel::new(42), EgressLabel::new(2)),
+            key(1),
+            64,
+        ));
+        pkts.push(
+            Packet::labeled(labels(), key(77), 200).encapsulated(TunnelHeader {
+                vni: 1,
+                src_site: SiteId::new(5),
+                dst_site: SiteId::new(0),
+            }),
+        );
+        assert_batch_equivalent(affinity_forwarder, &pkts, edge());
+
+        // From-VNF direction too (FromVnf context, label re-affix path).
+        let from_vnf: Vec<Packet> = (0..10u16)
+            .map(|p| Packet::unlabeled(key(2000 + p % 3), 300))
+            .collect();
+        let make = || {
+            let mut f = affinity_forwarder();
+            f.register_label_unaware_vnf(InstanceId::new(1), labels());
+            f
+        };
+        assert_batch_equivalent(make, &from_vnf, vnf(1));
+    }
+
+    #[test]
+    fn batch_matches_sequential_overlay_and_bridge() {
+        let overlay = || {
+            let mut f =
+                Forwarder::new(ForwarderId::new(1), SiteId::new(0), ForwarderMode::Overlay);
+            f.install_rules(
+                labels(),
+                RuleSet {
+                    to_vnf: WeightedChoice::new(vec![(vnf(1), 1.0), (vnf(2), 3.0)]).unwrap(),
+                    to_next: WeightedChoice::single(fwd_addr(9)),
+                    to_prev: WeightedChoice::single(edge()),
+                },
+            );
+            f
+        };
+        let pkts: Vec<Packet> = (0..50u16)
+            .map(|p| Packet::labeled(labels(), key(3000 + p), 100))
+            .collect();
+        assert_batch_equivalent(overlay, &pkts, edge());
+
+        let bridge = || {
+            let mut f =
+                Forwarder::new(ForwarderId::new(1), SiteId::new(0), ForwarderMode::Bridge);
+            f.set_bridge_next(vnf(5));
+            f
+        };
+        let unlabeled: Vec<Packet> = (0..33u16)
+            .map(|p| Packet::unlabeled(key(p), 64))
+            .collect();
+        assert_batch_equivalent(bridge, &unlabeled, edge());
+
+        // Bridge without a next hop drops whole batches.
+        let dead_bridge =
+            || Forwarder::new(ForwarderId::new(1), SiteId::new(0), ForwarderMode::Bridge);
+        assert_batch_equivalent(dead_bridge, &unlabeled, edge());
+    }
+
+    #[test]
+    fn batch_matches_sequential_when_flow_table_fills() {
+        let make = || {
+            let mut f = Forwarder::with_flow_capacity(
+                ForwarderId::new(1),
+                SiteId::new(0),
+                ForwarderMode::Affinity,
+                3,
+            );
+            f.install_rules(
+                labels(),
+                RuleSet {
+                    to_vnf: WeightedChoice::single(vnf(1)),
+                    to_next: WeightedChoice::single(fwd_addr(9)),
+                    to_prev: WeightedChoice::single(edge()),
+                },
+            );
+            f
+        };
+        // First connection installs entries; the rest exhaust the table and
+        // must drop identically in both paths.
+        let pkts: Vec<Packet> = (1..=6u16)
+            .map(|p| Packet::labeled(labels(), key(p), 64))
+            .collect();
+        assert_batch_equivalent(make, &pkts, edge());
+    }
+
+    #[test]
+    fn process_batch_into_reuses_buffer() {
+        let mut f = affinity_forwarder();
+        let mut out = Vec::new();
+        let mut pkts: Vec<Packet> = (0..4u16)
+            .map(|p| Packet::labeled(labels(), key(100 + p), 64))
+            .collect();
+        f.process_batch_into(&mut pkts, edge(), &mut out);
+        assert_eq!(out.len(), 4);
+        // A second call clears previous results.
+        let mut pkts2: Vec<Packet> = vec![Packet::labeled(labels(), key(500), 64)];
+        f.process_batch_into(&mut pkts2, edge(), &mut out);
+        assert_eq!(out.len(), 1);
     }
 }

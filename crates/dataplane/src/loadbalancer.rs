@@ -4,12 +4,32 @@
 //! elements with weights, where each weight is the product of the site-level
 //! traffic-engineering split (`x_czn1n2`) and the element's own published
 //! weight. Selection must be deterministic in the flow key so that tests
-//! and experiments reproduce exactly; we map the flow hash onto the
-//! cumulative weight distribution.
+//! and experiments reproduce exactly.
+//!
+//! Selection uses Vose's alias method: the distribution is preprocessed at
+//! rule-install time into one slot per target (a threshold plus an alias
+//! index), so `select` is O(1) — two array reads — independent of the
+//! number of targets, instead of the previous O(n)/O(log n) scan over the
+//! cumulative weights. Forwarders run `select` per packet on flow-table
+//! misses and per packet in Overlay mode, while rules change only on
+//! control-plane pushes, so moving work from selection to construction is
+//! the right trade.
 
 use crate::packet::Addr;
 use sb_types::{Error, Result};
 use serde::{Deserialize, Serialize};
+
+/// Avalanching finalizer (splitmix64): decorrelates the threshold draw from
+/// the slot-index draw so one 64-bit flow hash can drive both.
+#[inline]
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
 
 /// A weighted set of next-hop candidates.
 ///
@@ -33,14 +53,20 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WeightedChoice {
     /// `(target, cumulative_weight)`, cumulative over the normalized
-    /// distribution, ending at exactly `total`.
+    /// distribution, ending at exactly `total`. Kept for weight
+    /// introspection ([`weight_of`](Self::weight_of)).
     targets: Vec<(Addr, f64)>,
     total: f64,
+    /// Alias-method threshold per slot, scaled to the full `u64` range
+    /// (`u64::MAX` = the slot always keeps its own target).
+    thresholds: Vec<u64>,
+    /// Alias-method donor index per slot.
+    aliases: Vec<u32>,
 }
 
 impl WeightedChoice {
     /// Builds a choice over `(target, weight)` pairs. Zero-weight targets
-    /// are dropped.
+    /// are dropped. The alias table is built here, once per rule install.
     ///
     /// # Errors
     ///
@@ -48,6 +74,7 @@ impl WeightedChoice {
     /// weight, or any weight is negative or non-finite.
     pub fn new(weights: Vec<(Addr, f64)>) -> Result<Self> {
         let mut targets = Vec::with_capacity(weights.len());
+        let mut raw = Vec::with_capacity(weights.len());
         let mut total = 0.0;
         for (addr, w) in weights {
             if !w.is_finite() || w < 0.0 {
@@ -58,6 +85,7 @@ impl WeightedChoice {
             if w > 0.0 {
                 total += w;
                 targets.push((addr, total));
+                raw.push(w);
             }
         }
         if targets.is_empty() {
@@ -65,7 +93,13 @@ impl WeightedChoice {
                 "weighted choice needs at least one positive-weight target",
             ));
         }
-        Ok(Self { targets, total })
+        let (thresholds, aliases) = build_alias(&raw, total);
+        Ok(Self {
+            targets,
+            total,
+            thresholds,
+            aliases,
+        })
     }
 
     /// A choice with a single certain target.
@@ -74,21 +108,29 @@ impl WeightedChoice {
         Self {
             targets: vec![(target, 1.0)],
             total: 1.0,
+            thresholds: vec![u64::MAX],
+            aliases: vec![0],
         }
     }
 
-    /// Deterministically selects a target for a 64-bit flow hash.
+    /// Deterministically selects a target for a 64-bit flow hash in O(1):
+    /// the hash's high bits pick an alias slot, a mixed copy of the hash
+    /// draws against the slot's threshold.
+    #[inline]
     #[must_use]
     pub fn select(&self, hash: u64) -> Addr {
-        // Map the hash to [0, total).
-        #[allow(clippy::cast_precision_loss)]
-        let point = (hash as f64 / (u64::MAX as f64 + 1.0)) * self.total;
-        // Binary search over the cumulative distribution.
-        let idx = self
-            .targets
-            .partition_point(|&(_, cum)| cum <= point)
-            .min(self.targets.len() - 1);
-        self.targets[idx].0
+        let n = self.targets.len();
+        if n == 1 {
+            return self.targets[0].0;
+        }
+        // Multiply-shift maps the hash uniformly onto [0, n).
+        #[allow(clippy::cast_possible_truncation)]
+        let slot = ((u128::from(hash) * n as u128) >> 64) as usize;
+        if mix(hash) <= self.thresholds[slot] {
+            self.targets[slot].0
+        } else {
+            self.targets[self.aliases[slot] as usize].0
+        }
     }
 
     /// The candidate targets (without weights).
@@ -121,6 +163,52 @@ impl WeightedChoice {
     pub fn is_empty(&self) -> bool {
         self.targets.is_empty()
     }
+}
+
+/// Vose's alias construction over positive weights summing to `total`:
+/// each slot `i` keeps its own target with probability `thresholds[i]` (as
+/// a fraction of `u64::MAX`) and defers to `aliases[i]` otherwise.
+fn build_alias(weights: &[f64], total: f64) -> (Vec<u64>, Vec<u32>) {
+    let n = weights.len();
+    #[allow(clippy::cast_precision_loss)]
+    let scale = n as f64 / total;
+    let mut scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+    let mut thresholds = vec![u64::MAX; n];
+    #[allow(clippy::cast_possible_truncation)]
+    let mut aliases: Vec<u32> = (0..n).map(|i| i as u32).collect();
+
+    let mut small: Vec<usize> = Vec::with_capacity(n);
+    let mut large: Vec<usize> = Vec::with_capacity(n);
+    for (i, &s) in scaled.iter().enumerate() {
+        if s < 1.0 {
+            small.push(i);
+        } else {
+            large.push(i);
+        }
+    }
+    while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+        // Slot `s` keeps its own target with probability scaled[s] and
+        // borrows the remainder from `l`.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let t = (scaled[s] * (u64::MAX as f64)) as u64;
+        thresholds[s] = t;
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            aliases[s] = l as u32;
+        }
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if scaled[l] < 1.0 {
+            small.push(l);
+        } else {
+            large.push(l);
+        }
+    }
+    // Leftovers are exactly-1.0 slots up to rounding: they keep their own
+    // target unconditionally.
+    for i in small.into_iter().chain(large) {
+        thresholds[i] = u64::MAX;
+    }
+    (thresholds, aliases)
 }
 
 #[cfg(test)]
@@ -193,5 +281,81 @@ mod tests {
         assert!((lb.weight_of(vnf(1)) - 0.25).abs() < 1e-12);
         assert!((lb.weight_of(vnf(2)) - 0.75).abs() < 1e-12);
         assert_eq!(lb.weight_of(vnf(9)), 0.0);
+    }
+
+    /// The pre-alias implementation: map the hash onto the cumulative
+    /// weight distribution and scan. Retained as the distribution oracle.
+    fn cumulative_select(lb: &WeightedChoice, hash: u64) -> Addr {
+        let targets: Vec<Addr> = lb.targets();
+        let cum: Vec<f64> = targets.iter().map(|&a| lb.weight_of(a)).scan(
+            0.0,
+            |acc, w| {
+                *acc += w;
+                Some(*acc)
+            },
+        )
+        .collect();
+        #[allow(clippy::cast_precision_loss)]
+        let point = hash as f64 / (u64::MAX as f64 + 1.0);
+        let idx = cum
+            .iter()
+            .position(|&c| point < c)
+            .unwrap_or(targets.len() - 1);
+        targets[idx]
+    }
+
+    #[test]
+    fn alias_matches_cumulative_scan_distribution() {
+        // On a fixed hash population, the alias table's empirical
+        // distribution must match the old linear cumulative scan's within
+        // a small tolerance, for several weight shapes.
+        let shapes: Vec<Vec<f64>> = vec![
+            vec![1.0, 1.0],
+            vec![3.0, 1.0],
+            vec![1.0, 2.0, 7.0],
+            vec![5.0, 1.0, 1.0, 1.0, 2.0],
+            vec![0.1, 0.9],
+        ];
+        let n = 200_000u64;
+        for weights in shapes {
+            let lb = WeightedChoice::new(
+                weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| (vnf(i as u64), w))
+                    .collect(),
+            )
+            .unwrap();
+            let mut alias_counts = std::collections::HashMap::new();
+            let mut scan_counts = std::collections::HashMap::new();
+            for i in 0..n {
+                let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                *alias_counts.entry(lb.select(h)).or_insert(0u64) += 1;
+                *scan_counts.entry(cumulative_select(&lb, h)).or_insert(0u64) += 1;
+            }
+            for target in lb.targets() {
+                let a = *alias_counts.get(&target).unwrap_or(&0);
+                let s = *scan_counts.get(&target).unwrap_or(&0);
+                #[allow(clippy::cast_precision_loss)]
+                let (fa, fs) = (a as f64 / n as f64, s as f64 / n as f64);
+                assert!(
+                    (fa - fs).abs() < 0.01,
+                    "weights {weights:?} target {target}: alias {fa:.4} vs scan {fs:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alias_table_is_deterministic_across_builds() {
+        let make = || {
+            WeightedChoice::new(vec![(vnf(1), 2.0), (vnf(2), 3.0), (vnf(3), 5.0)]).unwrap()
+        };
+        let (a, b) = (make(), make());
+        for i in 0..10_000u64 {
+            let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            assert_eq!(a.select(h), b.select(h));
+        }
+        assert_eq!(a, b);
     }
 }

@@ -8,6 +8,11 @@
 //! thread in a tight generate→process loop, and the harness reports
 //! aggregate millions of packets per second.
 //!
+//! Packets are driven through [`Forwarder::process_batch`] in batches of
+//! [`ScaleoutConfig::batch_size`] (DPDK-style burst processing); a batch
+//! size of 1 falls back to per-packet [`Forwarder::process`] so the bench
+//! suite can sweep the amortization curve.
+//!
 //! Absolute numbers depend on the host CPU (the paper used an XL710 NIC and
 //! a Xeon E5-2470); the reproduced *shape* is near-linear scaling across
 //! instances and throughput decay as the per-instance flow table outgrows
@@ -18,7 +23,8 @@ use crate::loadbalancer::WeightedChoice;
 use crate::packet::{Addr, Packet};
 use crate::pktgen::PacketGenerator;
 use sb_types::{
-    ChainLabel, EdgeInstanceId, EgressLabel, ForwarderId, InstanceId, LabelPair, Mpps, SiteId,
+    ChainLabel, EdgeInstanceId, EgressLabel, ForwarderId, InstanceId, LabelPair, Mpps, Result,
+    SiteId,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -40,6 +46,9 @@ pub struct ScaleoutConfig {
     /// Warmup phase excluded from the measurement (lets the flow tables
     /// reach steady state, matching the paper's "steady-state throughput").
     pub warmup: Duration,
+    /// Packets handed to the forwarder per [`Forwarder::process_batch`]
+    /// call; `1` uses the per-packet [`Forwarder::process`] path instead.
+    pub batch_size: usize,
 }
 
 impl Default for ScaleoutConfig {
@@ -51,6 +60,7 @@ impl Default for ScaleoutConfig {
             mode: ForwarderMode::Affinity,
             duration: Duration::from_millis(400),
             warmup: Duration::from_millis(100),
+            batch_size: 256,
         }
     }
 }
@@ -92,7 +102,39 @@ fn build_forwarder(thread: usize, mode: ForwarderMode, flows: usize) -> (Forward
     (f, labels)
 }
 
-/// Runs one scale-out measurement and returns the aggregate throughput.
+/// One worker's traffic drive: refills the staging buffer from the
+/// generator and pushes it through the forwarder. Returns the number of
+/// packets driven.
+#[inline]
+fn drive(
+    fwd: &mut Forwarder,
+    gen: &mut PacketGenerator,
+    edge: Addr,
+    pkts: &mut [Packet],
+    out: &mut Vec<Result<Addr>>,
+) -> u64 {
+    if pkts.len() == 1 {
+        // Per-packet path (bench sweeps use batch_size = 1 as the
+        // no-amortization reference point).
+        let _ = fwd.process(gen.next_packet(), edge);
+        return 1;
+    }
+    for p in pkts.iter_mut() {
+        *p = gen.next_packet();
+    }
+    fwd.process_batch_into(pkts, edge, out);
+    pkts.len() as u64
+}
+
+/// Runs one scale-out measurement with all instances concurrent and returns
+/// the aggregate throughput.
+///
+/// Each worker warms up until the coordinator opens the measurement window
+/// *and* the worker has driven enough packets to visit (essentially) every
+/// flow — the same steady-state criterion as [`measure_isolated`] — then
+/// times its own measured window. The aggregate is the sum of per-worker
+/// steady-state rates, so concurrent and isolated runs measure the same
+/// phase of execution.
 ///
 /// # Panics
 ///
@@ -117,48 +159,56 @@ pub fn measure(config: &ScaleoutConfig) -> ScaleoutResult {
                 t as u64 + 1,
             );
             let edge = Addr::Edge(EdgeInstanceId::new(0));
-            let mut measured: u64 = 0;
-            let mut was_measuring = false;
-            loop {
-                // Batch between flag checks to keep the hot loop tight.
-                for _ in 0..256 {
-                    let pkt: Packet = gen.next_packet();
-                    // Ingress side: wire -> VNF (the Figure 8 path).
-                    let _ = fwd.process(pkt, edge);
-                }
-                if measuring.load(Ordering::Relaxed) {
-                    if !was_measuring {
-                        was_measuring = true;
-                        measured = 0;
-                    }
-                    measured += 256;
-                }
+            let batch = cfg.batch_size.max(1);
+            let mut pkts = vec![gen.next_packet(); batch];
+            let mut out = Vec::with_capacity(batch);
+            // Warmup: run until the coordinator opens the window AND the
+            // flow table has reached steady state (every flow visited).
+            let min_packets = 4 * cfg.flows_per_instance as u64;
+            let mut warm_sent = 0u64;
+            while !(measuring.load(Ordering::Relaxed) && warm_sent >= min_packets) {
+                warm_sent += drive(&mut fwd, &mut gen, edge, &mut pkts, &mut out);
                 if stop.load(Ordering::Relaxed) {
-                    break;
+                    // Window closed before this worker reached steady state
+                    // (misconfigured durations): report nothing rather than
+                    // a partially-warm rate.
+                    return (0u64, 0.0f64, fwd.flow_entries());
                 }
             }
-            (measured, fwd.flow_entries())
+            // Measured phase, timed per worker so batch boundaries never
+            // straddle the window edges.
+            let t0 = Instant::now();
+            let mut measured = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                measured += drive(&mut fwd, &mut gen, edge, &mut pkts, &mut out);
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            #[allow(clippy::cast_precision_loss)]
+            let pps = if elapsed > 0.0 {
+                measured as f64 / elapsed
+            } else {
+                0.0
+            };
+            (measured, pps, fwd.flow_entries())
         }));
     }
 
     std::thread::sleep(config.warmup);
     measuring.store(true, Ordering::SeqCst);
-    let t0 = Instant::now();
     std::thread::sleep(config.duration);
     stop.store(true, Ordering::SeqCst);
-    let elapsed = t0.elapsed();
 
     let mut packets = 0u64;
     let mut flow_entries = 0usize;
+    let mut pps = 0.0f64;
     for h in handles {
-        let (p, fe) = h.join().expect("worker thread panicked");
+        let (p, rate, fe) = h.join().expect("worker thread panicked");
         packets += p;
+        pps += rate;
         flow_entries += fe;
     }
-    #[allow(clippy::cast_precision_loss)]
-    let throughput = Mpps::from_pps(packets as f64 / elapsed.as_secs_f64());
     ScaleoutResult {
-        throughput,
+        throughput: Mpps::from_pps(pps),
         packets,
         flow_entries,
     }
@@ -211,6 +261,9 @@ fn run_worker(thread: usize, cfg: &ScaleoutConfig) -> (u64, f64, usize) {
         thread as u64 + 1,
     );
     let edge = Addr::Edge(EdgeInstanceId::new(0));
+    let batch = cfg.batch_size.max(1);
+    let mut pkts = vec![gen.next_packet(); batch];
+    let mut out = Vec::with_capacity(batch);
     // Warmup until the flow table reaches steady state: at least the
     // configured wall-clock warmup AND enough packets to have visited
     // (essentially) every flow, so the measured phase is the paper's
@@ -219,20 +272,14 @@ fn run_worker(thread: usize, cfg: &ScaleoutConfig) -> (u64, f64, usize) {
     let warm_end = Instant::now() + cfg.warmup;
     let mut warm_sent = 0u64;
     while Instant::now() < warm_end || warm_sent < min_packets {
-        for _ in 0..256 {
-            let _ = fwd.process(gen.next_packet(), edge);
-        }
-        warm_sent += 256;
+        warm_sent += drive(&mut fwd, &mut gen, edge, &mut pkts, &mut out);
     }
     // Measured phase.
     let mut packets = 0u64;
     let t0 = Instant::now();
     let end = t0 + cfg.duration;
     while Instant::now() < end {
-        for _ in 0..256 {
-            let _ = fwd.process(gen.next_packet(), edge);
-        }
-        packets += 256;
+        packets += drive(&mut fwd, &mut gen, edge, &mut pkts, &mut out);
     }
     let elapsed = t0.elapsed().as_secs_f64();
     #[allow(clippy::cast_precision_loss)]
@@ -304,5 +351,18 @@ mod tests {
             bridge.throughput,
             affinity.throughput
         );
+    }
+
+    #[test]
+    fn batch_size_one_still_measures() {
+        let r = measure_isolated(&ScaleoutConfig {
+            flows_per_instance: 512,
+            duration: Duration::from_millis(60),
+            warmup: Duration::from_millis(15),
+            batch_size: 1,
+            ..ScaleoutConfig::default()
+        });
+        assert!(r.packets > 0);
+        assert!(r.throughput.value() > 0.1, "{}", r.throughput);
     }
 }

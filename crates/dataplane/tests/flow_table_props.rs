@@ -1,0 +1,169 @@
+//! Property tests: the open-addressing [`FlowTable`] behaves exactly like a
+//! `HashMap` model under arbitrary interleavings of inserts, removals,
+//! connection expiries and clears, including the capacity limit.
+
+use proptest::prelude::*;
+use sb_dataplane::{Addr, FlowContext, FlowTable, FlowTableKey};
+use sb_types::{ChainLabel, FlowKey, InstanceId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert (or overwrite) `key -> vnf(value)`.
+    Insert(u8, u16, bool, u64),
+    /// Remove one entry.
+    Remove(u8, u16, bool),
+    /// Remove all four entries of a connection.
+    RemoveConnection(u8, u16),
+    /// Drop everything (forwarder restart).
+    Clear,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (0u8..3, 0u16..96, any::<bool>(), 0u64..8)
+                .prop_map(|(c, p, ctx, v)| Op::Insert(c, p, ctx, v)),
+            3 => (0u8..3, 0u16..96, any::<bool>()).prop_map(|(c, p, ctx)| Op::Remove(c, p, ctx)),
+            2 => (0u8..3, 0u16..96).prop_map(|(c, p)| Op::RemoveConnection(c, p)),
+            1 => Just(Op::Clear),
+        ],
+        1..160,
+    )
+}
+
+fn ftk(chain: u8, port: u16, from_vnf: bool) -> FlowTableKey {
+    FlowTableKey {
+        chain: ChainLabel::new(u32::from(chain) + 1),
+        key: FlowKey::tcp([10, 0, 0, 1], port, [10, 0, 0, 2], 80),
+        context: if from_vnf {
+            FlowContext::FromVnf
+        } else {
+            FlowContext::FromWire
+        },
+    }
+}
+
+/// The `HashMap` reference model, with the same capacity rule: an insert of
+/// a *new* key past the limit fails and changes nothing.
+fn model_insert(
+    model: &mut HashMap<FlowTableKey, Addr>,
+    capacity: usize,
+    key: FlowTableKey,
+    next: Addr,
+) -> bool {
+    if model.contains_key(&key) || model.len() < capacity {
+        model.insert(key, next);
+        true
+    } else {
+        false
+    }
+}
+
+fn model_remove_connection(
+    model: &mut HashMap<FlowTableKey, Addr>,
+    chain: ChainLabel,
+    key: FlowKey,
+) -> usize {
+    let mut removed = 0;
+    for k in [key, key.reversed()] {
+        for context in [FlowContext::FromWire, FlowContext::FromVnf] {
+            if model
+                .remove(&FlowTableKey {
+                    chain,
+                    key: k,
+                    context,
+                })
+                .is_some()
+            {
+                removed += 1;
+            }
+        }
+    }
+    removed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_hashmap_model(capacity in 1usize..64, ops in arb_ops()) {
+        let mut table = FlowTable::with_capacity(capacity);
+        let mut model: HashMap<FlowTableKey, Addr> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(c, p, ctx, v) => {
+                    let key = ftk(c, p, ctx);
+                    let next = Addr::Vnf(InstanceId::new(v));
+                    let model_ok = model_insert(&mut model, capacity, key, next);
+                    let table_ok = table.insert(key, next).is_ok();
+                    prop_assert_eq!(
+                        table_ok, model_ok,
+                        "insert outcome diverged at {:?}", key
+                    );
+                }
+                Op::Remove(c, p, ctx) => {
+                    let key = ftk(c, p, ctx);
+                    prop_assert_eq!(table.remove(&key), model.remove(&key));
+                }
+                Op::RemoveConnection(c, p) => {
+                    let chain = ChainLabel::new(u32::from(c) + 1);
+                    let key = FlowKey::tcp([10, 0, 0, 1], p, [10, 0, 0, 2], 80);
+                    let got = table.remove_connection(chain, key);
+                    let want = model_remove_connection(&mut model, chain, key);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Clear => {
+                    table.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+            prop_assert_eq!(table.is_empty(), model.is_empty());
+            prop_assert_eq!(table.capacity(), capacity);
+        }
+
+        // Final sweep: every model entry is in the table, every probed key
+        // agrees (including absent ones).
+        for (key, next) in &model {
+            prop_assert_eq!(table.get(key), Some(*next));
+        }
+        for c in 0..3u8 {
+            for p in 0..96u16 {
+                for ctx in [false, true] {
+                    let key = ftk(c, p, ctx);
+                    prop_assert_eq!(table.get(&key), model.get(&key).copied());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_paths_match_unhashed(ops in arb_ops()) {
+        // Drive one table through the precomputed-hash API and a twin
+        // through the convenience API: identical behavior.
+        let mut plain = FlowTable::with_capacity(32);
+        let mut hashed = FlowTable::with_capacity(32);
+        for op in ops {
+            if let Op::Insert(c, p, ctx, v) = op {
+                let key = ftk(c, p, ctx);
+                let next = Addr::Vnf(InstanceId::new(v));
+                let a = plain.insert(key, next).is_ok();
+                let b = hashed.insert_hashed(key, key.key.stable_hash(), next).is_ok();
+                prop_assert_eq!(a, b);
+            }
+        }
+        prop_assert_eq!(plain.len(), hashed.len());
+        for c in 0..3u8 {
+            for p in 0..96u16 {
+                for ctx in [false, true] {
+                    let key = ftk(c, p, ctx);
+                    let h = key.key.stable_hash();
+                    prop_assert_eq!(plain.get(&key), hashed.get_hashed(&key, h));
+                    prop_assert_eq!(plain.get(&key), plain.get_hashed(&key, h));
+                }
+            }
+        }
+    }
+}

@@ -220,29 +220,39 @@ impl FlowKey {
     /// A stable 64-bit hash of this key, direction-sensitive. Used by
     /// forwarders for deterministic weighted load-balancer selection so that
     /// experiments are reproducible.
+    ///
+    /// Forwarders compute this once per packet at parse time and thread the
+    /// value through flow-table lookup, load balancing, and synthetic header
+    /// work, so it is `#[inline]` and operates on one flat byte array.
+    #[inline]
     #[must_use]
     pub fn stable_hash(self) -> u64 {
         // FNV-1a over the canonical byte encoding; stable across platforms
         // and runs (unlike `DefaultHasher`, which is randomly seeded).
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let s = self.src_ip.octets();
+        let d = self.dst_ip.octets();
+        let sp = self.src_port.to_be_bytes();
+        let dp = self.dst_port.to_be_bytes();
+        let bytes: [u8; 13] = [
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            d[0],
+            d[1],
+            d[2],
+            d[3],
+            self.protocol.number(),
+            sp[0],
+            sp[1],
+            dp[0],
+            dp[1],
+        ];
         let mut h = OFFSET;
-        let mut eat = |b: u8| {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        };
-        for b in self.src_ip.octets() {
-            eat(b);
-        }
-        for b in self.dst_ip.octets() {
-            eat(b);
-        }
-        eat(self.protocol.number());
-        for b in self.src_port.to_be_bytes() {
-            eat(b);
-        }
-        for b in self.dst_port.to_be_bytes() {
-            eat(b);
+        for b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
         }
         h
     }
