@@ -4,22 +4,34 @@
 //! ```text
 //! cargo run --release -p sb-bench --bin bench-dataplane -- --out BENCH_dataplane.json
 //! cargo run --release -p sb-bench --bin bench-dataplane -- --quick   # CI smoke
+//! cargo run --release -p sb-bench --bin bench-dataplane -- --check-overhead
 //! ```
 //!
 //! Without `--out` the JSON goes to stdout. `--quick` uses short CI-scale
 //! parameters; the default is the full checked-in baseline matrix. See
 //! `sb_bench::dataplane_baseline` for the document schema.
+//!
+//! `--check-overhead` skips the baseline matrix and instead measures the
+//! Affinity@2K cell with telemetry sampling at its default rate versus
+//! fully disabled, exiting non-zero if the instrumented run is more than
+//! 5% slower — the CI gate that keeps the observability layer off the
+//! fast path.
 
-use sb_bench::dataplane_baseline::{run, to_json, BaselineConfig};
+use sb_bench::dataplane_baseline::{check_overhead, run, to_json, BaselineConfig};
+
+/// Maximum tolerated throughput loss with default telemetry sampling.
+const OVERHEAD_TOLERANCE: f64 = 0.05;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = BaselineConfig::full();
     let mut out_path: Option<String> = None;
+    let mut overhead_only = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => cfg = BaselineConfig::quick(),
+            "--check-overhead" => overhead_only = true,
             "--out" | "-o" => {
                 out_path = it.next().cloned();
                 if out_path.is_none() {
@@ -28,14 +40,33 @@ fn main() {
                 }
             }
             "--help" | "-h" => {
-                eprintln!("usage: bench-dataplane [--quick] [--out <path>]");
+                eprintln!("usage: bench-dataplane [--quick] [--check-overhead] [--out <path>]");
                 return;
             }
             other => {
-                eprintln!("unknown argument '{other}'; usage: bench-dataplane [--quick] [--out <path>]");
+                eprintln!(
+                    "unknown argument '{other}'; usage: bench-dataplane [--quick] [--check-overhead] [--out <path>]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+
+    if overhead_only {
+        let report = check_overhead(&cfg);
+        eprintln!(
+            "[bench-dataplane: telemetry overhead: {:.3} Mpps enabled vs {:.3} Mpps disabled (ratio {:.4})]",
+            report.enabled_mpps, report.disabled_mpps, report.ratio
+        );
+        if report.ratio < 1.0 - OVERHEAD_TOLERANCE {
+            eprintln!(
+                "[bench-dataplane: FAIL: telemetry costs more than {:.0}% throughput]",
+                OVERHEAD_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[bench-dataplane: overhead within tolerance]");
+        return;
     }
 
     let t0 = std::time::Instant::now();

@@ -17,8 +17,9 @@
 //! CI runs the same binary with `--quick` as a smoke check that the
 //! harness works and the JSON stays well-formed.
 
-use sb_dataplane::runner::{measure_isolated, ScaleoutConfig};
+use sb_dataplane::runner::{measure_isolated, measure_isolated_with_hub, ScaleoutConfig};
 use sb_dataplane::ForwarderMode;
+use sb_telemetry::Telemetry;
 use serde::Serialize;
 use std::time::Duration;
 
@@ -33,6 +34,10 @@ pub struct SingleCell {
     pub mpps: f64,
     /// Flow-table entries at the end of the run.
     pub flow_entries: usize,
+    /// Median per-packet forwarding latency (sampled 1-in-N drives).
+    pub latency_p50_ns: u64,
+    /// 99th-percentile per-packet forwarding latency.
+    pub latency_p99_ns: u64,
 }
 
 /// One isolated scale-out cell (Affinity mode).
@@ -53,6 +58,8 @@ pub struct BatchCell {
     pub batch_size: usize,
     /// Measured steady-state throughput.
     pub mpps: f64,
+    /// Median per-packet forwarding latency at this batch size.
+    pub latency_p50_ns: u64,
 }
 
 /// The full baseline document.
@@ -72,6 +79,12 @@ pub struct Baseline {
     pub scaleout: Vec<ScaleCell>,
     /// Throughput vs batch size (Affinity, smallest flow count).
     pub batch_sweep: Vec<BatchCell>,
+    /// The `sb_telemetry::Telemetry::export_json` snapshot of the hub the
+    /// whole run reported into: per-mode `dataplane.latency.*` histograms
+    /// from the cells above, plus `cp.*` / `bus.*` counters and the 2PC
+    /// phase spans of a small control-plane deployment exercised at the
+    /// end of the run.
+    pub telemetry: serde_json::Value,
 }
 
 /// Parameters of a baseline run.
@@ -95,8 +108,8 @@ impl BaselineConfig {
     #[must_use]
     pub fn quick() -> Self {
         Self {
-            duration: Duration::from_millis(60),
-            warmup: Duration::from_millis(15),
+            duration: Duration::from_millis(150),
+            warmup: Duration::from_millis(40),
             flow_counts: vec![2_048, 65_536],
             instance_counts: vec![1, 2],
             batch_sizes: vec![1, 32],
@@ -115,6 +128,11 @@ impl BaselineConfig {
         }
     }
 }
+
+/// Trace-ring capacity for baseline runs: enough for a full deployment
+/// timeline plus a tail of sampled packet events, small enough that the
+/// checked-in JSON stays diffable.
+const BASELINE_TRACE_CAPACITY: usize = 256;
 
 fn mode_name(mode: ForwarderMode) -> &'static str {
     match mode {
@@ -137,8 +155,18 @@ fn scaleout_config(cfg: &BaselineConfig, mode: ForwarderMode, flows: usize) -> S
 }
 
 /// Runs the full baseline matrix.
+///
+/// Every cell reports into one shared [`Telemetry`] hub; after the
+/// throughput cells a small control-plane deployment is exercised against
+/// the same hub so the exported snapshot also carries 2PC phase spans and
+/// message-bus counters (the control-plane spans are recorded last, so
+/// the bounded trace ring cannot evict them in favor of packet spans).
 #[must_use]
 pub fn run(cfg: &BaselineConfig) -> Baseline {
+    // A small ring keeps the checked-in document reviewable: the newest
+    // records win, so the control-plane timeline (recorded last) always
+    // survives alongside a tail of sampled packet events.
+    let hub = Telemetry::with_trace_capacity(BASELINE_TRACE_CAPACITY);
     let mut single = Vec::new();
     for mode in [
         ForwarderMode::Bridge,
@@ -146,12 +174,14 @@ pub fn run(cfg: &BaselineConfig) -> Baseline {
         ForwarderMode::Affinity,
     ] {
         for &flows in &cfg.flow_counts {
-            let r = measure_isolated(&scaleout_config(cfg, mode, flows));
+            let r = measure_isolated_with_hub(&scaleout_config(cfg, mode, flows), Some(&hub));
             single.push(SingleCell {
                 mode: mode_name(mode),
                 flows,
                 mpps: r.throughput.value(),
                 flow_entries: r.flow_entries,
+                latency_p50_ns: r.latency.p50_ns,
+                latency_p99_ns: r.latency.p99_ns,
             });
         }
     }
@@ -159,10 +189,13 @@ pub fn run(cfg: &BaselineConfig) -> Baseline {
     let scale_flows = cfg.flow_counts.get(1).copied().unwrap_or(65_536);
     let mut scaleout = Vec::new();
     for &instances in &cfg.instance_counts {
-        let r = measure_isolated(&ScaleoutConfig {
-            instances,
-            ..scaleout_config(cfg, ForwarderMode::Affinity, scale_flows)
-        });
+        let r = measure_isolated_with_hub(
+            &ScaleoutConfig {
+                instances,
+                ..scaleout_config(cfg, ForwarderMode::Affinity, scale_flows)
+            },
+            Some(&hub),
+        );
         scaleout.push(ScaleCell {
             instances,
             flows_per_instance: scale_flows,
@@ -173,15 +206,23 @@ pub fn run(cfg: &BaselineConfig) -> Baseline {
     let sweep_flows = cfg.flow_counts.first().copied().unwrap_or(2_048);
     let mut batch_sweep = Vec::new();
     for &batch_size in &cfg.batch_sizes {
-        let r = measure_isolated(&ScaleoutConfig {
-            batch_size,
-            ..scaleout_config(cfg, ForwarderMode::Affinity, sweep_flows)
-        });
+        let r = measure_isolated_with_hub(
+            &ScaleoutConfig {
+                batch_size,
+                ..scaleout_config(cfg, ForwarderMode::Affinity, sweep_flows)
+            },
+            Some(&hub),
+        );
         batch_sweep.push(BatchCell {
             batch_size,
             mpps: r.throughput.value(),
+            latency_p50_ns: r.latency.p50_ns,
         });
     }
+
+    exercise_control_plane(&hub);
+    let telemetry = serde_json::from_str_value(&hub.export_json())
+        .expect("telemetry snapshot is well-formed JSON");
 
     #[allow(clippy::cast_possible_truncation)]
     let duration_ms = cfg.duration.as_millis() as u64;
@@ -195,6 +236,87 @@ pub fn run(cfg: &BaselineConfig) -> Baseline {
         single_instance: single,
         scaleout,
         batch_sweep,
+        telemetry,
+    }
+}
+
+/// Deploys a two-VNF chain on the line testbed and pushes a few packets
+/// through it, with all control-plane, bus, and forwarder instrumentation
+/// reporting into `hub`.
+fn exercise_control_plane(hub: &Telemetry) {
+    use sb_types::{ChainId, FlowKey, Millis, VnfId};
+    use switchboard::prelude::*;
+    use switchboard::scenarios;
+
+    let (model, sites) = scenarios::line_testbed();
+    let mut sb = Switchboard::new(
+        model,
+        DelayModel::uniform(Millis::new(0.1), Millis::new(10.0)),
+        SwitchboardConfig::default(),
+    );
+    sb.control_plane_mut().attach_telemetry(hub);
+    sb.use_passthrough_behaviors();
+    sb.register_attachment("in", sites[0]);
+    sb.register_attachment("out", sites[3]);
+    let chain = ChainId::new(1);
+    sb.deploy_chain(ChainRequest {
+        id: chain,
+        ingress_attachment: "in".into(),
+        egress_attachment: "out".into(),
+        vnfs: vec![VnfId::new(0), VnfId::new(1)],
+        forward: 5.0,
+        reverse: 1.0,
+    })
+    .expect("line testbed deployment succeeds");
+    for port in 0..4 {
+        let key = FlowKey::tcp([10, 0, 0, 1], 5000 + port, [10, 9, 9, 9], 80);
+        sb.send(chain, sites[0], Packet::unlabeled(key, 500))
+            .expect("packet traverses the chain");
+    }
+}
+
+/// Result of the telemetry overhead gate (`bench-dataplane
+/// --check-overhead`): Affinity-mode throughput with default 1-in-N packet
+/// sampling enabled versus fully disabled instrumentation.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadReport {
+    /// Mpps with `sample_every = 0` (telemetry off), best of three runs.
+    pub disabled_mpps: f64,
+    /// Mpps with the default `sample_every` (telemetry on), best of three.
+    pub enabled_mpps: f64,
+    /// `enabled / disabled`; below `1 - tolerance` fails the gate.
+    pub ratio: f64,
+}
+
+/// Measures telemetry overhead on the Affinity@2K cell. Both
+/// configurations take the best of three runs to damp scheduler noise.
+#[must_use]
+pub fn check_overhead(cfg: &BaselineConfig) -> OverheadReport {
+    let flows = cfg.flow_counts.first().copied().unwrap_or(2_048);
+    let base = scaleout_config(cfg, ForwarderMode::Affinity, flows);
+    let best = |sample_every: u64| -> f64 {
+        let hub = Telemetry::new();
+        (0..3)
+            .map(|_| {
+                let c = ScaleoutConfig {
+                    sample_every,
+                    ..base.clone()
+                };
+                let r = if sample_every == 0 {
+                    measure_isolated(&c)
+                } else {
+                    measure_isolated_with_hub(&c, Some(&hub))
+                };
+                r.throughput.value()
+            })
+            .fold(0.0_f64, f64::max)
+    };
+    let disabled_mpps = best(0);
+    let enabled_mpps = best(base.sample_every);
+    OverheadReport {
+        disabled_mpps,
+        enabled_mpps,
+        ratio: enabled_mpps / disabled_mpps,
     }
 }
 
@@ -279,10 +401,59 @@ mod tests {
         let b = run(&cfg);
         assert_eq!(b.single_instance.len(), 3);
         assert!(b.single_instance.iter().all(|c| c.mpps > 0.0));
+        assert!(b.single_instance.iter().all(|c| c.latency_p50_ns > 0
+            && c.latency_p99_ns >= c.latency_p50_ns));
         let json = to_json(&b);
         let parsed = serde_json::from_str_value(&json).unwrap();
         assert!(parsed.get("single_instance").is_some());
         assert!(parsed.get("batch_sweep").is_some());
+        let metrics = parsed
+            .get("telemetry")
+            .and_then(|t| t.get("metrics"))
+            .expect("telemetry.metrics section");
+        for mode in ["bridge", "overlay", "affinity"] {
+            let h = metrics
+                .get("histograms")
+                .and_then(|h| h.get(&format!("dataplane.latency.{mode}")))
+                .unwrap_or_else(|| panic!("latency histogram for {mode}"));
+            assert!(h.get("count").is_some());
+        }
+        for counter in ["bus.wan_messages", "bus.local_messages", "cp.2pc.commits"] {
+            assert!(
+                metrics.get("counters").and_then(|c| c.get(counter)).is_some(),
+                "missing counter {counter}"
+            );
+        }
+        let trace = parsed
+            .get("telemetry")
+            .and_then(|t| t.get("trace"))
+            .and_then(|t| t.get("records"))
+            .expect("telemetry.trace.records");
+        let serde::Value::Array(records) = trace else {
+            panic!("trace records is an array")
+        };
+        assert!(
+            records.iter().any(|r| matches!(
+                r.get("name"),
+                Some(serde::Value::Str(n)) if n.starts_with("2pc.")
+            )),
+            "snapshot carries 2PC phase spans"
+        );
+    }
+
+    #[test]
+    fn overhead_report_is_sane() {
+        let cfg = BaselineConfig {
+            duration: Duration::from_millis(10),
+            warmup: Duration::from_millis(2),
+            flow_counts: vec![128],
+            instance_counts: vec![1],
+            batch_sizes: vec![32],
+        };
+        let r = check_overhead(&cfg);
+        assert!(r.disabled_mpps > 0.0);
+        assert!(r.enabled_mpps > 0.0);
+        assert!(r.ratio > 0.0);
     }
 
     #[test]

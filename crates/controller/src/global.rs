@@ -30,6 +30,7 @@ use sb_msgbus::{
 };
 use sb_netsim::SimTime;
 use sb_te::dp::{self, DpConfig, LoadTracker};
+use sb_telemetry::{Counter, SpanId, Telemetry, TraceRecorder};
 use sb_te::{ChainSpec, NetworkModel, RoutePath};
 use sb_types::{
     ChainId, ChainLabel, EdgeInstanceId, EgressLabel, Error, ForwarderId, InstanceId, LabelPair,
@@ -65,6 +66,9 @@ pub struct ControlPlaneConfig {
     /// Base of the exponential backoff between RPC retries (doubles with
     /// each attempt).
     pub retry_backoff_base: Millis,
+    /// Packet sampling period for forwarder trace spans: 1-in-`N` packets
+    /// record a `pkt.hop` event. `0` leaves forwarders uninstrumented.
+    pub sample_every: u64,
 }
 
 impl Default for ControlPlaneConfig {
@@ -80,6 +84,37 @@ impl Default for ControlPlaneConfig {
             max_rpc_retries: 2,
             rpc_timeout: Millis::new(200.0),
             retry_backoff_base: Millis::new(25.0),
+            sample_every: sb_telemetry::trace::DEFAULT_SAMPLE_EVERY,
+        }
+    }
+}
+
+/// The control plane's telemetry handles: the shared hub plus its
+/// pre-registered counters. Always present — [`ControlPlane::new`] starts
+/// with a private hub, [`ControlPlane::attach_telemetry`] swaps in a
+/// shared one — so spans and counters are recorded identically whether or
+/// not anyone is watching.
+#[derive(Debug, Clone)]
+struct CpTelemetry {
+    hub: Telemetry,
+    deploys: Counter,
+    deploy_failures: Counter,
+    commits_2pc: Counter,
+    aborts_2pc: Counter,
+    retries_2pc: Counter,
+    publish_retries: Counter,
+}
+
+impl CpTelemetry {
+    fn new(hub: &Telemetry) -> Self {
+        Self {
+            hub: hub.clone(),
+            deploys: hub.registry.counter("cp.deploy.total"),
+            deploy_failures: hub.registry.counter("cp.deploy.failures"),
+            commits_2pc: hub.registry.counter("cp.2pc.commits"),
+            aborts_2pc: hub.registry.counter("cp.2pc.aborts"),
+            retries_2pc: hub.registry.counter("cp.2pc.retries"),
+            publish_retries: hub.registry.counter("cp.publish.retries"),
         }
     }
 }
@@ -185,6 +220,7 @@ pub struct ControlPlane {
     next_label: u32,
     next_route: u64,
     next_instance: u64,
+    tele: CpTelemetry,
 }
 
 impl std::fmt::Debug for ControlPlane {
@@ -207,12 +243,16 @@ impl ControlPlane {
     pub fn new(model: NetworkModel, delays: DelayModel, config: ControlPlaneConfig) -> Self {
         let base_model = model.with_chains(Vec::new());
         let sites = base_model.sites();
+        let hub = Telemetry::new();
         let mut bus = ProxyBus::new(BusTopology::unbounded(sites.clone(), delays.clone()));
+        bus.attach_telemetry(&hub);
         let mut site_subs = HashMap::new();
         let mut locals = HashMap::new();
         for &s in &sites {
             site_subs.insert(s, bus.register_subscriber(s));
-            locals.insert(s, LocalSwitchboard::new(s, config.instances_per_forwarder));
+            let mut local = LocalSwitchboard::new(s, config.instances_per_forwarder);
+            local.attach_telemetry(&hub, config.sample_every);
+            locals.insert(s, local);
         }
 
         let mut next_instance = 0u64;
@@ -258,6 +298,31 @@ impl ControlPlane {
             next_label: 1,
             next_route: 1,
             next_instance,
+            tele: CpTelemetry::new(&hub),
+        }
+    }
+
+    /// The telemetry hub: registry (`cp.*`, `bus.*`, `fwd-*` metrics) plus
+    /// the trace ring holding deployment and 2PC spans. The control plane
+    /// always records into one — this returns it for export.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele.hub
+    }
+
+    /// Swaps in a shared telemetry hub (e.g. the bench harness's), so this
+    /// control plane's metrics and spans land in an external registry.
+    /// Re-wires the bus, the fault plan, and every site's forwarders.
+    pub fn attach_telemetry(&mut self, hub: &Telemetry) {
+        self.tele = CpTelemetry::new(hub);
+        self.bus.attach_telemetry(hub);
+        if let Some(plan) = &self.faults {
+            plan.lock()
+                .expect("fault plan lock poisoned")
+                .attach_telemetry(hub);
+        }
+        for local in self.locals.values_mut() {
+            local.attach_telemetry(hub, self.config.sample_every);
         }
     }
 
@@ -271,6 +336,9 @@ impl ControlPlane {
     /// consult it. The same shared plan drives the message bus, so a
     /// single seed determines the whole run.
     pub fn set_fault_plan(&mut self, plan: SharedFaultPlan) {
+        plan.lock()
+            .expect("fault plan lock poisoned")
+            .attach_telemetry(&self.tele.hub);
         self.bus.set_fault_plan(plan.clone());
         self.faults = Some(plan);
     }
@@ -503,6 +571,44 @@ impl ControlPlane {
         request: ChainRequest,
         forced_routes: Option<Vec<(Vec<SiteId>, f64)>>,
     ) -> Result<ChainHandle> {
+        self.tele.deploys.inc();
+        let span = self
+            .tele
+            .hub
+            .tracer
+            .begin("cp.deploy", None, self.now.as_nanos());
+        self.tele
+            .hub
+            .tracer
+            .attr(span, "chain", &request.id.to_string());
+        let res = self.deploy_chain_core(request, forced_routes, span);
+        self.tele.hub.tracer.end(span, self.now.as_nanos());
+        let outcome = match &res {
+            Ok(_) => "ok",
+            Err(_) => {
+                self.tele.deploy_failures.inc();
+                "failed"
+            }
+        };
+        self.tele.hub.tracer.attr(span, "outcome", outcome);
+        res
+    }
+
+    /// Records a completed deployment step as a child span of `parent`,
+    /// spanning virtual time `start..self.now`.
+    fn trace_step(&self, parent: Option<SpanId>, name: &str, start: SimTime) {
+        self.tele
+            .hub
+            .tracer
+            .span(name, parent, start.as_nanos(), self.now.as_nanos(), &[]);
+    }
+
+    fn deploy_chain_core(
+        &mut self,
+        request: ChainRequest,
+        forced_routes: Option<Vec<(Vec<SiteId>, f64)>>,
+        span: SpanId,
+    ) -> Result<ChainHandle> {
         if self.chains.contains_key(&request.id) {
             return Err(Error::duplicate("chain", request.id));
         }
@@ -527,11 +633,13 @@ impl ControlPlane {
 
         // (1) Resolve ingress/egress sites (edge controller co-located with
         // Global Switchboard: one local round trip).
+        let t_step = self.now;
         let ingress_site = self.edge.resolve(&request.ingress_attachment)?;
         let egress_site = self.edge.resolve(&request.egress_attachment)?;
         let dt = self.delays.local() * 2.0;
         self.now += dt;
         report.push("resolve ingress/egress sites", dt);
+        self.trace_step(Some(span), "cp.resolve", t_step);
 
         // (2) Compute routes + allocate labels.
         let spec = self.chain_spec(&request, ingress_site, egress_site);
@@ -569,21 +677,24 @@ impl ControlPlane {
                 paths
             }
         };
+        let t_step = self.now;
         self.now += self.config.compute_time;
         report.push("compute wide-area routes", self.config.compute_time);
+        self.trace_step(Some(span), "cp.route_compute", t_step);
 
         // (3) Two-phase commit, with recomputation on veto.
         let mut attempt = 0usize;
         let mut excluded: Vec<(VnfId, SiteId)> = Vec::new();
         let announcements = loop {
             let announcements = self.announce(&request, ingress_site, egress_site, &paths);
-            match self.two_phase_commit(&spec, &announcements, &mut report) {
+            match self.two_phase_commit(&spec, &announcements, &mut report, Some(span)) {
                 Ok(()) => break announcements,
                 Err(Error::CommitRejected {
                     participant,
                     reason,
                 }) if forced_routes.is_none() && attempt < self.config.max_2pc_retries => {
                     attempt += 1;
+                    self.tele.retries_2pc.inc();
                     // Recompute excluding the rejecting deployment.
                     if let Some((vnf, site)) = parse_participant(&participant) {
                         excluded.push((vnf, site));
@@ -610,8 +721,10 @@ impl ControlPlane {
                             request.id
                         )));
                     }
+                    let t_step = self.now;
                     self.now += self.config.compute_time;
                     report.push("recompute after 2pc rejection", self.config.compute_time);
+                    self.trace_step(Some(span), "cp.route_recompute", t_step);
                 }
                 Err(e) => return Err(e),
             }
@@ -625,7 +738,13 @@ impl ControlPlane {
         }
 
         // (4)+(5) Propagate, allocate, install.
-        self.propagate_and_install(&announcements, ingress_site, egress_site, &mut report)?;
+        self.propagate_and_install(
+            &announcements,
+            ingress_site,
+            egress_site,
+            &mut report,
+            Some(span),
+        )?;
 
         self.chains.insert(
             request.id,
@@ -700,11 +819,18 @@ impl ControlPlane {
         spec: &ChainSpec,
         announcements: &[RouteAnnouncement],
         report: &mut DeploymentReport,
+        parent: Option<SpanId>,
     ) -> Result<()> {
         let mut prepared: Vec<(VnfId, ChainId, RouteId, SiteId)> = Vec::new();
         let mut max_rtt = Millis::ZERO;
         let mut penalty = Millis::ZERO;
         let mut failure: Option<Error> = None;
+        let tracer = self.tele.hub.tracer.clone();
+        let span_2pc = tracer.begin("cp.2pc", parent, self.now.as_nanos());
+        // The span of the phase record that failed, if any — the phase
+        // noted in the report is read back from this record, so report and
+        // trace can never disagree.
+        let mut failed_span: Option<SpanId> = None;
 
         'outer: for ann in announcements {
             for (z, (&vnf, &site)) in ann.vnfs.iter().zip(&ann.sites).enumerate() {
@@ -720,11 +846,24 @@ impl ControlPlane {
                 if rtt > max_rtt {
                     max_rtt = rtt;
                 }
+                let vnf_s = vnf.to_string();
+                let site_s = site.to_string();
+                let now = self.now;
+                let prep_span = |end: Millis, outcome: &str| {
+                    tracer.span(
+                        "2pc.prepare",
+                        Some(span_2pc),
+                        now.as_nanos(),
+                        (now + end).as_nanos(),
+                        &[("vnf", &vnf_s), ("site", &site_s), ("outcome", outcome)],
+                    )
+                };
                 // A reservation at a crashed site can never be honoured —
                 // the instances there are gone. The controller's failure
                 // detector vetoes it outright (no timeout burned), and the
                 // coordinator recomputes around the site.
                 if self.site_down_now(site) {
+                    failed_span = Some(prep_span(Millis::ZERO, "site-down"));
                     failure = Some(Error::CommitRejected {
                         participant: format!("{vnf}@{site}"),
                         reason: format!("{site} is down; reservation refused"),
@@ -745,9 +884,14 @@ impl ControlPlane {
                         // reservation.
                         prepared.push((vnf, ann.chain, ann.route, site));
                         match self.retry_rpc(RpcPhase::Prepare, site) {
-                            Some(extra) => penalty += extra,
+                            Some(extra) => {
+                                prep_span(rtt + extra, "ok");
+                                penalty += extra;
+                            }
                             None => {
-                                penalty += self.full_retry_penalty();
+                                let full = self.full_retry_penalty();
+                                failed_span = Some(prep_span(rtt + full, "timeout"));
+                                penalty += full;
                                 failure = Some(Error::CommitRejected {
                                     participant: format!("{vnf}@{site}"),
                                     reason: format!(
@@ -760,6 +904,7 @@ impl ControlPlane {
                         }
                     }
                     Err(e) => {
+                        failed_span = Some(prep_span(rtt, "vetoed"));
                         failure = Some(e);
                         break 'outer;
                     }
@@ -783,14 +928,25 @@ impl ControlPlane {
                     .expect("prepared controller exists")
                     .abort(chain, route, site);
             }
+            self.tele.aborts_2pc.inc();
             let dt = max_rtt + penalty;
             self.now += dt;
             report.push("two-phase commit (rejected)", dt);
+            // Which phase failed, read back from the trace record so the
+            // report can never contradict the span data.
+            if let Some(note) = failed_span.and_then(|id| phase_failure_note(&tracer, id)) {
+                report.note(note);
+            }
+            tracer.end(span_2pc, self.now.as_nanos());
+            tracer.attr(span_2pc, "outcome", "aborted");
             return Err(e);
         }
 
         for &(vnf, chain, route, site) in &prepared {
             let mut acked = false;
+            // The commit round starts once the slowest prepare ack is in
+            // (the phase's virtual-time cost is one RTT per round).
+            let t_commit = self.now + max_rtt;
             for attempt in 0..=self.config.max_rpc_retries {
                 // Re-sent commits are idempotent no-ops at the
                 // participant, so retrying after a lost ack is safe.
@@ -804,7 +960,21 @@ impl ControlPlane {
                 }
                 penalty += self.config.rpc_timeout + self.backoff(attempt);
             }
+            let commit_span = tracer.span(
+                "2pc.commit",
+                Some(span_2pc),
+                t_commit.as_nanos(),
+                (t_commit + max_rtt).as_nanos(),
+                &[
+                    ("vnf", &vnf.to_string()),
+                    ("site", &site.to_string()),
+                    ("outcome", if acked { "acked" } else { "ack-lost" }),
+                ],
+            );
             if !acked {
+                if let Some(note) = phase_failure_note(&tracer, commit_span) {
+                    report.note(note);
+                }
                 report.note(format!(
                     "commit ack from {vnf}@{site} lost after {} retries; \
                      the reservation is durable at the participant",
@@ -812,9 +982,12 @@ impl ControlPlane {
                 ));
             }
         }
+        self.tele.commits_2pc.inc();
         let dt = max_rtt * 2.0 + penalty; // prepare RTT + commit RTT
         self.now += dt;
         report.push("two-phase commit", dt);
+        tracer.end(span_2pc, self.now.as_nanos());
+        tracer.attr(span_2pc, "outcome", "committed");
         Ok(())
     }
 
@@ -838,6 +1011,13 @@ impl ControlPlane {
         let mut extra = Millis::ZERO;
         for attempt in 0..self.config.max_rpc_retries {
             extra += self.config.rpc_timeout + self.backoff(attempt);
+            self.tele.publish_retries.inc();
+            self.tele.hub.tracer.event(
+                "cp.publish.retry",
+                None,
+                (at + extra).as_nanos(),
+                &[("what", what), ("attempt", &(attempt + 1).to_string())],
+            );
             let retry = self.bus.publish(at + extra, from, msg.clone());
             let clean = retry.dropped == 0 && retry.delivered > 0;
             out.delivered += retry.delivered;
@@ -869,6 +1049,7 @@ impl ControlPlane {
         ingress_site: SiteId,
         egress_site: SiteId,
         report: &mut DeploymentReport,
+        parent: Option<SpanId>,
     ) -> Result<()> {
         // (3) Route propagation: one publish per route on the GSB's route
         // topic; every Local Switchboard is a subscriber (routes are
@@ -901,6 +1082,7 @@ impl ControlPlane {
         }
         self.now = self.now.max(t_done);
         report.push("propagate routes", self.now.since(t_start));
+        self.trace_step(parent, "cp.propagate_routes", t_start);
 
         // (4) Instance allocation + announcements. For each stage of each
         // route: the VNF controller publishes its instances at the site
@@ -971,6 +1153,7 @@ impl ControlPlane {
             "allocate instances and publish weights",
             self.now.since(t_start),
         );
+        self.trace_step(parent, "cp.allocate_instances", t_start);
 
         // (5) Rule computation + installation.
         let t_start = self.now;
@@ -1033,6 +1216,7 @@ impl ControlPlane {
             "install load-balancing rules",
             self.now.since(t_start),
         );
+        self.trace_step(parent, "cp.install_rules", t_start);
         Ok(())
     }
 
@@ -1066,8 +1250,19 @@ impl ControlPlane {
         #[allow(clippy::cast_precision_loss)]
         let new_fraction = 1.0 / (state.routes.len() as f64 + 1.0);
 
+        let root = self
+            .tele
+            .hub
+            .tracer
+            .begin("cp.add_route", None, self.now.as_nanos());
+        self.tele
+            .hub
+            .tracer
+            .attr(root, "chain", &chain.to_string());
+        let t_step = self.now;
         self.now += self.config.compute_time;
         report.push("compute new route", self.config.compute_time);
+        self.trace_step(Some(root), "cp.route_compute", t_step);
 
         let spec = self.chain_spec(&state.request, state.ingress_site, state.egress_site);
         let paths = [RoutePath {
@@ -1080,7 +1275,7 @@ impl ControlPlane {
             state.egress_site,
             &paths,
         );
-        self.two_phase_commit(&spec, &anns, &mut report)?;
+        self.two_phase_commit(&spec, &anns, &mut report, Some(root))?;
         let model = self.base_model.with_chains(vec![spec.clone()]);
         let coefs = dp::path_coefficients(&model, &spec, &sites);
         self.tracker.apply(&coefs, new_fraction);
@@ -1090,7 +1285,9 @@ impl ControlPlane {
             state.ingress_site,
             state.egress_site,
             &mut report,
+            Some(root),
         )?;
+        self.tele.hub.tracer.end(root, self.now.as_nanos());
         let ann = anns.pop().expect("one announcement built");
 
         // Rebalance the existing routes' fractions at the ingress edge.
@@ -1177,6 +1374,15 @@ impl ControlPlane {
             ));
         }
         let mut report = DeploymentReport::new();
+        let root = self
+            .tele
+            .hub
+            .tracer
+            .begin("cp.add_edge_site", None, self.now.as_nanos());
+        self.tele
+            .hub
+            .tracer
+            .attr(root, "site", &site.to_string());
 
         // Step 1: Local Switchboard chooses the first VNF's site among the
         // replicated routes — pure local computation (0 ms in Table 2).
@@ -1293,6 +1499,7 @@ impl ControlPlane {
             "1st VNF's fwrdr finishes configuration",
             self.config.config_delay,
         );
+        self.tele.hub.tracer.end(root, self.now.as_nanos());
         Ok(report)
     }
 
@@ -1321,6 +1528,22 @@ impl ControlPlane {
         }
         Ok(())
     }
+}
+
+/// Builds a report note naming the 2PC phase that failed, sourced from
+/// trace record `id` (its name and attributes) rather than from local
+/// variables — the narrative in [`DeploymentReport::partial_failures`] can
+/// never contradict the span data. `None` if the record was evicted.
+fn phase_failure_note(tracer: &TraceRecorder, id: SpanId) -> Option<String> {
+    let records = tracer.snapshot();
+    let rec = records.iter().rev().find(|r| r.id == id)?;
+    let phase = rec.name.strip_prefix("2pc.")?;
+    Some(format!(
+        "2pc {phase} phase failed at {}@{}: {}",
+        rec.attr("vnf").unwrap_or("?"),
+        rec.attr("site").unwrap_or("?"),
+        rec.attr("outcome").unwrap_or("unknown"),
+    ))
 }
 
 /// Parses the `"{vnf}@{site}"` participant string of a
@@ -1541,6 +1764,78 @@ mod tests {
         assert_eq!(handle.routes[1].sites, vec![SiteId::new(2)]);
         // Labels are distinct per route.
         assert_ne!(handle.routes[0].labels, handle.routes[1].labels);
+    }
+
+    #[test]
+    fn deployment_records_2pc_phase_spans_and_counters() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        cp.deploy_chain(request(1)).unwrap();
+        let recs = cp.telemetry().tracer.snapshot();
+        let prepares: Vec<_> = recs.iter().filter(|r| r.name == "2pc.prepare").collect();
+        assert!(!prepares.is_empty(), "no prepare spans recorded");
+        assert!(prepares.iter().all(|r| r.attr("outcome") == Some("ok")));
+        assert!(prepares.iter().all(|r| r.attr("site").is_some()));
+        assert!(recs
+            .iter()
+            .any(|r| r.name == "2pc.commit" && r.attr("outcome") == Some("acked")));
+        // The Figure 4 steps nest under the deploy span.
+        let deploy = recs
+            .iter()
+            .find(|r| r.name == "cp.deploy")
+            .expect("deploy span");
+        assert_eq!(deploy.attr("outcome"), Some("ok"));
+        for step in ["cp.resolve", "cp.route_compute", "cp.2pc", "cp.install_rules"] {
+            assert!(
+                recs.iter()
+                    .any(|r| r.parent == Some(deploy.id) && r.name == step),
+                "missing child span {step}"
+            );
+        }
+        let snap = cp.telemetry().registry.snapshot();
+        assert_eq!(snap.counter("cp.deploy.total"), 1);
+        assert_eq!(snap.counter("cp.2pc.commits"), 1);
+        assert_eq!(snap.counter("cp.2pc.aborts"), 0);
+    }
+
+    #[test]
+    fn vetoed_prepare_phase_is_noted_from_span_data() {
+        use sb_faults::{CrashWindow, FaultPlan, FaultSpec};
+        let mut cp = control_plane();
+        // Site 1 (the router's first choice) crashes in the window between
+        // route computation (~0.2 ms virtual) and two-phase commit
+        // (~5.2 ms): the failure detector vetoes the prepare, the route is
+        // recomputed through site 2, and the surviving report must name
+        // the failed phase — sourced from the span record.
+        cp.set_fault_plan(sb_faults::shared(FaultPlan::new(
+            FaultSpec::new(1).with_crash(CrashWindow::recovering(
+                SiteId::new(1),
+                SimTime::from_millis(1.0),
+                SimTime::from_millis(6.0),
+            )),
+        )));
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        let h = cp.deploy_chain(request(1)).unwrap();
+        assert_eq!(h.routes[0].sites, vec![SiteId::new(2)]);
+        assert!(
+            h.report
+                .partial_failures
+                .iter()
+                .any(|n| n.contains("2pc prepare phase failed") && n.contains("site-down")),
+            "phase note missing: {:?}",
+            h.report.partial_failures
+        );
+        let snap = cp.telemetry().registry.snapshot();
+        assert!(snap.counter("cp.2pc.aborts") >= 1);
+        assert!(snap.counter("cp.2pc.retries") >= 1);
+        assert!(cp
+            .telemetry()
+            .tracer
+            .snapshot()
+            .iter()
+            .any(|r| r.name == "2pc.prepare" && r.attr("outcome") == Some("site-down")));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::messages::{ForwarderRecord, InstanceRecord, RouteAnnouncement};
 use sb_dataplane::{Addr, Forwarder, ForwarderMode, RuleSet, WeightedChoice};
+use sb_telemetry::Telemetry;
 use sb_types::{Error, ForwarderId, InstanceId, LabelPair, Result, RouteId, SiteId, VnfId};
 use std::collections::HashMap;
 
@@ -37,6 +38,9 @@ pub struct LocalSwitchboard {
     /// Replicated wide-area routes for all chains (Section 6: replicated
     /// "in Local Switchboard at every site" to support edge-site addition).
     routes: HashMap<RouteId, RouteAnnouncement>,
+    /// Telemetry hub + packet sampling period applied to every forwarder
+    /// (current and future); `None` leaves the data plane uninstrumented.
+    telemetry: Option<(Telemetry, u64)>,
 }
 
 impl LocalSwitchboard {
@@ -55,7 +59,23 @@ impl LocalSwitchboard {
             assigned: HashMap::new(),
             instance_fwd: HashMap::new(),
             routes: HashMap::new(),
+            telemetry: None,
         }
+    }
+
+    /// Instruments every forwarder of this site with `hub` (sampled packet
+    /// spans at 1-in-`sample_every`, per-forwarder counters), including
+    /// forwarders created by later [`attach_instances`](Self::attach_instances)
+    /// calls. `sample_every == 0` detaches instead.
+    pub fn attach_telemetry(&mut self, hub: &Telemetry, sample_every: u64) {
+        if sample_every == 0 {
+            self.telemetry = None;
+            return;
+        }
+        for fwd in self.forwarders.values_mut() {
+            fwd.attach_telemetry(hub, sample_every);
+        }
+        self.telemetry = Some((hub.clone(), sample_every));
     }
 
     /// The site this Local Switchboard runs at.
@@ -118,10 +138,11 @@ impl LocalSwitchboard {
                 None => {
                     let id = ForwarderId::new(self.id_base + self.next_idx);
                     self.next_idx += 1;
-                    self.forwarders.insert(
-                        id,
-                        Forwarder::new(id, self.site, ForwarderMode::Affinity),
-                    );
+                    let mut fwd = Forwarder::new(id, self.site, ForwarderMode::Affinity);
+                    if let Some((hub, every)) = &self.telemetry {
+                        fwd.attach_telemetry(hub, *every);
+                    }
+                    self.forwarders.insert(id, fwd);
                     pool.push(id);
                     id
                 }

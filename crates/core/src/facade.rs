@@ -75,6 +75,16 @@ impl Switchboard {
         &self.cp
     }
 
+    /// The deployment's telemetry hub: one registry and trace ring shared
+    /// by the control plane (`cp.*` counters, deploy/2PC spans), the
+    /// message bus (`bus.*` counters), the fault injector (`faults.*`),
+    /// and every forwarder (`fwd-*` counters, sampled `pkt.hop` events).
+    /// Export everything with [`sb_telemetry::Telemetry::export_json`].
+    #[must_use]
+    pub fn telemetry(&self) -> &sb_telemetry::Telemetry {
+        self.cp.telemetry()
+    }
+
     /// Mutable access to the control plane (advanced wiring).
     pub fn control_plane_mut(&mut self) -> &mut ControlPlane {
         &mut self.cp

@@ -95,6 +95,7 @@ pub use sb_msgbus as msgbus;
 pub use sb_netsim as netsim;
 pub use sb_te as te;
 pub use sb_topology as topology;
+pub use sb_telemetry as telemetry;
 pub use sb_types as types;
 pub use sb_vnfs as vnfs;
 

@@ -37,6 +37,7 @@
 use crate::flow_table::{FlowContext, FlowTable, FlowTableKey};
 use crate::loadbalancer::WeightedChoice;
 use crate::packet::{Addr, Packet, TunnelHeader};
+use sb_telemetry::{Counter, Gauge, Telemetry, TraceRecorder};
 use sb_types::{Error, FlowKey, ForwarderId, InstanceId, LabelPair, Result, SiteId};
 use std::collections::HashMap;
 
@@ -49,6 +50,18 @@ pub enum ForwarderMode {
     Overlay,
     /// Full Switchboard forwarding with flow affinity (the default).
     Affinity,
+}
+
+impl ForwarderMode {
+    /// Stable lowercase name used in metric names and trace attributes.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ForwarderMode::Bridge => "bridge",
+            ForwarderMode::Overlay => "overlay",
+            ForwarderMode::Affinity => "affinity",
+        }
+    }
 }
 
 /// The three load-balancing rule sets installed per label pair
@@ -89,6 +102,99 @@ pub const IO_WORK_LANES: usize = 8;
 /// Packets staged per internal batch chunk; bounds the stack scratch space.
 const BATCH_CHUNK: usize = 32;
 
+/// Telemetry handles held by an instrumented forwarder.
+///
+/// The fast path keeps its plain [`ForwarderStats`] accumulators; at the
+/// end of every `process` / `process_batch_into` call the absolute values
+/// are re-published into the registry with single-writer stores, and the
+/// per-mode drop counter (shared across forwarders of the same mode)
+/// receives the delta since the last sync. Packet spans are sampled by rx
+/// ordinal (`ordinal % every == 0`), a pure function of stream position,
+/// so batch and sequential processing sample — and record — identically.
+#[derive(Debug, Clone)]
+struct FwdTelemetry {
+    tracer: TraceRecorder,
+    /// Sampling period; never 0 (a zero rate means no telemetry at all).
+    sample_every: u64,
+    /// The rx ordinal of the next packet to record a hop event for.
+    next_sample: u64,
+    rx: Counter,
+    tx: Counter,
+    drops: Counter,
+    flow_hits: Counter,
+    flow_misses: Counter,
+    /// `dataplane.drops.<mode>`, shared across same-mode forwarders.
+    mode_drops: Counter,
+    /// `<id>.flow_entries` occupancy gauge.
+    occupancy: Gauge,
+    /// Drop count at the previous sync, for the shared-counter delta.
+    synced_drops: u64,
+}
+
+impl FwdTelemetry {
+    fn new(hub: &Telemetry, id: ForwarderId, mode: ForwarderMode, sample_every: u64) -> Self {
+        let reg = &hub.registry;
+        Self {
+            tracer: hub.tracer.clone(),
+            sample_every: sample_every.max(1),
+            next_sample: 0,
+            rx: reg.counter(&format!("{id}.rx")),
+            tx: reg.counter(&format!("{id}.tx")),
+            drops: reg.counter(&format!("{id}.drops")),
+            flow_hits: reg.counter(&format!("{id}.flow_hits")),
+            flow_misses: reg.counter(&format!("{id}.flow_misses")),
+            mode_drops: reg.counter(&format!("dataplane.drops.{}", mode.as_str())),
+            occupancy: reg.gauge(&format!("{id}.flow_entries")),
+            synced_drops: 0,
+        }
+    }
+
+    /// Records one sampled per-hop packet event; `ordinal` doubles as the
+    /// virtual timestamp so hops order correctly without a wall clock.
+    fn record_hop(
+        &mut self,
+        id: ForwarderId,
+        mode: ForwarderMode,
+        ordinal: u64,
+        next: core::result::Result<Addr, &Error>,
+    ) {
+        self.next_sample = ordinal + self.sample_every;
+        let id_s = id.to_string();
+        match next {
+            Ok(addr) => {
+                let next_s = addr.to_string();
+                self.tracer.event(
+                    "pkt.hop",
+                    None,
+                    ordinal,
+                    &[("fwd", &id_s), ("mode", mode.as_str()), ("next", &next_s)],
+                );
+            }
+            Err(e) => {
+                let err_s = e.to_string();
+                self.tracer.event(
+                    "pkt.drop",
+                    None,
+                    ordinal,
+                    &[("fwd", &id_s), ("mode", mode.as_str()), ("error", &err_s)],
+                );
+            }
+        }
+    }
+
+    /// Publishes the current stats into the registry.
+    fn sync(&mut self, stats: &ForwarderStats, flow_entries: usize) {
+        self.rx.set(stats.rx);
+        self.tx.set(stats.tx);
+        self.drops.set(stats.drops);
+        self.flow_hits.set(stats.flow_hits);
+        self.flow_misses.set(stats.flow_misses);
+        self.mode_drops.add(stats.drops - self.synced_drops);
+        self.synced_drops = stats.drops;
+        self.occupancy.set(flow_entries as i64);
+    }
+}
+
 /// A Switchboard forwarder.
 ///
 /// See the [crate docs](crate) for a worked example.
@@ -112,6 +218,9 @@ pub struct Forwarder {
     /// Sink for synthetic per-packet header work (see `io_work`), kept so
     /// the optimizer cannot elide the loop.
     work_sink: u64,
+    /// Optional registry/trace wiring; `None` (the default) keeps the fast
+    /// path identical to the uninstrumented build.
+    telemetry: Option<FwdTelemetry>,
 }
 
 impl Forwarder {
@@ -140,7 +249,25 @@ impl Forwarder {
             flow_table: FlowTable::with_capacity(capacity),
             stats: ForwarderStats::default(),
             work_sink: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry hub: counters named `<id>.rx` / `.tx` /
+    /// `.drops` / `.flow_hits` / `.flow_misses` mirror [`ForwarderStats`]
+    /// after every call, a `<id>.flow_entries` gauge tracks flow-table
+    /// occupancy, drops also feed the shared `dataplane.drops.<mode>`
+    /// counter, and one packet in `sample_every` records a `pkt.hop` /
+    /// `pkt.drop` trace event (its rx ordinal is the timestamp).
+    /// `sample_every` is clamped to at least 1; to disable telemetry,
+    /// simply never attach it.
+    pub fn attach_telemetry(&mut self, hub: &Telemetry, sample_every: u64) {
+        let mut t = FwdTelemetry::new(hub, self.id, self.mode, sample_every);
+        // Resume sampling relative to packets already processed.
+        t.next_sample = self.stats.rx.next_multiple_of(t.sample_every);
+        t.synced_drops = self.stats.drops;
+        t.sync(&self.stats, self.flow_table.len());
+        self.telemetry = Some(t);
     }
 
     /// This forwarder's identifier.
@@ -299,11 +426,22 @@ impl Forwarder {
     ///   matches, or `Bridge` mode has no next hop configured.
     /// - [`Error::ResourceExhausted`] when the flow table is full.
     pub fn process(&mut self, pkt: Packet, from: Addr) -> Result<(Packet, Addr)> {
+        let ordinal = self.stats.rx;
         self.stats.rx += 1;
         let result = self.process_inner(pkt, from);
         match result {
             Ok(_) => self.stats.tx += 1,
             Err(_) => self.stats.drops += 1,
+        }
+        if let Some(t) = &mut self.telemetry {
+            if ordinal == t.next_sample {
+                let next = match &result {
+                    Ok((_, addr)) => Ok(*addr),
+                    Err(e) => Err(e),
+                };
+                t.record_hop(self.id, self.mode, ordinal, next);
+            }
+            t.sync(&self.stats, self.flow_table.len());
         }
         result
     }
@@ -342,11 +480,15 @@ impl Forwarder {
                 self.labeled_chunk(chunk, from, out);
             }
         }
+        if let Some(t) = &mut self.telemetry {
+            t.sync(&self.stats, self.flow_table.len());
+        }
     }
 
     /// Batch fast path for [`ForwarderMode::Bridge`]: parse + header work,
     /// one shared next hop.
     fn bridge_chunk(&mut self, chunk: &mut [Packet], out: &mut Vec<Result<Addr>>) {
+        let rx_before = self.stats.rx;
         self.stats.rx += chunk.len() as u64;
         let mut seeds = [0u64; BATCH_CHUNK];
         for (seed, pkt) in seeds.iter_mut().zip(chunk.iter_mut()) {
@@ -370,6 +512,20 @@ impl Forwarder {
                 );
             }
         }
+        // Every packet of the chunk shares one outcome; record each sampled
+        // ordinal with it, matching the sequential path event-for-event.
+        if let Some(mut t) = self.telemetry.take() {
+            while t.next_sample < self.stats.rx {
+                let ordinal = t.next_sample;
+                let idx = out.len() - chunk.len() + (ordinal - rx_before) as usize;
+                let next = match &out[idx] {
+                    Ok(addr) => Ok(*addr),
+                    Err(e) => Err(e),
+                };
+                t.record_hop(self.id, self.mode, ordinal, next);
+            }
+            self.telemetry = Some(t);
+        }
     }
 
     /// Batch path for the label-switched modes: parse + hash every packet
@@ -377,6 +533,7 @@ impl Forwarder {
     /// next hops in arrival order (order matters: the first packet of a flow
     /// installs the entries later packets of the same batch hit).
     fn labeled_chunk(&mut self, chunk: &mut [Packet], from: Addr, out: &mut Vec<Result<Addr>>) {
+        let rx_before = self.stats.rx;
         self.stats.rx += chunk.len() as u64;
         let mut hashes = [0u64; BATCH_CHUNK];
         let mut seeds = [0u64; BATCH_CHUNK];
@@ -407,12 +564,15 @@ impl Forwarder {
             Addr::Vnf(_) => FlowContext::FromVnf,
             Addr::Forwarder(_) | Addr::Edge(_) => FlowContext::FromWire,
         };
-        let overlay = self.mode == ForwarderMode::Overlay;
+        let id = self.id;
+        let mode = self.mode;
+        let overlay = mode == ForwarderMode::Overlay;
         let Self {
             ref rules,
             ref mut flow_table,
             ref mut stats,
             ref label_unaware,
+            ref mut telemetry,
             site,
             ..
         } = *self;
@@ -421,42 +581,58 @@ impl Forwarder {
         // per packet.
         let mut cached: Option<(LabelPair, &RuleSet)> = None;
         for (i, pkt) in chunk.iter_mut().enumerate() {
-            let Some(labels) = pkt.labels else {
-                stats.drops += 1;
-                out.push(Err(Error::forwarding("packet has no labels")));
-                continue;
-            };
-            let hash = hashes[i];
-            let res = if overlay {
-                stats.flow_misses += 1;
-                let rule = match cached {
-                    Some((l, r)) if l == labels => Ok(r),
-                    _ => match rules_for_in(rules, labels) {
-                        Ok(r) => {
-                            cached = Some((labels, r));
-                            Ok(r)
-                        }
-                        Err(e) => Err(e),
-                    },
-                };
-                rule.map(|r| match context {
-                    FlowContext::FromWire => r.to_vnf.select(hash),
-                    FlowContext::FromVnf => r.to_next.select(hash),
-                })
-            } else {
-                affinity_next_in(flow_table, stats, rules, pkt.key, hash, labels, context, from)
-            };
-            match res {
-                Ok(next) => {
-                    finish_output(label_unaware, site, pkt, labels, next);
-                    stats.tx += 1;
-                    out.push(Ok(next));
-                }
-                Err(e) => {
+            let res: Result<Addr> = match pkt.labels {
+                None => {
                     stats.drops += 1;
-                    out.push(Err(e));
+                    Err(Error::forwarding("packet has no labels"))
+                }
+                Some(labels) => {
+                    let hash = hashes[i];
+                    let res = if overlay {
+                        stats.flow_misses += 1;
+                        let rule = match cached {
+                            Some((l, r)) if l == labels => Ok(r),
+                            _ => match rules_for_in(rules, labels) {
+                                Ok(r) => {
+                                    cached = Some((labels, r));
+                                    Ok(r)
+                                }
+                                Err(e) => Err(e),
+                            },
+                        };
+                        rule.map(|r| match context {
+                            FlowContext::FromWire => r.to_vnf.select(hash),
+                            FlowContext::FromVnf => r.to_next.select(hash),
+                        })
+                    } else {
+                        affinity_next_in(
+                            flow_table, stats, rules, pkt.key, hash, labels, context, from,
+                        )
+                    };
+                    match res {
+                        Ok(next) => {
+                            finish_output(label_unaware, site, pkt, labels, next);
+                            stats.tx += 1;
+                            Ok(next)
+                        }
+                        Err(e) => {
+                            stats.drops += 1;
+                            Err(e)
+                        }
+                    }
+                }
+            };
+            if let Some(t) = telemetry.as_mut() {
+                let ordinal = rx_before + i as u64;
+                if ordinal == t.next_sample {
+                    let next = match &res {
+                        Ok(addr) => Ok(*addr),
+                        Err(e) => Err(e),
+                    };
+                    t.record_hop(id, mode, ordinal, next);
                 }
             }
+            out.push(res);
         }
     }
 
@@ -911,16 +1087,23 @@ mod tests {
     /// Drives the same packet sequence through `process` one-by-one and
     /// through `process_batch`, asserting identical next hops, errors,
     /// counters, flow-table population, `work_sink`, and output packets.
+    /// Both forwarders run with telemetry attached (aggressive 1-in-3
+    /// sampling): registry snapshots and recorded trace events must also
+    /// be identical, so instrumentation cannot diverge the two paths.
     fn assert_batch_equivalent(
         make: impl Fn() -> Forwarder,
         pkts: &[Packet],
         from: Addr,
     ) {
+        let seq_hub = sb_telemetry::Telemetry::new();
         let mut seq_fwd = make();
+        seq_fwd.attach_telemetry(&seq_hub, 3);
         let seq: Vec<Result<(Packet, Addr)>> =
             pkts.iter().map(|&p| seq_fwd.process(p, from)).collect();
 
+        let batch_hub = sb_telemetry::Telemetry::new();
         let mut batch_fwd = make();
+        batch_fwd.attach_telemetry(&batch_hub, 3);
         let mut batch_pkts = pkts.to_vec();
         let batch = batch_fwd.process_batch(&mut batch_pkts, from);
 
@@ -940,6 +1123,63 @@ mod tests {
         assert_eq!(seq_fwd.stats(), batch_fwd.stats());
         assert_eq!(seq_fwd.flow_entries(), batch_fwd.flow_entries());
         assert_eq!(seq_fwd.work_sink, batch_fwd.work_sink);
+        // Identical registry state (counters, mode drops, occupancy gauge)
+        // and an identical sampled event stream.
+        assert_eq!(
+            seq_hub.registry.snapshot(),
+            batch_hub.registry.snapshot(),
+            "registry snapshots diverge between sequential and batch"
+        );
+        assert_eq!(
+            seq_hub.tracer.snapshot(),
+            batch_hub.tracer.snapshot(),
+            "sampled trace events diverge between sequential and batch"
+        );
+    }
+
+    #[test]
+    fn stats_accessors_match_registry_snapshot() {
+        let hub = sb_telemetry::Telemetry::new();
+        let mut f = affinity_forwarder();
+        f.attach_telemetry(&hub, 1024);
+        for port in 0..20u16 {
+            let pkt = Packet::labeled(labels(), key(1000 + port % 4), 500);
+            let _ = f.process(pkt, edge());
+        }
+        let _ = f.process(Packet::unlabeled(key(9), 64), edge());
+        let s = f.stats();
+        let snap = hub.registry.snapshot();
+        let id = f.id();
+        assert_eq!(snap.counter(&format!("{id}.rx")), s.rx);
+        assert_eq!(snap.counter(&format!("{id}.tx")), s.tx);
+        assert_eq!(snap.counter(&format!("{id}.drops")), s.drops);
+        assert_eq!(snap.counter(&format!("{id}.flow_hits")), s.flow_hits);
+        assert_eq!(snap.counter(&format!("{id}.flow_misses")), s.flow_misses);
+        assert_eq!(
+            snap.gauge(&format!("{id}.flow_entries")),
+            f.flow_entries() as i64
+        );
+        assert_eq!(snap.counter("dataplane.drops.affinity"), s.drops);
+    }
+
+    #[test]
+    fn sampled_packets_record_hop_events() {
+        let hub = sb_telemetry::Telemetry::new();
+        let mut f = affinity_forwarder();
+        f.attach_telemetry(&hub, 4); // ordinals 0, 4, 8, ...
+        for port in 0..10u16 {
+            let pkt = Packet::labeled(labels(), key(1000 + port), 500);
+            let _ = f.process(pkt, edge());
+        }
+        let recs = hub.tracer.snapshot();
+        let hops: Vec<_> = recs.iter().filter(|r| r.name == "pkt.hop").collect();
+        assert_eq!(hops.len(), 3);
+        assert_eq!(
+            hops.iter().map(|r| r.start_ns).collect::<Vec<_>>(),
+            [0, 4, 8]
+        );
+        assert!(hops.iter().all(|r| r.attr("mode") == Some("affinity")));
+        assert!(hops.iter().all(|r| r.attr("next").is_some()));
     }
 
     #[test]

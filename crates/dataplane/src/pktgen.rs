@@ -91,7 +91,12 @@ impl PacketGenerator {
         x ^= x << 25;
         x ^= x >> 27;
         self.state = x;
-        let idx = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) as usize) % self.flows.len();
+        let mixed = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        // Multiply-shift range reduction instead of `% len`: one 64x64
+        // widening multiply where a hardware divide would dominate the
+        // per-packet budget at generator rates.
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = ((u128::from(mixed) * self.flows.len() as u128) >> 64) as usize;
         self.emitted += 1;
         Packet::labeled(self.labels, self.flows[idx], self.size)
     }

@@ -22,6 +22,7 @@ use crate::forwarder::{Forwarder, ForwarderMode, RuleSet};
 use crate::loadbalancer::WeightedChoice;
 use crate::packet::{Addr, Packet};
 use crate::pktgen::PacketGenerator;
+use sb_telemetry::{Histogram, HistogramSnapshot, Telemetry};
 use sb_types::{
     ChainLabel, EdgeInstanceId, EgressLabel, ForwarderId, InstanceId, LabelPair, Mpps, Result,
     SiteId,
@@ -49,7 +50,17 @@ pub struct ScaleoutConfig {
     /// Packets handed to the forwarder per [`Forwarder::process_batch`]
     /// call; `1` uses the per-packet [`Forwarder::process`] path instead.
     pub batch_size: usize,
+    /// Telemetry sampling period: roughly one packet in `sample_every` is
+    /// timed for the latency histograms (and, when a hub is attached,
+    /// recorded as a trace event). `0` disables telemetry entirely —
+    /// no forwarder instrumentation and no timing — which is the
+    /// reference point for the CI overhead gate.
+    pub sample_every: u64,
 }
+
+/// The default packet-sampling period (see DESIGN.md §9: the overhead
+/// budget is <5% at this rate, enforced in CI).
+pub const DEFAULT_SAMPLE_EVERY: u64 = sb_telemetry::trace::DEFAULT_SAMPLE_EVERY;
 
 impl Default for ScaleoutConfig {
     fn default() -> Self {
@@ -61,6 +72,40 @@ impl Default for ScaleoutConfig {
             duration: Duration::from_millis(400),
             warmup: Duration::from_millis(100),
             batch_size: 256,
+            sample_every: DEFAULT_SAMPLE_EVERY,
+        }
+    }
+}
+
+/// Per-packet processing-latency percentiles of a measurement, estimated
+/// from log2-bucketed histograms of sampled `drive` calls (each timed call
+/// contributes its elapsed time divided by the batch size). All zeros when
+/// sampling was disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Timed samples contributing to the percentiles.
+    pub samples: u64,
+    /// Median per-packet latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile per-packet latency in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile per-packet latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Worst sampled per-packet latency in nanoseconds.
+    pub max_ns: u64,
+    /// Mean per-packet latency in nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl From<&HistogramSnapshot> for LatencySummary {
+    fn from(s: &HistogramSnapshot) -> Self {
+        Self {
+            samples: s.count,
+            p50_ns: s.p50(),
+            p90_ns: s.p90(),
+            p99_ns: s.p99(),
+            max_ns: s.max,
+            mean_ns: s.mean(),
         }
     }
 }
@@ -74,6 +119,8 @@ pub struct ScaleoutResult {
     pub packets: u64,
     /// Total flow-table entries installed across instances at the end.
     pub flow_entries: usize,
+    /// Sampled per-packet latency percentiles across all instances.
+    pub latency: LatencySummary,
 }
 
 /// Builds the single-chain forwarder used by each measurement thread: one
@@ -141,6 +188,20 @@ fn drive(
 /// Panics if `config.instances` is zero or a worker thread panics.
 #[must_use]
 pub fn measure(config: &ScaleoutConfig) -> ScaleoutResult {
+    measure_with_hub(config, None)
+}
+
+/// [`measure`] with an optional telemetry hub. When a hub is given and
+/// `sample_every` is non-zero, every forwarder instance is instrumented
+/// (sampled `pkt.hop` events plus `fwd-*` counters) and the merged latency
+/// histogram is additionally published as
+/// `dataplane.latency.<mode>` in the hub's registry.
+///
+/// # Panics
+///
+/// Panics if `config.instances` is zero or a worker thread panics.
+#[must_use]
+pub fn measure_with_hub(config: &ScaleoutConfig, hub: Option<&Telemetry>) -> ScaleoutResult {
     assert!(config.instances > 0, "need at least one instance");
     let stop = Arc::new(AtomicBool::new(false));
     let measuring = Arc::new(AtomicBool::new(false));
@@ -150,8 +211,12 @@ pub fn measure(config: &ScaleoutConfig) -> ScaleoutResult {
         let stop = Arc::clone(&stop);
         let measuring = Arc::clone(&measuring);
         let cfg = config.clone();
+        let hub = hub.cloned();
         handles.push(std::thread::spawn(move || {
             let (mut fwd, labels) = build_forwarder(t, cfg.mode, cfg.flows_per_instance);
+            if let (Some(h), true) = (&hub, cfg.sample_every > 0) {
+                fwd.attach_telemetry(h, cfg.sample_every);
+            }
             let mut gen = PacketGenerator::new(
                 labels,
                 cfg.flows_per_instance,
@@ -162,6 +227,7 @@ pub fn measure(config: &ScaleoutConfig) -> ScaleoutResult {
             let batch = cfg.batch_size.max(1);
             let mut pkts = vec![gen.next_packet(); batch];
             let mut out = Vec::with_capacity(batch);
+            let latency = Histogram::new();
             // Warmup: run until the coordinator opens the window AND the
             // flow table has reached steady state (every flow visited).
             let min_packets = 4 * cfg.flows_per_instance as u64;
@@ -172,15 +238,26 @@ pub fn measure(config: &ScaleoutConfig) -> ScaleoutResult {
                     // Window closed before this worker reached steady state
                     // (misconfigured durations): report nothing rather than
                     // a partially-warm rate.
-                    return (0u64, 0.0f64, fwd.flow_entries());
+                    return (0u64, 0.0f64, fwd.flow_entries(), latency);
                 }
             }
             // Measured phase, timed per worker so batch boundaries never
             // straddle the window edges.
+            let lat_every = lat_sample_every(cfg.sample_every, batch);
+            let mut drives = 0u64;
+            let mut next_timed = 0u64;
             let t0 = Instant::now();
             let mut measured = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                measured += drive(&mut fwd, &mut gen, edge, &mut pkts, &mut out);
+                if lat_every != 0 && drives == next_timed {
+                    next_timed += lat_every;
+                    let s = Instant::now();
+                    measured += drive(&mut fwd, &mut gen, edge, &mut pkts, &mut out);
+                    record_drive_latency(&latency, s, batch);
+                } else {
+                    measured += drive(&mut fwd, &mut gen, edge, &mut pkts, &mut out);
+                }
+                drives += 1;
             }
             let elapsed = t0.elapsed().as_secs_f64();
             #[allow(clippy::cast_precision_loss)]
@@ -189,7 +266,7 @@ pub fn measure(config: &ScaleoutConfig) -> ScaleoutResult {
             } else {
                 0.0
             };
-            (measured, pps, fwd.flow_entries())
+            (measured, pps, fwd.flow_entries(), latency)
         }));
     }
 
@@ -201,17 +278,57 @@ pub fn measure(config: &ScaleoutConfig) -> ScaleoutResult {
     let mut packets = 0u64;
     let mut flow_entries = 0usize;
     let mut pps = 0.0f64;
+    let merged = Histogram::new();
     for h in handles {
-        let (p, rate, fe) = h.join().expect("worker thread panicked");
+        let (p, rate, fe, lat) = h.join().expect("worker thread panicked");
         packets += p;
         pps += rate;
         flow_entries += fe;
+        merged.merge_from(&lat);
     }
     ScaleoutResult {
         throughput: Mpps::from_pps(pps),
         packets,
         flow_entries,
+        latency: finish_latency(config, hub, &merged),
     }
+}
+
+/// How many `drive` calls separate two timed ones: the per-packet sampling
+/// period divided by the batch size, so roughly one packet in
+/// `sample_every` is timed regardless of batch size (and the `Instant`
+/// overhead on the batch=1 path stays far below the 5% budget). `0` means
+/// timing is disabled.
+fn lat_sample_every(sample_every: u64, batch: usize) -> u64 {
+    if sample_every == 0 {
+        0
+    } else {
+        (sample_every / batch as u64).max(1)
+    }
+}
+
+/// Records one timed `drive` call: elapsed time split evenly over the
+/// batch approximates per-packet processing latency.
+#[inline]
+fn record_drive_latency(latency: &Histogram, started: Instant, batch: usize) {
+    #[allow(clippy::cast_possible_truncation)]
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    latency.record(elapsed_ns / batch as u64);
+}
+
+/// Summarizes the merged worker histogram and, when a hub is attached,
+/// folds it into the registry's per-mode latency histogram.
+fn finish_latency(
+    config: &ScaleoutConfig,
+    hub: Option<&Telemetry>,
+    merged: &Histogram,
+) -> LatencySummary {
+    if let Some(h) = hub {
+        h.registry
+            .histogram(&format!("dataplane.latency.{}", config.mode.as_str()))
+            .merge_from(merged);
+    }
+    LatencySummary::from(&merged.snapshot())
 }
 
 /// Runs each forwarder instance *in isolation* (one at a time, on whatever
@@ -229,31 +346,55 @@ pub fn measure(config: &ScaleoutConfig) -> ScaleoutResult {
 /// Panics if `config.instances` is zero.
 #[must_use]
 pub fn measure_isolated(config: &ScaleoutConfig) -> ScaleoutResult {
+    measure_isolated_with_hub(config, None)
+}
+
+/// [`measure_isolated`] with an optional telemetry hub; see
+/// [`measure_with_hub`] for what instrumentation a hub enables.
+///
+/// # Panics
+///
+/// Panics if `config.instances` is zero.
+#[must_use]
+pub fn measure_isolated_with_hub(
+    config: &ScaleoutConfig,
+    hub: Option<&Telemetry>,
+) -> ScaleoutResult {
     assert!(config.instances > 0, "need at least one instance");
     let mut packets = 0u64;
     let mut flow_entries = 0usize;
     let mut pps = 0.0f64;
+    let merged = Histogram::new();
     for t in 0..config.instances {
         let one = ScaleoutConfig {
             instances: 1,
             ..config.clone()
         };
-        let r = run_worker(t, &one);
+        let r = run_worker(t, &one, hub);
         packets += r.0;
         flow_entries += r.2;
         pps += r.1;
+        merged.merge_from(&r.3);
     }
     ScaleoutResult {
         throughput: Mpps::from_pps(pps),
         packets,
         flow_entries,
+        latency: finish_latency(config, hub, &merged),
     }
 }
 
 /// One instance's generate→process loop for a fixed wall-clock window.
-/// Returns `(packets, pps, flow_entries)`.
-fn run_worker(thread: usize, cfg: &ScaleoutConfig) -> (u64, f64, usize) {
+/// Returns `(packets, pps, flow_entries, latency)`.
+fn run_worker(
+    thread: usize,
+    cfg: &ScaleoutConfig,
+    hub: Option<&Telemetry>,
+) -> (u64, f64, usize, Histogram) {
     let (mut fwd, labels) = build_forwarder(thread, cfg.mode, cfg.flows_per_instance);
+    if let (Some(h), true) = (hub, cfg.sample_every > 0) {
+        fwd.attach_telemetry(h, cfg.sample_every);
+    }
     let mut gen = PacketGenerator::new(
         labels,
         cfg.flows_per_instance,
@@ -264,6 +405,7 @@ fn run_worker(thread: usize, cfg: &ScaleoutConfig) -> (u64, f64, usize) {
     let batch = cfg.batch_size.max(1);
     let mut pkts = vec![gen.next_packet(); batch];
     let mut out = Vec::with_capacity(batch);
+    let latency = Histogram::new();
     // Warmup until the flow table reaches steady state: at least the
     // configured wall-clock warmup AND enough packets to have visited
     // (essentially) every flow, so the measured phase is the paper's
@@ -275,16 +417,27 @@ fn run_worker(thread: usize, cfg: &ScaleoutConfig) -> (u64, f64, usize) {
         warm_sent += drive(&mut fwd, &mut gen, edge, &mut pkts, &mut out);
     }
     // Measured phase.
+    let lat_every = lat_sample_every(cfg.sample_every, batch);
+    let mut drives = 0u64;
+    let mut next_timed = 0u64;
     let mut packets = 0u64;
     let t0 = Instant::now();
     let end = t0 + cfg.duration;
     while Instant::now() < end {
-        packets += drive(&mut fwd, &mut gen, edge, &mut pkts, &mut out);
+        if lat_every != 0 && drives == next_timed {
+            next_timed += lat_every;
+            let s = Instant::now();
+            packets += drive(&mut fwd, &mut gen, edge, &mut pkts, &mut out);
+            record_drive_latency(&latency, s, batch);
+        } else {
+            packets += drive(&mut fwd, &mut gen, edge, &mut pkts, &mut out);
+        }
+        drives += 1;
     }
     let elapsed = t0.elapsed().as_secs_f64();
     #[allow(clippy::cast_precision_loss)]
     let pps = packets as f64 / elapsed;
-    (packets, pps, fwd.flow_entries())
+    (packets, pps, fwd.flow_entries(), latency)
 }
 
 #[cfg(test)]
@@ -364,5 +517,56 @@ mod tests {
         });
         assert!(r.packets > 0);
         assert!(r.throughput.value() > 0.1, "{}", r.throughput);
+    }
+
+    #[test]
+    fn latency_summary_is_populated_and_ordered() {
+        let r = quick(1, 512, ForwarderMode::Affinity);
+        assert!(r.latency.samples > 0, "no timed drives in {:?}", r.latency);
+        assert!(r.latency.p50_ns >= 1);
+        assert!(r.latency.p50_ns <= r.latency.p90_ns);
+        assert!(r.latency.p90_ns <= r.latency.p99_ns);
+        assert!(r.latency.p99_ns <= r.latency.max_ns);
+        assert!(r.latency.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn sampling_disabled_yields_empty_latency_summary() {
+        let r = measure_isolated(&ScaleoutConfig {
+            flows_per_instance: 256,
+            duration: Duration::from_millis(60),
+            warmup: Duration::from_millis(15),
+            sample_every: 0,
+            ..ScaleoutConfig::default()
+        });
+        assert!(r.packets > 0);
+        assert_eq!(r.latency, LatencySummary::default());
+    }
+
+    #[test]
+    fn hub_receives_per_mode_latency_histogram_and_forwarder_counters() {
+        let hub = Telemetry::new();
+        let r = measure_isolated_with_hub(
+            &ScaleoutConfig {
+                flows_per_instance: 256,
+                duration: Duration::from_millis(60),
+                warmup: Duration::from_millis(15),
+                sample_every: 64,
+                ..ScaleoutConfig::default()
+            },
+            Some(&hub),
+        );
+        let snap = hub.registry.snapshot();
+        let lat = snap
+            .histogram("dataplane.latency.affinity")
+            .expect("latency histogram registered");
+        assert_eq!(lat.count, r.latency.samples);
+        assert!(snap.counter("fwd-0.rx") > 0);
+        // Sampled packet hops land in the hub's trace ring.
+        assert!(hub
+            .tracer
+            .snapshot()
+            .iter()
+            .any(|rec| rec.name == "pkt.hop"));
     }
 }

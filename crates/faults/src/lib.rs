@@ -36,6 +36,7 @@ use std::sync::{Arc, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sb_netsim::SimTime;
+use sb_telemetry::{Counter, Telemetry};
 use sb_types::{Millis, SiteId};
 use serde::{Deserialize, Serialize};
 
@@ -110,12 +111,29 @@ impl CrashWindow {
 }
 
 /// Which control-plane RPC a timeout decision applies to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RpcPhase {
     /// Two-phase-commit prepare.
     Prepare,
     /// Two-phase-commit commit.
     Commit,
+}
+
+impl RpcPhase {
+    /// Stable lowercase name, used in trace attributes and reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RpcPhase::Prepare => "prepare",
+            RpcPhase::Commit => "commit",
+        }
+    }
+}
+
+impl std::fmt::Display for RpcPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Declarative description of the faults to inject. Feed it to
@@ -254,6 +272,34 @@ impl FaultStats {
     }
 }
 
+/// Telemetry handles held by an instrumented plan. Kept as one optional
+/// bundle so an un-instrumented plan pays a single branch per decision.
+#[derive(Debug, Clone)]
+struct FaultTelemetry {
+    hub: Telemetry,
+    dropped: Counter,
+    duplicated: Counter,
+    delayed: Counter,
+    suppressed_by_crash: Counter,
+    prepare_timeouts: Counter,
+    commit_timeouts: Counter,
+}
+
+impl FaultTelemetry {
+    fn new(hub: &Telemetry) -> Self {
+        let reg = &hub.registry;
+        Self {
+            hub: hub.clone(),
+            dropped: reg.counter("faults.dropped"),
+            duplicated: reg.counter("faults.duplicated"),
+            delayed: reg.counter("faults.delayed"),
+            suppressed_by_crash: reg.counter("faults.crash_suppressed"),
+            prepare_timeouts: reg.counter("faults.prepare_timeouts"),
+            commit_timeouts: reg.counter("faults.commit_timeouts"),
+        }
+    }
+}
+
 /// An instantiated fault plan: the seeded RNG plus the spec, consumed one
 /// decision at a time. See the crate docs for the determinism contract.
 #[derive(Debug, Clone)]
@@ -261,6 +307,7 @@ pub struct FaultPlan {
     spec: FaultSpec,
     rng: StdRng,
     stats: FaultStats,
+    telemetry: Option<FaultTelemetry>,
 }
 
 impl FaultPlan {
@@ -272,7 +319,17 @@ impl FaultPlan {
             spec,
             rng,
             stats: FaultStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry hub: from now on every injected fault also
+    /// bumps a `faults.*` registry counter and records a `fault.*` trace
+    /// event, so chaos tests can correlate an injection at site X with its
+    /// downstream effect (a bus drop, a 2PC retry). Telemetry consumes no
+    /// randomness, so attaching it does not perturb the decision stream.
+    pub fn attach_telemetry(&mut self, hub: &Telemetry) {
+        self.telemetry = Some(FaultTelemetry::new(hub));
     }
 
     /// The spec this plan was built from.
@@ -301,6 +358,12 @@ impl FaultPlan {
     /// The bus calls this when [`Self::site_is_down`] made it drop traffic.
     pub fn note_crash_suppression(&mut self) {
         self.stats.suppressed_by_crash += 1;
+        if let Some(t) = &self.telemetry {
+            t.suppressed_by_crash.inc();
+            t.hub
+                .tracer
+                .event("fault.crash_suppressed", None, t.hub.clock.now_ns(), &[]);
+        }
     }
 
     /// Decides the fate of one wide-area message from `from` to `to` at
@@ -311,7 +374,7 @@ impl FaultPlan {
     /// faults. Local (same-site) hops are never faulted: `from == to`
     /// returns [`MessageFate::Deliver`] without consuming randomness, since
     /// the paper's failure model is about the wide area.
-    pub fn message_fate(&mut self, _at: SimTime, from: SiteId, to: SiteId) -> MessageFate {
+    pub fn message_fate(&mut self, at: SimTime, from: SiteId, to: SiteId) -> MessageFate {
         if from == to {
             return MessageFate::Deliver;
         }
@@ -335,22 +398,43 @@ impl FaultPlan {
         let delay = self.rng.gen_bool(clamp(p_delay));
         if drop {
             self.stats.dropped += 1;
+            self.trace_fate("fault.drop", at, from, to, None);
             MessageFate::Drop
         } else if dup {
             self.stats.duplicated += 1;
+            self.trace_fate("fault.duplicate", at, from, to, None);
             MessageFate::Duplicate
         } else if delay {
             self.stats.delayed += 1;
             let extra = self.rng.gen_range(0.0..self.spec.max_extra_delay.value());
-            MessageFate::Delay(Millis::new(extra.max(f64::EPSILON)))
+            let extra = Millis::new(extra.max(f64::EPSILON));
+            self.trace_fate("fault.delay", at, from, to, Some(extra));
+            MessageFate::Delay(extra)
         } else {
             MessageFate::Deliver
         }
     }
 
-    /// Decides whether one 2PC RPC against `_site` times out. Draws
+    fn trace_fate(&self, name: &str, at: SimTime, from: SiteId, to: SiteId, extra: Option<Millis>) {
+        let Some(t) = &self.telemetry else { return };
+        match name {
+            "fault.drop" => t.dropped.inc(),
+            "fault.duplicate" => t.duplicated.inc(),
+            _ => t.delayed.inc(),
+        }
+        let from_s = from.to_string();
+        let to_s = to.to_string();
+        let mut attrs: Vec<(&str, &str)> = vec![("from", &from_s), ("to", &to_s)];
+        let extra_s = extra.map(|d| format!("{:.3}", d.value()));
+        if let Some(e) = &extra_s {
+            attrs.push(("extra_ms", e));
+        }
+        t.hub.tracer.event(name, None, at.as_nanos(), &attrs);
+    }
+
+    /// Decides whether one 2PC RPC against `site` times out. Draws
     /// randomness; call order matters.
-    pub fn rpc_times_out(&mut self, phase: RpcPhase, _site: SiteId) -> bool {
+    pub fn rpc_times_out(&mut self, phase: RpcPhase, site: SiteId) -> bool {
         let p = match phase {
             RpcPhase::Prepare => self.spec.prepare_timeout_probability,
             RpcPhase::Commit => self.spec.commit_timeout_probability,
@@ -360,6 +444,19 @@ impl FaultPlan {
             match phase {
                 RpcPhase::Prepare => self.stats.prepare_timeouts += 1,
                 RpcPhase::Commit => self.stats.commit_timeouts += 1,
+            }
+            if let Some(t) = &self.telemetry {
+                match phase {
+                    RpcPhase::Prepare => t.prepare_timeouts.inc(),
+                    RpcPhase::Commit => t.commit_timeouts.inc(),
+                }
+                let site_s = site.to_string();
+                t.hub.tracer.event(
+                    "fault.rpc_timeout",
+                    None,
+                    t.hub.clock.now_ns(),
+                    &[("phase", phase.as_str()), ("site", &site_s)],
+                );
             }
         }
         timed_out
@@ -491,6 +588,35 @@ mod tests {
                 other => panic!("expected delay, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn telemetry_sees_injections_without_perturbing_the_stream() {
+        let spec = FaultSpec::new(7)
+            .with_drop_probability(0.5)
+            .with_prepare_timeouts(1.0);
+        let mut bare = FaultPlan::new(spec.clone());
+        let mut instrumented = FaultPlan::new(spec);
+        let hub = sb_telemetry::Telemetry::new();
+        instrumented.attach_telemetry(&hub);
+        for i in 0..50 {
+            let at = SimTime::from_millis(f64::from(i));
+            assert_eq!(
+                bare.message_fate(at, SiteId::new(0), SiteId::new(1)),
+                instrumented.message_fate(at, SiteId::new(0), SiteId::new(1))
+            );
+        }
+        assert!(instrumented.rpc_times_out(RpcPhase::Prepare, SiteId::new(2)));
+        let snap = hub.registry.snapshot();
+        assert_eq!(snap.counter("faults.dropped"), instrumented.stats().dropped);
+        assert_eq!(snap.counter("faults.prepare_timeouts"), 1);
+        let recs = hub.tracer.snapshot();
+        assert!(recs.iter().any(|r| r.name == "fault.drop"
+            && r.attr("from") == Some("site-0")
+            && r.attr("to") == Some("site-1")));
+        assert!(recs
+            .iter()
+            .any(|r| r.name == "fault.rpc_timeout" && r.attr("phase") == Some("prepare")));
     }
 
     #[test]

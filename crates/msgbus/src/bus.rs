@@ -17,6 +17,7 @@ use crate::message::Message;
 use crate::topic::Topic;
 use sb_faults::{MessageFate, SharedFaultPlan};
 use sb_netsim::SimTime;
+use sb_telemetry::{Counter, Telemetry};
 use sb_types::{Millis, SiteId};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -92,6 +93,10 @@ pub struct BusStats {
     pub dropped: u64,
     /// Copies that crossed the wide area.
     pub wan_messages: u64,
+    /// Copies that stayed on their origin site (publisher/proxy/subscriber
+    /// hops that never touched an uplink) — the local half of the Fig 9
+    /// wide-area vs local split.
+    pub local_messages: u64,
     /// Copies dropped by an injected fault (see [`sb_faults`]).
     pub fault_dropped: u64,
     /// Copies duplicated by an injected fault.
@@ -115,6 +120,52 @@ pub struct PublishOutcome {
     pub last_delivery: Option<SimTime>,
 }
 
+/// Registry counters mirroring [`BusStats`]. The plain struct stays the
+/// hot-path accumulator; after each publish the absolute values are
+/// re-published with single-writer stores (see `sb_telemetry::Counter::set`),
+/// so the registry snapshot always matches `stats()` between publishes.
+#[derive(Debug, Clone)]
+struct BusTelemetry {
+    published: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    wan_messages: Counter,
+    local_messages: Counter,
+    fault_dropped: Counter,
+    fault_duplicated: Counter,
+    fault_delayed: Counter,
+    crash_suppressed: Counter,
+}
+
+impl BusTelemetry {
+    fn new(hub: &Telemetry) -> Self {
+        let reg = &hub.registry;
+        Self {
+            published: reg.counter("bus.published"),
+            delivered: reg.counter("bus.delivered"),
+            dropped: reg.counter("bus.dropped"),
+            wan_messages: reg.counter("bus.wan_messages"),
+            local_messages: reg.counter("bus.local_messages"),
+            fault_dropped: reg.counter("bus.fault_dropped"),
+            fault_duplicated: reg.counter("bus.fault_duplicated"),
+            fault_delayed: reg.counter("bus.fault_delayed"),
+            crash_suppressed: reg.counter("bus.crash_suppressed"),
+        }
+    }
+
+    fn sync(&self, stats: &BusStats) {
+        self.published.set(stats.published);
+        self.delivered.set(stats.delivered);
+        self.dropped.set(stats.dropped);
+        self.wan_messages.set(stats.wan_messages);
+        self.local_messages.set(stats.local_messages);
+        self.fault_dropped.set(stats.fault_dropped);
+        self.fault_duplicated.set(stats.fault_duplicated);
+        self.fault_delayed.set(stats.fault_delayed);
+        self.crash_suppressed.set(stats.crash_suppressed);
+    }
+}
+
 /// Shared machinery of both bus topologies.
 #[derive(Debug, Clone)]
 struct BusCore {
@@ -127,6 +178,8 @@ struct BusCore {
     stats: BusStats,
     /// Optional fault injection; `None` means the bus is ideal.
     faults: Option<SharedFaultPlan>,
+    /// Optional registry mirror of `stats`.
+    telemetry: Option<BusTelemetry>,
 }
 
 impl BusCore {
@@ -139,6 +192,13 @@ impl BusCore {
             uplink_busy: HashMap::new(),
             stats: BusStats::default(),
             faults: None,
+            telemetry: None,
+        }
+    }
+
+    fn sync_telemetry(&self) {
+        if let Some(t) = &self.telemetry {
+            t.sync(&self.stats);
         }
     }
 
@@ -302,6 +362,15 @@ macro_rules! shared_bus_api {
         pub fn fault_plan(&self) -> Option<&SharedFaultPlan> {
             self.core.faults.as_ref()
         }
+
+        /// Attaches a telemetry hub: after every publish the `bus.*`
+        /// registry counters mirror [`BusStats`], making the wide-area vs
+        /// local message split (Fig 9) a first-class metric.
+        pub fn attach_telemetry(&mut self, hub: &Telemetry) {
+            let t = BusTelemetry::new(hub);
+            t.sync(&self.core.stats);
+            self.core.telemetry = Some(t);
+        }
     };
 }
 
@@ -339,6 +408,7 @@ impl ProxyBus {
         // A publish from a crashed site goes nowhere.
         if self.core.site_down(at, from_site) {
             self.core.note_crash_suppressed(1);
+            self.core.sync_telemetry();
             return outcome;
         }
 
@@ -348,6 +418,7 @@ impl ProxyBus {
         // Under a fault plan the relay copy may be lost, doubled, or late;
         // each surviving relay arrival fans out independently below.
         let relay_arrivals = if from_site == owner {
+            self.core.stats.local_messages += 1;
             vec![t0]
         } else {
             let (arrivals, lost) = self.core.wan_hop(t0, from_site, owner);
@@ -376,6 +447,7 @@ impl ProxyBus {
             }
             for (site, subs) in &sites {
                 let arrivals = if *site == owner {
+                    self.core.stats.local_messages += 1;
                     vec![t]
                 } else {
                     let (arrivals, lost) = self.core.wan_hop(t, owner, *site);
@@ -402,6 +474,7 @@ impl ProxyBus {
                 }
             }
         }
+        self.core.sync_telemetry();
         outcome
     }
 }
@@ -441,6 +514,7 @@ impl FullMeshBus {
         // A publish from a crashed site goes nowhere.
         if self.core.site_down(at, from_site) {
             self.core.note_crash_suppressed(1);
+            self.core.sync_telemetry();
             return outcome;
         }
 
@@ -448,6 +522,7 @@ impl FullMeshBus {
             let site = self.core.sub_sites[sub.0 as usize];
             let t = at + local;
             let arrivals = if site == from_site {
+                self.core.stats.local_messages += 1;
                 vec![t]
             } else {
                 let (arrivals, lost) = self.core.wan_hop(t, from_site, site);
@@ -470,6 +545,7 @@ impl FullMeshBus {
                 );
             }
         }
+        self.core.sync_telemetry();
         outcome
     }
 }
@@ -596,6 +672,43 @@ mod tests {
         let inbox = bus.drain(s);
         assert_eq!(inbox.len(), 2);
         assert!(inbox[0].1 < inbox[1].1);
+    }
+
+    #[test]
+    fn local_and_wan_split_partitions_traffic() {
+        let mut bus = ProxyBus::new(BusTopology::unbounded(sites(2), delays()));
+        let local = bus.register_subscriber(SiteId::new(0));
+        let remote = bus.register_subscriber(SiteId::new(1));
+        let topic = Topic::with_owner("/t", SiteId::new(0));
+        bus.subscribe(local, topic.clone());
+        bus.subscribe(remote, topic);
+        bus.publish(SimTime::ZERO, SiteId::new(0), msg(0));
+        let stats = bus.stats();
+        // Publisher->owner relay and owner-site fanout are local; the copy
+        // to site 1 crosses the WAN.
+        assert_eq!(stats.wan_messages, 1);
+        assert_eq!(stats.local_messages, 2);
+    }
+
+    #[test]
+    fn registry_counters_mirror_stats_after_each_publish() {
+        let hub = sb_telemetry::Telemetry::new();
+        let mut bus = ProxyBus::new(BusTopology::unbounded(sites(3), delays()));
+        bus.attach_telemetry(&hub);
+        for site in [0u32, 1, 2, 1] {
+            let s = bus.register_subscriber(SiteId::new(site));
+            bus.subscribe(s, Topic::with_owner("/t", SiteId::new(0)));
+        }
+        for i in 0..4 {
+            bus.publish(SimTime::from_millis(f64::from(i)), SiteId::new(i % 3), msg(0));
+        }
+        let stats = bus.stats();
+        let snap = hub.registry.snapshot();
+        assert_eq!(snap.counter("bus.published"), stats.published);
+        assert_eq!(snap.counter("bus.delivered"), stats.delivered);
+        assert_eq!(snap.counter("bus.wan_messages"), stats.wan_messages);
+        assert_eq!(snap.counter("bus.local_messages"), stats.local_messages);
+        assert!(stats.wan_messages > 0 && stats.local_messages > 0);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Minimal JSON emission helpers.
+//!
+//! `sb-telemetry` sits below every other crate (including the vendored
+//! `serde` stand-ins), so it carries its own few-line JSON writer instead
+//! of a serialization dependency. Only emission is needed — snapshots are
+//! exported for offline analysis, never parsed back by this crate.
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a `"key":` prefix.
+pub fn push_key(out: &mut String, key: &str) {
+    push_str_literal(out, key);
+    out.push(':');
+}
+
+/// Appends an `f64` in a JSON-safe way (`null` for non-finite values).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        out.clear();
+        push_f64(&mut out, 1.5);
+        assert_eq!(out, "1.5");
+    }
+}

@@ -1,0 +1,103 @@
+//! `sb-telemetry`: the unified observability substrate for the
+//! Switchboard reproduction.
+//!
+//! Every other crate reports into this one, so it deliberately has **no
+//! dependencies** — not even the vendored serde stand-ins — and offers
+//! three primitives (DESIGN.md §9):
+//!
+//! - [`metrics::Registry`] — named counters, gauges, and log2-bucketed
+//!   latency histograms with lock-free updates after registration;
+//! - [`trace::TraceRecorder`] — structured spans/events with
+//!   parent/child IDs in a bounded ring, timestamped by a virtual
+//!   [`trace::Clock`] (simulation) or real elapsed time (bench);
+//! - [`trace::Sampler`] — deterministic 1-in-N selection so the packet
+//!   fast path records spans without giving up its batch throughput win.
+//!
+//! A [`Telemetry`] hub bundles one of each and is cloned (cheaply, by
+//! `Arc`) into the control plane, message bus, forwarders, and fault
+//! plans of a deployment, giving a single JSON-exportable view of the
+//! whole system.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use trace::{Clock, RecordKind, Sampler, SpanId, TraceRecord, TraceRecorder};
+
+/// One registry + one trace ring + one clock, shared by every component
+/// of a deployment. Cloning shares all three.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// The metrics registry.
+    pub registry: Registry,
+    /// The span/event recorder.
+    pub tracer: TraceRecorder,
+    /// The virtual clock stamping simulation-side records.
+    pub clock: Clock,
+}
+
+impl Telemetry {
+    /// A fresh hub with default trace capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh hub whose trace ring holds at most `trace_capacity` records.
+    #[must_use]
+    pub fn with_trace_capacity(trace_capacity: usize) -> Self {
+        Self {
+            registry: Registry::new(),
+            tracer: TraceRecorder::with_capacity(trace_capacity),
+            clock: Clock::new(),
+        }
+    }
+
+    /// The complete observability state as one JSON object:
+    /// `{"metrics":{...},"trace":{...}}`.
+    #[must_use]
+    pub fn export_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        json::push_key(&mut out, "metrics");
+        out.push_str(&self.registry.to_json());
+        out.push(',');
+        json::push_key(&mut out, "trace");
+        out.push_str(&self.tracer.to_json());
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = Telemetry::new();
+        let b = a.clone();
+        a.registry.counter("c").inc();
+        b.tracer.event("e", None, a.clock.advance_ns(7), &[]);
+        assert_eq!(b.registry.counter("c").get(), 1);
+        assert_eq!(a.tracer.len(), 1);
+        assert_eq!(b.clock.now_ns(), 7);
+    }
+
+    #[test]
+    fn export_contains_both_sections() {
+        let t = Telemetry::new();
+        t.registry.counter("x").add(2);
+        t.tracer.span("s", None, 0, 5, &[]);
+        let json = t.export_json();
+        assert!(json.starts_with("{\"metrics\":{"));
+        assert!(json.contains("\"trace\":{"));
+        assert!(json.contains("\"x\":2"));
+        assert!(json.contains("\"name\":\"s\""));
+        assert!(json.ends_with("}"));
+    }
+}

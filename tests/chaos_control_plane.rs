@@ -254,6 +254,52 @@ fn lost_commit_acks_degrade_without_breaking_atomicity() {
     assert!((committed - 24.0).abs() < 1e-6, "committed {committed}");
 }
 
+/// Runs a seeded chaos sweep and checks the telemetry snapshot accounts
+/// for the injected faults. When `CHAOS_TELEMETRY_OUT` is set (the CI
+/// chaos job points it at an artifact path, suffixed by seed), the full
+/// JSON snapshot is written there for offline inspection.
+#[test]
+fn chaos_run_exports_fault_correlated_telemetry() {
+    for seed in chaos_seeds() {
+        let spec = FaultSpec::new(seed)
+            .with_drop_probability(0.2)
+            .with_duplicate_probability(0.1)
+            .with_delay(0.3, Millis::new(40.0))
+            .with_prepare_timeouts(0.25)
+            .with_commit_timeouts(0.2);
+        let (mut sb, _sites) = testbed(Some(spec));
+        let mut attempted = 0u64;
+        for i in 1..=10u64 {
+            attempted += 1;
+            let _ = sb.deploy_chain(chain_request(i));
+        }
+
+        let snap = sb.telemetry().registry.snapshot();
+        assert_eq!(
+            snap.counter("cp.deploy.total"),
+            attempted,
+            "seed {seed}: every attempt is counted"
+        );
+        assert_eq!(
+            snap.counter("cp.deploy.total") - snap.counter("cp.deploy.failures"),
+            snap.counter("cp.2pc.commits"),
+            "seed {seed}: successful deployments and 2PC commits agree"
+        );
+        let injected = snap.counter("faults.dropped")
+            + snap.counter("faults.delayed")
+            + snap.counter("faults.duplicated")
+            + snap.counter("faults.prepare_timeouts")
+            + snap.counter("faults.commit_timeouts");
+        assert!(injected > 0, "seed {seed}: fault injection left no trace");
+
+        if let Ok(path) = std::env::var("CHAOS_TELEMETRY_OUT") {
+            let path = format!("{path}.seed{seed}.json");
+            std::fs::write(&path, sb.telemetry().export_json())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        }
+    }
+}
+
 #[test]
 fn fault_free_plan_changes_nothing() {
     let (mut faulty, _) = testbed(Some(FaultSpec::new(77)));

@@ -1,0 +1,162 @@
+//! End-to-end observability: one telemetry hub sees the control plane,
+//! message bus, and data plane of a deployment (DESIGN.md §9).
+//!
+//! These tests drive the full [`Switchboard`] facade and assert on the
+//! exported snapshot — the same artifact CI uploads from the chaos job —
+//! rather than on internal stats structs.
+
+use sb_telemetry::RecordKind;
+use switchboard::prelude::*;
+use switchboard::scenarios;
+use switchboard::types::FlowKey;
+
+/// A line-testbed switchboard with a deployed two-VNF chain; every packet
+/// is trace-sampled (`sample_every = 1`).
+fn deployed() -> (Switchboard, ChainId, SiteId) {
+    let (model, sites) = scenarios::line_testbed();
+    let mut sb = Switchboard::new(
+        model,
+        DelayModel::uniform(Millis::new(0.1), Millis::new(10.0)),
+        SwitchboardConfig {
+            control: ControlPlaneConfig {
+                sample_every: 1,
+                ..ControlPlaneConfig::default()
+            },
+            ..SwitchboardConfig::default()
+        },
+    );
+    sb.use_passthrough_behaviors();
+    sb.register_attachment("in", sites[0]);
+    sb.register_attachment("out", sites[3]);
+    let chain = ChainId::new(1);
+    sb.deploy_chain(ChainRequest {
+        id: chain,
+        ingress_attachment: "in".into(),
+        egress_attachment: "out".into(),
+        vnfs: vec![VnfId::new(0), VnfId::new(1)],
+        forward: 5.0,
+        reverse: 1.0,
+    })
+    .expect("line testbed deployment succeeds");
+    (sb, chain, sites[0])
+}
+
+#[test]
+fn one_snapshot_covers_control_bus_and_data_planes() {
+    let (mut sb, chain, ingress) = deployed();
+    for port in 0..4 {
+        let key = FlowKey::tcp([10, 0, 0, 1], 6000 + port, [10, 9, 9, 9], 80);
+        let t = sb.send(chain, ingress, Packet::unlabeled(key, 500)).unwrap();
+        assert!(t.delivered);
+    }
+
+    let snap = sb.telemetry().registry.snapshot();
+    // Control plane.
+    assert_eq!(snap.counter("cp.deploy.total"), 1);
+    assert_eq!(snap.counter("cp.2pc.commits"), 1);
+    assert_eq!(snap.counter("cp.2pc.aborts"), 0);
+    // Message bus, split by scope: route announcements crossed the WAN,
+    // intra-site deliveries stayed local.
+    assert!(snap.counter("bus.wan_messages") > 0, "wide-area messages");
+    assert!(snap.counter("bus.local_messages") > 0, "local messages");
+    // Data plane: the chain's forwarders counted the four packets.
+    let rx_total: u64 = snap
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("fwd-") && n.ends_with(".rx"))
+        .map(|&(_, v)| v)
+        .sum();
+    assert!(rx_total >= 4, "forwarder rx counters, got {rx_total}");
+    let occupancy: i64 = snap
+        .gauges
+        .iter()
+        .filter(|(n, _)| n.ends_with(".flow_entries"))
+        .map(|&(_, v)| v)
+        .sum();
+    assert!(occupancy > 0, "flow-table occupancy gauges");
+}
+
+#[test]
+fn trace_timeline_spans_route_computation_through_commit_to_packets() {
+    let (mut sb, chain, ingress) = deployed();
+    let key = FlowKey::tcp([10, 0, 0, 1], 7000, [10, 9, 9, 9], 80);
+    sb.send(chain, ingress, Packet::unlabeled(key, 500)).unwrap();
+
+    let records = sb.telemetry().tracer.snapshot();
+    let deploy = records
+        .iter()
+        .find(|r| r.name == "cp.deploy")
+        .expect("deployment root span");
+    assert_eq!(deploy.attr("outcome"), Some("ok"));
+    for child in ["cp.resolve", "cp.route_compute", "cp.2pc", "cp.install_rules"] {
+        let c = records
+            .iter()
+            .find(|r| r.name == child)
+            .unwrap_or_else(|| panic!("missing {child} span"));
+        assert_eq!(c.parent, Some(deploy.id), "{child} hangs off cp.deploy");
+        assert!(c.start_ns >= deploy.start_ns && c.end_ns <= deploy.end_ns);
+    }
+    let span_2pc = records.iter().find(|r| r.name == "cp.2pc").unwrap();
+    let prepares: Vec<_> = records.iter().filter(|r| r.name == "2pc.prepare").collect();
+    assert!(!prepares.is_empty(), "per-participant prepare spans");
+    for p in &prepares {
+        assert_eq!(p.parent, Some(span_2pc.id));
+        assert_eq!(p.attr("outcome"), Some("ok"));
+        assert!(p.attr("site").is_some());
+    }
+    assert!(
+        records
+            .iter()
+            .any(|r| r.name == "2pc.commit" && r.attr("outcome") == Some("acked")),
+        "commit phase spans"
+    );
+    // With sample_every = 1 the packet shows up as data-plane hop events.
+    assert!(
+        records
+            .iter()
+            .any(|r| r.name == "pkt.hop" && r.kind == RecordKind::Event),
+        "sampled packet hop events"
+    );
+}
+
+#[test]
+fn batched_and_sequential_sends_leave_identical_metrics() {
+    let (mut seq, chain, ingress) = deployed();
+    let (mut bat, _, _) = deployed();
+    let packets: Vec<Packet> = (0..12)
+        .map(|i| {
+            let key = FlowKey::tcp([10, 0, 0, 2], 8000 + (i % 3), [10, 9, 9, 9], 80);
+            Packet::unlabeled(key, 400)
+        })
+        .collect();
+    for &p in &packets {
+        seq.send(chain, ingress, p).unwrap();
+    }
+    for r in bat.send_batch(chain, ingress, &packets) {
+        r.unwrap();
+    }
+    // The batch path must be telemetrically indistinguishable from the
+    // sequential path: same counters, gauges, and histograms.
+    assert_eq!(
+        seq.telemetry().registry.to_json(),
+        bat.telemetry().registry.to_json(),
+        "batch vs sequential metric delta"
+    );
+}
+
+#[test]
+fn exported_snapshot_is_valid_json_with_all_sections() {
+    let (mut sb, chain, ingress) = deployed();
+    let key = FlowKey::tcp([10, 0, 0, 1], 9000, [10, 9, 9, 9], 80);
+    sb.send(chain, ingress, Packet::unlabeled(key, 500)).unwrap();
+
+    let json = sb.telemetry().export_json();
+    let v = serde_json::from_str_value(&json).expect("snapshot parses");
+    let metrics = v.get("metrics").expect("metrics section");
+    assert!(metrics.get("counters").is_some());
+    assert!(metrics.get("gauges").is_some());
+    assert!(metrics.get("histograms").is_some());
+    let trace = v.get("trace").expect("trace section");
+    assert!(trace.get("records").is_some());
+    assert!(trace.get("dropped").is_some());
+}
