@@ -29,6 +29,12 @@ pub struct Outcome {
     pub throughput_after: f64,
     /// Route fractions after rebalancing.
     pub fractions: Vec<f64>,
+    /// Cost of shifting the split incrementally (`update_chain`, epoch
+    /// pipeline): only the delta's sites are contacted.
+    pub update_report: DeploymentReport,
+    /// Cost of installing the identical target from scratch — what a
+    /// non-incremental controller pays after a teardown + redeploy.
+    pub redeploy_report: DeploymentReport,
 }
 
 /// Runs the Figure 10 experiment.
@@ -97,11 +103,30 @@ pub fn run() -> Outcome {
         .collect();
     let throughput_after = throughput(&after_routes);
 
+    // Update-vs-redeploy: shift the 50/50 split to 40/60. Incrementally,
+    // only the grown route votes in 2PC and only the delta's sites hear
+    // announcements; a full redeploy re-prepares every reservation and
+    // replicates the whole route set.
+    let target = vec![(vec![site_a], 0.4), (vec![site_b], 0.6)];
+    let update_report = sb.update_chain(chain, target.clone()).unwrap().report;
+    let redeploy_report = {
+        let mut fresh = Switchboard::new(
+            model.clone(),
+            DelayModel::uniform(Millis::new(0.1), Millis::new(40.0)),
+            SwitchboardConfig::default(),
+        );
+        fresh.register_attachment("ingress", site_a);
+        fresh.register_attachment("egress", site_b);
+        fresh.deploy_chain_via(request, target).unwrap().report
+    };
+
     Outcome {
         report,
         throughput_before,
         throughput_after,
         fractions,
+        update_report,
+        redeploy_report,
     }
 }
 
@@ -121,6 +146,25 @@ pub fn render(o: &Outcome) -> String {
         o.throughput_after,
         o.throughput_after / o.throughput_before.max(1e-9),
         o.fractions,
+    ));
+    out.push_str("fig10c: incremental update vs full redeploy (same target split)\n");
+    out.push_str(&format!(
+        "  {:24} {:>12} {:>16} {:>12}\n",
+        "", "latency", "2pc participants", "wan msgs"
+    ));
+    out.push_str(&format!(
+        "  {:24} {:>12} {:>16} {:>12}\n",
+        "update_chain (delta)",
+        o.update_report.total().to_string(),
+        o.update_report.participants_2pc,
+        o.update_report.wan_messages,
+    ));
+    out.push_str(&format!(
+        "  {:24} {:>12} {:>16} {:>12}\n",
+        "full redeploy",
+        o.redeploy_report.total().to_string(),
+        o.redeploy_report.participants_2pc,
+        o.redeploy_report.wan_messages,
     ));
     out
 }

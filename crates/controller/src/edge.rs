@@ -104,6 +104,23 @@ impl EdgeInstance {
         }
     }
 
+    /// Removes the binding of `route` from `chain`, so no *new* connection
+    /// selects it; existing pins are untouched and keep draining on the old
+    /// route until they expire (make-before-break, DESIGN.md §10). Returns
+    /// whether a binding was removed.
+    pub fn remove_route(&mut self, chain: ChainId, route: RouteId) -> bool {
+        let Some(bindings) = self.routes.get_mut(&chain) else {
+            return false;
+        };
+        let before = bindings.len();
+        bindings.retain(|b| b.route != route);
+        let removed = bindings.len() < before;
+        if bindings.is_empty() {
+            self.routes.remove(&chain);
+        }
+        removed
+    }
+
     /// Number of routes installed for `chain`.
     #[must_use]
     pub fn routes_for(&self, chain: ChainId) -> usize {
@@ -381,6 +398,30 @@ mod tests {
             .ingress(ChainId::new(1), Packet::unlabeled(key(8), 64))
             .unwrap();
         assert_eq!(fresh, fwd(9));
+    }
+
+    #[test]
+    fn remove_route_stops_new_connections_but_keeps_pins() {
+        let mut e = EdgeInstance::new(EdgeInstanceId::new(0), SiteId::new(0));
+        e.install_route(
+            ChainId::new(1),
+            RouteId::new(1),
+            labels(),
+            WeightedChoice::single(fwd(1)),
+            1.0,
+        );
+        let pkt = Packet::unlabeled(key(7), 64);
+        let (_, pinned_hop) = e.ingress(ChainId::new(1), pkt).unwrap();
+        assert!(e.remove_route(ChainId::new(1), RouteId::new(1)));
+        assert!(!e.remove_route(ChainId::new(1), RouteId::new(1)), "idempotent");
+        assert_eq!(e.routes_for(ChainId::new(1)), 0);
+        // The pinned connection still drains on its old route…
+        let (_, again) = e.ingress(ChainId::new(1), pkt).unwrap();
+        assert_eq!(again, pinned_hop);
+        // …while new connections find no route.
+        assert!(e
+            .ingress(ChainId::new(1), Packet::unlabeled(key(8), 64))
+            .is_err());
     }
 
     #[test]

@@ -29,6 +29,7 @@ use sb_msgbus::{
     BusTopology, DelayModel, Message, ProxyBus, PublishOutcome, SubscriberId, Topic,
 };
 use sb_netsim::SimTime;
+use sb_te::delta::RouteDelta;
 use sb_te::dp::{self, DpConfig, LoadTracker};
 use sb_telemetry::{Counter, SpanId, Telemetry, TraceRecorder};
 use sb_te::{ChainSpec, NetworkModel, RoutePath};
@@ -99,6 +100,10 @@ struct CpTelemetry {
     hub: Telemetry,
     deploys: Counter,
     deploy_failures: Counter,
+    updates: Counter,
+    update_failures: Counter,
+    removes: Counter,
+    epochs_retired: Counter,
     commits_2pc: Counter,
     aborts_2pc: Counter,
     retries_2pc: Counter,
@@ -111,6 +116,10 @@ impl CpTelemetry {
             hub: hub.clone(),
             deploys: hub.registry.counter("cp.deploy.total"),
             deploy_failures: hub.registry.counter("cp.deploy.failures"),
+            updates: hub.registry.counter("cp.update.total"),
+            update_failures: hub.registry.counter("cp.update.failures"),
+            removes: hub.registry.counter("cp.remove.total"),
+            epochs_retired: hub.registry.counter("cp.epochs.retired"),
             commits_2pc: hub.registry.counter("cp.2pc.commits"),
             aborts_2pc: hub.registry.counter("cp.2pc.aborts"),
             retries_2pc: hub.registry.counter("cp.2pc.retries"),
@@ -145,6 +154,14 @@ pub struct DeploymentReport {
     /// publishes that were retried, commit acknowledgments that never
     /// arrived, crashed sites routed around…). Empty on a clean run.
     pub partial_failures: Vec<String>,
+    /// Wide-area message copies sent on the bus by this operation
+    /// (critical path only). A delta-scoped update sends strictly fewer
+    /// than a full redeploy — the Figure 10 comparison.
+    pub wan_messages: usize,
+    /// Distinct (VNF, site) participants prepared in two-phase commit.
+    /// Delta-scoped 2PC contacts only participants whose reservation
+    /// grows; unchanged reservations are never re-prepared.
+    pub participants_2pc: usize,
 }
 
 impl DeploymentReport {
@@ -152,6 +169,8 @@ impl DeploymentReport {
         Self {
             steps: Vec::new(),
             partial_failures: Vec::new(),
+            wan_messages: 0,
+            participants_2pc: 0,
         }
     }
 
@@ -194,6 +213,24 @@ struct ChainState {
     ingress_site: SiteId,
     egress_site: SiteId,
     routes: Vec<RouteAnnouncement>,
+    /// The chain's current configuration epoch. Deploy installs epoch 1;
+    /// every successful [`ControlPlane::update_chain`] /
+    /// [`ControlPlane::reroute_chain`] bumps it by one and retires the
+    /// previous epoch's forwarder rules after the weight shift.
+    epoch: u64,
+}
+
+/// One (VNF, site) reservation of a two-phase commit round. Deploy
+/// prepares every stage of every route; a delta-scoped update prepares
+/// only the load *increases* (added routes in full, grown fractions by
+/// their increment under the existing reservation key). Decreases and
+/// removals are handled by `release` at retire time and need no vote.
+struct PrepareItem {
+    vnf: VnfId,
+    site: SiteId,
+    chain: ChainId,
+    route: RouteId,
+    load: f64,
 }
 
 /// The assembled Switchboard control plane; see the module docs above for
@@ -217,6 +254,10 @@ pub struct ControlPlane {
     chains: HashMap<ChainId, ChainState>,
     /// Hop sets per (route, stage), for later rule amendments (mobility).
     stage_hops: HashMap<(RouteId, usize), StageHops>,
+    /// Each route's stage-0 forwarder set as installed — the ingress
+    /// edge's first hops, kept for weight shifts on routes whose stage
+    /// records predate the current operation.
+    first_hops: HashMap<RouteId, Vec<(Addr, f64)>>,
     next_label: u32,
     next_route: u64,
     next_instance: u64,
@@ -295,6 +336,7 @@ impl ControlPlane {
             tracker,
             chains: HashMap::new(),
             stage_hops: HashMap::new(),
+            first_hops: HashMap::new(),
             next_label: 1,
             next_route: 1,
             next_instance,
@@ -686,7 +728,7 @@ impl ControlPlane {
         let mut attempt = 0usize;
         let mut excluded: Vec<(VnfId, SiteId)> = Vec::new();
         let announcements = loop {
-            let announcements = self.announce(&request, ingress_site, egress_site, &paths);
+            let announcements = self.announce(&request, ingress_site, egress_site, &paths, 1);
             match self.two_phase_commit(&spec, &announcements, &mut report, Some(span)) {
                 Ok(()) => break announcements,
                 Err(Error::CommitRejected {
@@ -753,6 +795,7 @@ impl ControlPlane {
                 ingress_site,
                 egress_site,
                 routes: announcements.clone(),
+                epoch: 1,
             },
         );
         Ok(ChainHandle {
@@ -762,13 +805,15 @@ impl ControlPlane {
         })
     }
 
-    /// Builds route announcements with fresh labels/ids for a path set.
+    /// Builds route announcements with fresh labels/ids for a path set,
+    /// tagged with the configuration epoch installing them.
     fn announce(
         &mut self,
         request: &ChainRequest,
         ingress_site: SiteId,
         egress_site: SiteId,
         paths: &[RoutePath],
+        epoch: u64,
     ) -> Vec<RouteAnnouncement> {
         paths
             .iter()
@@ -789,9 +834,40 @@ impl ControlPlane {
                     vnfs: request.vnfs.clone(),
                     sites: p.sites.clone(),
                     fraction: p.fraction,
+                    epoch,
                 }
             })
             .collect()
+    }
+
+    /// Per-stage 2PC reservation load: the VNF's load coefficient times
+    /// the stage's in+out traffic, scaled by the route's fraction.
+    fn stage_load(&self, spec: &ChainSpec, vnf: VnfId, z: usize, fraction: f64) -> f64 {
+        self.base_model.vnfs()[vnf.index()].load_per_unit
+            * (spec.stage_traffic(z) + spec.stage_traffic(z + 1))
+            * fraction
+    }
+
+    /// Expands announcements into one [`PrepareItem`] per stage — the
+    /// full-scope reservation set of a deploy.
+    fn prepare_items(
+        &self,
+        spec: &ChainSpec,
+        announcements: &[RouteAnnouncement],
+    ) -> Vec<PrepareItem> {
+        let mut items = Vec::new();
+        for ann in announcements {
+            for (z, (&vnf, &site)) in ann.vnfs.iter().zip(&ann.sites).enumerate() {
+                items.push(PrepareItem {
+                    vnf,
+                    site,
+                    chain: ann.chain,
+                    route: ann.route,
+                    load: self.stage_load(spec, vnf, z, ann.fraction),
+                });
+            }
+        }
+        items
     }
 
     /// Phase-1/phase-2 exchange with every VNF controller on the routes.
@@ -821,6 +897,18 @@ impl ControlPlane {
         report: &mut DeploymentReport,
         parent: Option<SpanId>,
     ) -> Result<()> {
+        let items = self.prepare_items(spec, announcements);
+        self.two_phase_commit_items(&items, report, parent)
+    }
+
+    /// The item-scoped 2PC round shared by deploy (full scope) and update
+    /// (delta scope): only the given reservations vote.
+    fn two_phase_commit_items(
+        &mut self,
+        items: &[PrepareItem],
+        report: &mut DeploymentReport,
+        parent: Option<SpanId>,
+    ) -> Result<()> {
         let mut prepared: Vec<(VnfId, ChainId, RouteId, SiteId)> = Vec::new();
         let mut max_rtt = Millis::ZERO;
         let mut penalty = Millis::ZERO;
@@ -832,82 +920,80 @@ impl ControlPlane {
         // trace can never disagree.
         let mut failed_span: Option<SpanId> = None;
 
-        'outer: for ann in announcements {
-            for (z, (&vnf, &site)) in ann.vnfs.iter().zip(&ann.sites).enumerate() {
-                let load = self.base_model.vnfs()[vnf.index()].load_per_unit
-                    * (spec.stage_traffic(z) + spec.stage_traffic(z + 1))
-                    * ann.fraction;
-                let home = self
-                    .vnf_ctls
-                    .get(&vnf)
-                    .ok_or_else(|| Error::unknown("vnf", vnf))?
-                    .home_site();
-                let rtt = self.delays.between(self.config.gsb_site, home) * 2.0;
-                if rtt > max_rtt {
-                    max_rtt = rtt;
+        for it in items {
+            let (vnf, site) = (it.vnf, it.site);
+            let home = match self.vnf_ctls.get(&vnf) {
+                Some(ctl) => ctl.home_site(),
+                None => {
+                    failure = Some(Error::unknown("vnf", vnf));
+                    break;
                 }
-                let vnf_s = vnf.to_string();
-                let site_s = site.to_string();
-                let now = self.now;
-                let prep_span = |end: Millis, outcome: &str| {
-                    tracer.span(
-                        "2pc.prepare",
-                        Some(span_2pc),
-                        now.as_nanos(),
-                        (now + end).as_nanos(),
-                        &[("vnf", &vnf_s), ("site", &site_s), ("outcome", outcome)],
-                    )
-                };
-                // A reservation at a crashed site can never be honoured —
-                // the instances there are gone. The controller's failure
-                // detector vetoes it outright (no timeout burned), and the
-                // coordinator recomputes around the site.
-                if self.site_down_now(site) {
-                    failed_span = Some(prep_span(Millis::ZERO, "site-down"));
-                    failure = Some(Error::CommitRejected {
-                        participant: format!("{vnf}@{site}"),
-                        reason: format!("{site} is down; reservation refused"),
-                    });
-                    break 'outer;
-                }
-                match self
-                    .vnf_ctls
-                    .get_mut(&vnf)
-                    .expect("looked up above")
-                    .prepare(ann.chain, ann.route, site, load)
-                {
-                    Ok(()) => {
-                        // The reservation now exists at the participant.
-                        // A lost reply leaves the coordinator unsure of
-                        // the vote: it must either reach the participant
-                        // on retry or abort everything, including this
-                        // reservation.
-                        prepared.push((vnf, ann.chain, ann.route, site));
-                        match self.retry_rpc(RpcPhase::Prepare, site) {
-                            Some(extra) => {
-                                prep_span(rtt + extra, "ok");
-                                penalty += extra;
-                            }
-                            None => {
-                                let full = self.full_retry_penalty();
-                                failed_span = Some(prep_span(rtt + full, "timeout"));
-                                penalty += full;
-                                failure = Some(Error::CommitRejected {
-                                    participant: format!("{vnf}@{site}"),
-                                    reason: format!(
-                                        "prepare timed out after {} retries",
-                                        self.config.max_rpc_retries
-                                    ),
-                                });
-                                break 'outer;
-                            }
+            };
+            let rtt = self.delays.between(self.config.gsb_site, home) * 2.0;
+            if rtt > max_rtt {
+                max_rtt = rtt;
+            }
+            let vnf_s = vnf.to_string();
+            let site_s = site.to_string();
+            let now = self.now;
+            let prep_span = |end: Millis, outcome: &str| {
+                tracer.span(
+                    "2pc.prepare",
+                    Some(span_2pc),
+                    now.as_nanos(),
+                    (now + end).as_nanos(),
+                    &[("vnf", &vnf_s), ("site", &site_s), ("outcome", outcome)],
+                )
+            };
+            // A reservation at a crashed site can never be honoured —
+            // the instances there are gone. The controller's failure
+            // detector vetoes it outright (no timeout burned), and the
+            // coordinator recomputes around the site.
+            if self.site_down_now(site) {
+                failed_span = Some(prep_span(Millis::ZERO, "site-down"));
+                failure = Some(Error::CommitRejected {
+                    participant: format!("{vnf}@{site}"),
+                    reason: format!("{site} is down; reservation refused"),
+                });
+                break;
+            }
+            match self
+                .vnf_ctls
+                .get_mut(&vnf)
+                .expect("looked up above")
+                .prepare(it.chain, it.route, site, it.load)
+            {
+                Ok(()) => {
+                    // The reservation now exists at the participant.
+                    // A lost reply leaves the coordinator unsure of
+                    // the vote: it must either reach the participant
+                    // on retry or abort everything, including this
+                    // reservation.
+                    prepared.push((vnf, it.chain, it.route, site));
+                    match self.retry_rpc(RpcPhase::Prepare, site) {
+                        Some(extra) => {
+                            prep_span(rtt + extra, "ok");
+                            penalty += extra;
+                        }
+                        None => {
+                            let full = self.full_retry_penalty();
+                            failed_span = Some(prep_span(rtt + full, "timeout"));
+                            penalty += full;
+                            failure = Some(Error::CommitRejected {
+                                participant: format!("{vnf}@{site}"),
+                                reason: format!(
+                                    "prepare timed out after {} retries",
+                                    self.config.max_rpc_retries
+                                ),
+                            });
+                            break;
                         }
                     }
-                    Err(e) => {
-                        failed_span = Some(prep_span(rtt, "vetoed"));
-                        failure = Some(e);
-                        break 'outer;
-                    }
+                }
+                Err(e) => {
+                    failed_span = Some(prep_span(rtt, "vetoed"));
+                    failure = Some(e);
+                    break;
                 }
             }
         }
@@ -983,6 +1069,7 @@ impl ControlPlane {
             }
         }
         self.tele.commits_2pc.inc();
+        report.participants_2pc += prepared.len();
         let dt = max_rtt * 2.0 + penalty; // prepare RTT + commit RTT
         self.now += dt;
         report.push("two-phase commit", dt);
@@ -1006,6 +1093,7 @@ impl ControlPlane {
     ) -> PublishOutcome {
         let mut out = self.bus.publish(at, from, msg.clone());
         if self.faults.is_none() || (out.dropped == 0 && out.delivered > 0) {
+            report.wan_messages += out.wan_copies;
             return out;
         }
         let mut extra = Millis::ZERO;
@@ -1032,6 +1120,7 @@ impl ControlPlane {
                     "{what}: republished after message loss ({} attempt(s))",
                     attempt + 1
                 ));
+                report.wan_messages += out.wan_copies;
                 return out;
             }
         }
@@ -1039,6 +1128,7 @@ impl ControlPlane {
             "{what}: delivery incomplete after {} republish attempts",
             self.config.max_rpc_retries
         ));
+        report.wan_messages += out.wan_copies;
         out
     }
 
@@ -1084,11 +1174,28 @@ impl ControlPlane {
         report.push("propagate routes", self.now.since(t_start));
         self.trace_step(parent, "cp.propagate_routes", t_start);
 
-        // (4) Instance allocation + announcements. For each stage of each
-        // route: the VNF controller publishes its instances at the site
-        // (from its home site, on the site-owned topic), the Local
-        // Switchboard attaches them to forwarders and publishes forwarder
-        // records. Publishes are concurrent; the step costs the slowest.
+        // (4)+(5): shared with the delta update path.
+        let stage_forwarders = self.allocate_and_publish(announcements, report, parent)?;
+        let t_start = self.now;
+        self.install_route_rules(announcements, ingress_site, egress_site, &stage_forwarders)?;
+        self.bind_ingress(announcements, ingress_site, &stage_forwarders)?;
+        self.now += self.config.config_delay;
+        report.push("install load-balancing rules", self.now.since(t_start));
+        self.trace_step(parent, "cp.install_rules", t_start);
+        Ok(())
+    }
+
+    /// Arrow 4 of Figure 4: for each stage of each route, the VNF
+    /// controller publishes its instances at the site (from its home site,
+    /// on the site-owned topic), the Local Switchboard attaches them to
+    /// forwarders and publishes forwarder records. Publishes are
+    /// concurrent; the step costs the slowest.
+    fn allocate_and_publish(
+        &mut self,
+        announcements: &[RouteAnnouncement],
+        report: &mut DeploymentReport,
+        parent: Option<SpanId>,
+    ) -> Result<HashMap<(RouteId, usize), Vec<ForwarderRecord>>> {
         let t_start = self.now;
         let mut t_done = self.now;
         let mut stage_forwarders: HashMap<(RouteId, usize), Vec<ForwarderRecord>> =
@@ -1154,9 +1261,21 @@ impl ControlPlane {
             self.now.since(t_start),
         );
         self.trace_step(parent, "cp.allocate_instances", t_start);
+        Ok(stage_forwarders)
+    }
 
-        // (5) Rule computation + installation.
-        let t_start = self.now;
+    /// Arrow 5, first half: compute each stage's hop sets and install the
+    /// forwarder rules, tagged with each announcement's epoch (so an
+    /// update installs a *new* epoch alongside the old rules rather than
+    /// replacing them in place). Records the hop sets for later
+    /// amendments (mobility, weight shifts).
+    fn install_route_rules(
+        &mut self,
+        announcements: &[RouteAnnouncement],
+        ingress_site: SiteId,
+        egress_site: SiteId,
+        stage_forwarders: &HashMap<(RouteId, usize), Vec<ForwarderRecord>>,
+    ) -> Result<()> {
         let ingress_edge = self
             .edge
             .instance_at(ingress_site)
@@ -1194,29 +1313,53 @@ impl ControlPlane {
                     .expect("site exists")
                     .install_stage_rules(ann, z, next, prev)?;
             }
-            // Ingress edge binding: first hop is the stage-0 forwarder set,
-            // or the egress edge for VNF-less chains.
-            let first_hop = if stages > 0 {
-                WeightedChoice::new(
+            if stages > 0 {
+                self.first_hops.insert(
+                    ann.route,
                     stage_forwarders[&(ann.route, 0)]
                         .iter()
                         .map(|fr| (Addr::Forwarder(fr.forwarder), fr.weight))
                         .collect(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Arrow 5, second half: point the ingress edge's weighted route
+    /// bindings at each route's stage-0 forwarders with the route's
+    /// fraction. Run *after* the rules of the route's epoch are installed
+    /// — this is the traffic-shifting step of make-before-break. Routes
+    /// absent from `stage_forwarders` (weight shifts on already-installed
+    /// routes) fall back to the hop sets recorded at install time.
+    fn bind_ingress(
+        &mut self,
+        announcements: &[RouteAnnouncement],
+        ingress_site: SiteId,
+        stage_forwarders: &HashMap<(RouteId, usize), Vec<ForwarderRecord>>,
+    ) -> Result<()> {
+        for ann in announcements {
+            // First hop: the stage-0 forwarder set, or the egress edge for
+            // VNF-less chains.
+            let first_hop = if ann.sites.is_empty() {
+                WeightedChoice::single(self.edge_addr(ann.egress_site))
+            } else if let Some(frs) = stage_forwarders.get(&(ann.route, 0)) {
+                WeightedChoice::new(
+                    frs.iter()
+                        .map(|fr| (Addr::Forwarder(fr.forwarder), fr.weight))
+                        .collect(),
                 )?
             } else {
-                WeightedChoice::single(egress_edge)
+                let addrs = self
+                    .stage_forwarder_addrs(ann.route, 0)
+                    .ok_or_else(|| Error::unknown("stage hops", ann.route))?;
+                WeightedChoice::new(addrs)?
             };
             self.edge
                 .instance_at_mut(ingress_site)
-                .expect("checked above")
+                .ok_or_else(|| Error::unknown("edge instance at site", ingress_site))?
                 .install_route(ann.chain, ann.route, ann.labels, first_hop, ann.fraction);
         }
-        self.now += self.config.config_delay;
-        report.push(
-            "install load-balancing rules",
-            self.now.since(t_start),
-        );
-        self.trace_step(parent, "cp.install_rules", t_start);
         Ok(())
     }
 
@@ -1274,6 +1417,7 @@ impl ControlPlane {
             state.ingress_site,
             state.egress_site,
             &paths,
+            state.epoch.max(1),
         );
         self.two_phase_commit(&spec, &anns, &mut report, Some(root))?;
         let model = self.base_model.with_chains(vec![spec.clone()]);
@@ -1303,21 +1447,7 @@ impl ControlPlane {
         let mut new_ann = ann.clone();
         new_ann.fraction = even;
         updated_routes.push(new_ann.clone());
-        for r in &updated_routes {
-            let first_hop = if let Some(frs) = self.stage_hops.get(&(r.route, 0)) {
-                let _ = frs;
-                let records: Vec<(Addr, f64)> = self
-                    .stage_forwarder_addrs(r.route, 0)
-                    .unwrap_or_else(|| vec![(self.edge_addr(r.egress_site), 1.0)]);
-                WeightedChoice::new(records)?
-            } else {
-                WeightedChoice::single(self.edge_addr(r.egress_site))
-            };
-            self.edge
-                .instance_at_mut(state.ingress_site)
-                .expect("ingress edge exists")
-                .install_route(chain, r.route, r.labels, first_hop, even);
-        }
+        self.bind_ingress(&updated_routes, state.ingress_site, &HashMap::new())?;
         self.chains
             .get_mut(&chain)
             .expect("chain exists")
@@ -1336,14 +1466,17 @@ impl ControlPlane {
     /// unknown. Stage 0's *previous* hop is the ingress edge, so this is
     /// the forwarder set that serves the stage's VNF.
     fn stage_forwarder_addrs(&self, route: RouteId, stage: usize) -> Option<Vec<(Addr, f64)>> {
-        // Recorded as the "prev" hops of stage+1, or the "next" hops of
-        // stage-1; stage 0 is also the edge's first hop.
+        // Stage 0 is the edge's first hop, recorded verbatim at install
+        // time (covers single-stage routes, which have no stage 1).
+        if stage == 0 {
+            if let Some(hops) = self.first_hops.get(&route) {
+                return Some(hops.clone());
+            }
+        }
+        // Otherwise: recorded as the "prev" hops of stage+1.
         if let Some((_, prev)) = self.stage_hops.get(&(route, stage + 1)) {
             return Some(prev.clone());
         }
-        // Single-stage routes: derive from the next hops of the stage
-        // itself only if they are forwarders (they are the egress edge for
-        // the last stage), so fall back to None.
         None
     }
 
@@ -1503,30 +1636,474 @@ impl ControlPlane {
         Ok(report)
     }
 
-    /// Tears down a chain: releases committed VNF capacity and removes its
-    /// route bindings. Established flows in the data plane keep their
-    /// flow-table entries (Section 5.3).
+    /// Updates a deployed chain's wide-area routes to an explicit target
+    /// path set through the epoch-versioned delta pipeline (DESIGN.md
+    /// §10): diff → delta-scoped 2PC → install new-epoch rules → shift
+    /// edge weights → retire the old epoch. Routes whose site sequence
+    /// and fraction are unchanged are never touched: their reservations
+    /// are not re-prepared, their rules are not reinstalled, and no
+    /// message is sent for them.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::UnknownEntity`] for unknown chains.
+    /// - [`Error::InvalidArgument`] when a route's site count mismatches
+    ///   the chain's VNF count.
+    /// - [`Error::CommitRejected`] when a grown reservation is vetoed;
+    ///   the old epoch remains fully installed and serving.
+    pub fn update_chain(
+        &mut self,
+        chain: ChainId,
+        routes: Vec<(Vec<SiteId>, f64)>,
+    ) -> Result<ChainHandle> {
+        let state = self
+            .chains
+            .get(&chain)
+            .ok_or_else(|| Error::unknown("chain", chain))?;
+        for (sites, _) in &routes {
+            if sites.len() != state.request.vnfs.len() {
+                return Err(Error::invalid_argument(
+                    "route site count must match chain VNF count",
+                ));
+            }
+        }
+        let target: Vec<RoutePath> = routes
+            .into_iter()
+            .map(|(sites, fraction)| RoutePath { sites, fraction })
+            .collect();
+        self.update_chain_inner(chain, target)
+    }
+
+    /// Recomputes a deployed chain's routes warm-started from the live
+    /// load state — only this chain's load is unwound and re-solved;
+    /// every other chain's contribution stays in place — and applies the
+    /// result through the same delta pipeline as
+    /// [`update_chain`](Self::update_chain). Crashed sites are excluded
+    /// from the recomputation, so this is the recovery verb after a site
+    /// failure.
+    ///
+    /// # Errors
+    ///
+    /// As [`update_chain`](Self::update_chain), plus
+    /// [`Error::Infeasible`] when the surviving capacity cannot place the
+    /// chain's full demand.
+    pub fn reroute_chain(&mut self, chain: ChainId) -> Result<ChainHandle> {
+        let state = self
+            .chains
+            .get(&chain)
+            .ok_or_else(|| Error::unknown("chain", chain))?;
+        let spec = self.chain_spec(&state.request, state.ingress_site, state.egress_site);
+        let installed: Vec<RoutePath> = state
+            .routes
+            .iter()
+            .map(|r| RoutePath {
+                sites: r.sites.clone(),
+                fraction: r.fraction,
+            })
+            .collect();
+        let model = self.without_dead_sites(self.base_model.with_chains(vec![spec.clone()]));
+        let mut trial_tracker = self.tracker.clone();
+        let (paths, _) = sb_te::delta::reroute_chain_warm(
+            &model,
+            &mut trial_tracker,
+            &self.config.dp,
+            &spec,
+            &installed,
+        );
+        let routed: f64 = paths.iter().map(|p| p.fraction).sum();
+        if routed < 1.0 - 1e-6 {
+            return Err(Error::infeasible(format!(
+                "only {:.1}% of {chain} demand is placeable after reroute",
+                routed * 100.0
+            )));
+        }
+        self.update_chain_inner(chain, paths)
+    }
+
+    fn update_chain_inner(&mut self, chain: ChainId, target: Vec<RoutePath>) -> Result<ChainHandle> {
+        self.tele.updates.inc();
+        let span = self
+            .tele
+            .hub
+            .tracer
+            .begin("cp.update", None, self.now.as_nanos());
+        self.tele.hub.tracer.attr(span, "chain", &chain.to_string());
+        let res = self.update_chain_core(chain, &target, span);
+        self.tele.hub.tracer.end(span, self.now.as_nanos());
+        let outcome = match &res {
+            Ok(_) => "ok",
+            Err(_) => {
+                self.tele.update_failures.inc();
+                "failed"
+            }
+        };
+        self.tele.hub.tracer.attr(span, "outcome", outcome);
+        res
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn update_chain_core(
+        &mut self,
+        chain: ChainId,
+        target: &[RoutePath],
+        span: SpanId,
+    ) -> Result<ChainHandle> {
+        let state = self
+            .chains
+            .get(&chain)
+            .ok_or_else(|| Error::unknown("chain", chain))?
+            .clone();
+        let spec = self.chain_spec(&state.request, state.ingress_site, state.egress_site);
+        let mut report = DeploymentReport::new();
+
+        // (1) Diff the installed routes against the target — pure local
+        // computation at Global Switchboard.
+        let t_step = self.now;
+        let installed: Vec<RoutePath> = state
+            .routes
+            .iter()
+            .map(|r| RoutePath {
+                sites: r.sites.clone(),
+                fraction: r.fraction,
+            })
+            .collect();
+        let delta = RouteDelta::diff(&installed, target);
+        self.now += self.config.compute_time;
+        report.push("diff routes against target", self.config.compute_time);
+        self.trace_step(Some(span), "cp.diff", t_step);
+        if delta.is_empty() {
+            return Ok(ChainHandle {
+                chain,
+                routes: state.routes,
+                report,
+            });
+        }
+        let new_epoch = state.epoch + 1;
+
+        // Partition the installed announcements by the delta's verdicts.
+        // Several installed routes can share one site sequence (forced
+        // deploys); the diff is keyed by the merged sequence, so such a
+        // modified group is replaced wholesale (remove + add) while a
+        // lone modified route keeps its identity and shifts fraction.
+        let mut kept: Vec<RouteAnnouncement> = Vec::new();
+        let mut removed: Vec<RouteAnnouncement> = Vec::new();
+        let mut modified: Vec<(RouteAnnouncement, f64)> = Vec::new();
+        let mut added_paths: Vec<RoutePath> = delta.added.clone();
+        for ann in &state.routes {
+            if delta.removed.iter().any(|p| p.sites == ann.sites) {
+                removed.push(ann.clone());
+            } else if let Some(m) = delta.modified.iter().find(|m| m.sites == ann.sites) {
+                let group = state.routes.iter().filter(|r| r.sites == ann.sites).count();
+                if group > 1 {
+                    removed.push(ann.clone());
+                    if !added_paths.iter().any(|p| p.sites == m.sites) {
+                        added_paths.push(RoutePath {
+                            sites: m.sites.clone(),
+                            fraction: m.new_fraction,
+                        });
+                    }
+                } else {
+                    let mut nu = ann.clone();
+                    nu.fraction = m.new_fraction;
+                    nu.epoch = new_epoch;
+                    modified.push((nu, ann.fraction));
+                }
+            } else {
+                kept.push(ann.clone());
+            }
+        }
+        let added = self.announce(
+            &state.request,
+            state.ingress_site,
+            state.egress_site,
+            &added_paths,
+            new_epoch,
+        );
+
+        // (2) Delta-scoped 2PC: only load *increases* vote. Added routes
+        // are prepared in full under fresh keys; grown fractions by their
+        // increment under the existing (chain, route) key — the site pool
+        // accumulates. Decreases and removals release at retire time and
+        // need no vote, so a pure scale-down or teardown commits for
+        // free. On rejection nothing has been installed: the old epoch
+        // keeps serving untouched.
+        let mut items = self.prepare_items(&spec, &added);
+        for (nu, old_fraction) in &modified {
+            let grow = nu.fraction - old_fraction;
+            if grow > 1e-12 {
+                for (z, (&vnf, &site)) in nu.vnfs.iter().zip(&nu.sites).enumerate() {
+                    items.push(PrepareItem {
+                        vnf,
+                        site,
+                        chain,
+                        route: nu.route,
+                        load: self.stage_load(&spec, vnf, z, grow),
+                    });
+                }
+            }
+        }
+        if items.is_empty() {
+            report.push("two-phase commit (no load increases)", Millis::ZERO);
+        } else {
+            self.two_phase_commit_items(&items, &mut report, Some(span))?;
+        }
+
+        // Account the committed load changes against the live tracker
+        // (removed routes are unwound in retire_routes below).
+        let model = self.base_model.with_chains(vec![spec.clone()]);
+        for ann in &added {
+            let coefs = dp::path_coefficients(&model, &spec, &ann.sites);
+            self.tracker.apply(&coefs, ann.fraction);
+        }
+        for (nu, old_fraction) in &modified {
+            let coefs = dp::path_coefficients(&model, &spec, &nu.sites);
+            self.tracker.apply(&coefs, nu.fraction - old_fraction);
+        }
+
+        // (3) Propagate the delta to the affected sites only — one
+        // site-owned topic per affected site, so the WAN message count
+        // scales with the delta, not the chain (unchanged routes'
+        // sites hear nothing).
+        let t_pub = self.now;
+        let changed: Vec<RouteAnnouncement> = added
+            .iter()
+            .chain(modified.iter().map(|(nu, _)| nu))
+            .cloned()
+            .collect();
+        let affected = delta.affected_sites();
+        let t_done =
+            self.publish_route_deltas(chain, &changed, &affected, "route delta", &mut report);
+        // The chain-wide replicated stores at unaffected sites converge
+        // via background anti-entropy, off the update's critical path —
+        // refreshed here without WAN charge.
+        for ann in &changed {
+            for local in self.locals.values_mut() {
+                local.store_route(ann.clone());
+            }
+        }
+        self.now = self.now.max(t_done);
+        report.push("propagate route deltas", self.now.since(t_pub));
+        self.trace_step(Some(span), "cp.propagate_routes", t_pub);
+
+        // (4) Make: allocate instances for added routes and install the
+        // new epoch's rules next to the old ones. Old-epoch rules stay
+        // active for pinned flows; nothing is serving the new epoch yet.
+        let stage_forwarders = if added.is_empty() {
+            HashMap::new()
+        } else {
+            self.allocate_and_publish(&added, &mut report, Some(span))?
+        };
+        let t_inst = self.now;
+        self.install_route_rules(
+            &added,
+            state.ingress_site,
+            state.egress_site,
+            &stage_forwarders,
+        )?;
+        // Re-tag the modified routes' (content-identical) rules at the
+        // new epoch from the hop sets recorded at install time.
+        for (nu, _) in &modified {
+            for z in 0..nu.sites.len() {
+                let (next, prev) = self
+                    .stage_hops
+                    .get(&(nu.route, z))
+                    .cloned()
+                    .ok_or_else(|| Error::unknown("stage hops", nu.route))?;
+                let site = nu.sites[z];
+                self.locals
+                    .get_mut(&site)
+                    .ok_or_else(|| Error::unknown("site", site))?
+                    .install_stage_rules(nu, z, next, prev)?;
+            }
+        }
+        self.now += self.config.config_delay;
+        report.push("install new-epoch rules", self.now.since(t_inst));
+        self.trace_step(Some(span), "cp.install_rules", t_inst);
+
+        // (5) Shift: repoint the ingress edge's weighted bindings. From
+        // here, new flows select the target split and hash onto the new
+        // epoch; pinned flows keep draining on the old one.
+        let t_shift = self.now;
+        self.bind_ingress(&changed, state.ingress_site, &stage_forwarders)?;
+        self.now += self.config.config_delay;
+        report.push("shift load-balancing weights", self.now.since(t_shift));
+        self.trace_step(Some(span), "cp.weight_shift", t_shift);
+
+        // (6) Break: retire removed routes entirely and the modified
+        // routes' pre-update epochs, and release the shrunk fractions'
+        // capacity.
+        let t_retire = self.now;
+        self.retire_routes(&spec, &removed, state.ingress_site);
+        let mut epochs_retired = 0u64;
+        for (nu, old_fraction) in &modified {
+            let shrink = old_fraction - nu.fraction;
+            if shrink > 1e-12 {
+                for (z, (&vnf, &site)) in nu.vnfs.iter().zip(&nu.sites).enumerate() {
+                    let load = self.stage_load(&spec, vnf, z, shrink);
+                    if let Some(ctl) = self.vnf_ctls.get_mut(&vnf) {
+                        ctl.release(site, load);
+                    }
+                }
+            }
+            let mut sites = nu.sites.clone();
+            sites.sort_unstable();
+            sites.dedup();
+            for site in sites {
+                if let Some(local) = self.locals.get_mut(&site) {
+                    epochs_retired += local.retire_epochs_below(nu.labels, new_epoch) as u64;
+                }
+            }
+        }
+        self.tele.epochs_retired.add(epochs_retired);
+        self.now += self.config.config_delay;
+        report.push("retire old epoch", self.now.since(t_retire));
+        self.trace_step(Some(span), "cp.retire", t_retire);
+
+        let mut new_routes = kept;
+        new_routes.extend(modified.into_iter().map(|(nu, _)| nu));
+        new_routes.extend(added);
+        new_routes.sort_by_key(|r| r.route);
+        let st = self.chains.get_mut(&chain).expect("chain exists");
+        st.routes = new_routes.clone();
+        st.epoch = new_epoch;
+        Ok(ChainHandle {
+            chain,
+            routes: new_routes,
+            report,
+        })
+    }
+
+    /// Publishes epoch-tagged announcement deltas to the affected sites
+    /// only: one message per affected site on its own
+    /// [`Topic::route_delta`] topic. The topic is owned by the affected
+    /// site itself, so each publish costs at most one WAN copy — unlike
+    /// the chain-wide `/routes/site_<gsb>_gsb` replication topic every
+    /// site subscribes to. Returns the latest delivery time.
+    fn publish_route_deltas(
+        &mut self,
+        chain: ChainId,
+        payload: &[RouteAnnouncement],
+        affected: &[SiteId],
+        what: &str,
+        report: &mut DeploymentReport,
+    ) -> SimTime {
+        let t_start = self.now;
+        let mut t_done = t_start;
+        let payload: Vec<RouteAnnouncement> = payload.to_vec();
+        for &site in affected {
+            let Some(&sub) = self.site_subs.get(&site) else {
+                continue;
+            };
+            let topic = Topic::route_delta(chain.value() as u32, site);
+            self.bus.subscribe(sub, topic.clone());
+            let msg = Message::json(topic, &payload);
+            let out = self.publish_with_retry(t_start, self.config.gsb_site, &msg, what, report);
+            if let Some(t) = out.last_delivery {
+                t_done = t_done.max(t);
+            }
+        }
+        t_done
+    }
+
+    /// Retires a set of routes: unbinds them at the ingress edge, strips
+    /// their forwarder rules (every epoch) at each stage site, forgets
+    /// the replicated announcements and recorded hop sets, releases the
+    /// reserved VNF capacity, and unwinds their load from the live
+    /// tracker. Pinned flows keep their forwarder flow-table entries and
+    /// edge pins, so established connections drain rather than break
+    /// (Section 5.3).
+    fn retire_routes(
+        &mut self,
+        spec: &ChainSpec,
+        anns: &[RouteAnnouncement],
+        ingress_site: SiteId,
+    ) {
+        if anns.is_empty() {
+            return;
+        }
+        let model = self.base_model.with_chains(vec![spec.clone()]);
+        for ann in anns {
+            if let Some(edge) = self.edge.instance_at_mut(ingress_site) {
+                edge.remove_route(ann.chain, ann.route);
+            }
+            for (z, (&vnf, &site)) in ann.vnfs.iter().zip(&ann.sites).enumerate() {
+                let load = self.stage_load(spec, vnf, z, ann.fraction);
+                if let Some(ctl) = self.vnf_ctls.get_mut(&vnf) {
+                    ctl.release(site, load);
+                }
+                self.stage_hops.remove(&(ann.route, z));
+            }
+            let mut sites = ann.sites.clone();
+            sites.sort_unstable();
+            sites.dedup();
+            for site in sites {
+                if let Some(local) = self.locals.get_mut(&site) {
+                    local.remove_route_rules(ann.labels);
+                }
+            }
+            self.first_hops.remove(&ann.route);
+            for local in self.locals.values_mut() {
+                local.remove_route(ann.route);
+            }
+            let coefs = dp::path_coefficients(&model, spec, &ann.sites);
+            self.tracker.apply(&coefs, -ann.fraction);
+        }
+    }
+
+    /// Tears down a chain through the same delta pipeline as an update —
+    /// the to-empty degenerate delta. Releases the committed VNF capacity
+    /// AND removes the forwarder rules (every epoch), the ingress edge's
+    /// route bindings, and the replicated per-site route entries.
+    /// Established flows keep their flow-table pins and drain
+    /// (Section 5.3). Teardown never needs a 2PC round: it only shrinks
+    /// reservations.
     ///
     /// # Errors
     ///
     /// Returns [`Error::UnknownEntity`] for unknown chains.
-    pub fn remove_chain(&mut self, chain: ChainId) -> Result<()> {
+    pub fn remove_chain(&mut self, chain: ChainId) -> Result<DeploymentReport> {
         let state = self
             .chains
             .remove(&chain)
             .ok_or_else(|| Error::unknown("chain", chain))?;
+        self.tele.removes.inc();
+        let span = self
+            .tele
+            .hub
+            .tracer
+            .begin("cp.remove", None, self.now.as_nanos());
+        self.tele.hub.tracer.attr(span, "chain", &chain.to_string());
+        let mut report = DeploymentReport::new();
         let spec = self.chain_spec(&state.request, state.ingress_site, state.egress_site);
-        for ann in &state.routes {
-            for (z, (&vnf, &site)) in ann.vnfs.iter().zip(&ann.sites).enumerate() {
-                let load = self.base_model.vnfs()[vnf.index()].load_per_unit
-                    * (spec.stage_traffic(z) + spec.stage_traffic(z + 1))
-                    * ann.fraction;
-                if let Some(ctl) = self.vnf_ctls.get_mut(&vnf) {
-                    ctl.release(site, load);
-                }
-            }
-        }
-        Ok(())
+
+        // Removal delta to the affected sites only (payload: the retiring
+        // announcements, so receivers know which route ids die).
+        let t_pub = self.now;
+        let mut affected: Vec<SiteId> = state
+            .routes
+            .iter()
+            .flat_map(|r| r.sites.iter().copied())
+            .collect();
+        affected.sort();
+        affected.dedup();
+        let t_done = self.publish_route_deltas(
+            chain,
+            &state.routes,
+            &affected,
+            "route removal delta",
+            &mut report,
+        );
+        self.now = self.now.max(t_done);
+        report.push("propagate route deltas", self.now.since(t_pub));
+        self.trace_step(Some(span), "cp.propagate_routes", t_pub);
+
+        let t_retire = self.now;
+        self.retire_routes(&spec, &state.routes, state.ingress_site);
+        self.now += self.config.config_delay;
+        report.push("retire routes and release capacity", self.now.since(t_retire));
+        self.trace_step(Some(span), "cp.retire", t_retire);
+        self.tele.hub.tracer.end(span, self.now.as_nanos());
+        Ok(report)
     }
 }
 
@@ -1845,5 +2422,242 @@ mod tests {
             Some((VnfId::new(3), SiteId::new(7)))
         );
         assert_eq!(parse_participant("garbage"), None);
+    }
+
+    #[test]
+    fn update_chain_shifts_fractions_with_delta_scoped_2pc() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        let deploy = cp
+            .deploy_chain_via(
+                request(1),
+                vec![
+                    (vec![SiteId::new(1)], 0.7),
+                    (vec![SiteId::new(2)], 0.3),
+                ],
+            )
+            .unwrap();
+        let h = cp
+            .update_chain(
+                ChainId::new(1),
+                vec![
+                    (vec![SiteId::new(1)], 0.5),
+                    (vec![SiteId::new(2)], 0.5),
+                ],
+            )
+            .unwrap();
+        let mut fractions: Vec<f64> = h.routes.iter().map(|r| r.fraction).collect();
+        fractions.sort_by(f64::total_cmp);
+        assert!((fractions[0] - 0.5).abs() < 1e-9 && (fractions[1] - 0.5).abs() < 1e-9);
+        // Route identity is preserved across the fraction shift.
+        assert_eq!(
+            h.routes.iter().map(|r| r.route).collect::<Vec<_>>(),
+            deploy.routes.iter().map(|r| r.route).collect::<Vec<_>>(),
+        );
+        // Delta-scoped 2PC: only the grown route (site 2, +0.2) votes —
+        // the shrunk one releases at retire time without a prepare round.
+        assert_eq!(h.report.participants_2pc, 1);
+        assert!(deploy.report.participants_2pc >= 2);
+        // Fewer WAN messages than the full deploy.
+        assert!(
+            h.report.wan_messages < deploy.report.wan_messages,
+            "update {} vs deploy {}",
+            h.report.wan_messages,
+            deploy.report.wan_messages
+        );
+        // Make-before-break step order: install, then shift, then retire.
+        let names: Vec<&str> = h.report.steps.iter().map(|(n, _)| n.as_str()).collect();
+        let idx = |what: &str| {
+            names
+                .iter()
+                .position(|n| n.contains(what))
+                .unwrap_or_else(|| panic!("missing step {what}: {names:?}"))
+        };
+        assert!(idx("install new-epoch rules") < idx("shift load-balancing weights"));
+        assert!(idx("shift load-balancing weights") < idx("retire old epoch"));
+        // Committed capacity matches the new split: 0.5 * 24 = 12 each.
+        let ctl = cp.vnf_controller(VnfId::new(0)).unwrap();
+        assert!((ctl.available_at(SiteId::new(1)) - 88.0).abs() < 1e-9);
+        assert!((ctl.available_at(SiteId::new(2)) - 88.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_to_identical_target_is_a_noop() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        let deploy = cp
+            .deploy_chain_via(request(1), vec![(vec![SiteId::new(1)], 1.0)])
+            .unwrap();
+        let h = cp
+            .update_chain(ChainId::new(1), vec![(vec![SiteId::new(1)], 1.0)])
+            .unwrap();
+        assert_eq!(h.routes, deploy.routes);
+        assert_eq!(h.report.wan_messages, 0);
+        assert_eq!(h.report.participants_2pc, 0);
+        assert_eq!(h.report.steps.len(), 1, "{:?}", h.report.steps);
+    }
+
+    #[test]
+    fn update_moves_traffic_to_a_new_route_and_retires_the_old() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        let deploy = cp
+            .deploy_chain_via(request(1), vec![(vec![SiteId::new(1)], 1.0)])
+            .unwrap();
+        let old_labels = deploy.routes[0].labels;
+        let h = cp
+            .update_chain(ChainId::new(1), vec![(vec![SiteId::new(2)], 1.0)])
+            .unwrap();
+        assert_eq!(h.routes.len(), 1);
+        assert_eq!(h.routes[0].sites, vec![SiteId::new(2)]);
+        let ctl = cp.vnf_controller(VnfId::new(0)).unwrap();
+        assert!((ctl.available_at(SiteId::new(1)) - 100.0).abs() < 1e-9);
+        assert!((ctl.available_at(SiteId::new(2)) - 76.0).abs() < 1e-9);
+        // The old route's rules and stored announcement are gone at site 1
+        // (the chain-wide replicated store still carries the *new* route).
+        let local = cp.local(SiteId::new(1)).unwrap();
+        assert!(local
+            .routes_for_chain(ChainId::new(1))
+            .iter()
+            .all(|r| r.sites == vec![SiteId::new(2)]));
+        for f in local.forwarder_ids() {
+            let fwd = local.forwarder(f).unwrap();
+            assert!(
+                fwd.installed_epochs(old_labels).is_empty(),
+                "old rules must be gone"
+            );
+        }
+        // The ingress edge carries exactly the new route.
+        let edge = cp.edge().instance_at(SiteId::new(0)).unwrap();
+        assert_eq!(edge.routes_for(ChainId::new(1)), 1);
+    }
+
+    #[test]
+    fn vetoed_update_leaves_the_old_epoch_serving() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        cp.deploy_chain_via(
+            request(1),
+            vec![(vec![SiteId::new(1)], 0.5), (vec![SiteId::new(2)], 0.5)],
+        )
+        .unwrap();
+        // Fill site 2 to 4.0 spare capacity: growing chain 1's site-2 route
+        // by 0.2 needs 4.8 and must be vetoed.
+        for i in 2..=4 {
+            cp.deploy_chain_via(request(i), vec![(vec![SiteId::new(2)], 1.0)])
+                .unwrap();
+        }
+        cp.deploy_chain_via(
+            request(5),
+            vec![(vec![SiteId::new(2)], 0.5), (vec![SiteId::new(1)], 0.5)],
+        )
+        .unwrap();
+        let before = cp.routes_of(ChainId::new(1));
+        let err = cp
+            .update_chain(
+                ChainId::new(1),
+                vec![(vec![SiteId::new(1)], 0.3), (vec![SiteId::new(2)], 0.7)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::CommitRejected { .. }), "{err}");
+        // Nothing changed: routes, capacity, edge bindings.
+        assert_eq!(cp.routes_of(ChainId::new(1)), before);
+        let ctl = cp.vnf_controller(VnfId::new(0)).unwrap();
+        assert!((ctl.available_at(SiteId::new(2)) - 4.0).abs() < 1e-9);
+        assert!(
+            ctl.pending_reservations().is_empty(),
+            "aborted prepare must release"
+        );
+        let snap = cp.telemetry().registry.snapshot();
+        assert_eq!(snap.counter("cp.update.failures"), 1);
+    }
+
+    #[test]
+    fn update_emits_span_timeline_and_counters() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        cp.deploy_chain_via(request(1), vec![(vec![SiteId::new(1)], 1.0)])
+            .unwrap();
+        cp.update_chain(ChainId::new(1), vec![(vec![SiteId::new(2)], 1.0)])
+            .unwrap();
+        let recs = cp.telemetry().tracer.snapshot();
+        let update = recs
+            .iter()
+            .find(|r| r.name == "cp.update")
+            .expect("update span");
+        assert_eq!(update.attr("outcome"), Some("ok"));
+        for step in [
+            "cp.diff",
+            "cp.2pc",
+            "cp.propagate_routes",
+            "cp.install_rules",
+            "cp.weight_shift",
+            "cp.retire",
+        ] {
+            assert!(
+                recs.iter()
+                    .any(|r| r.parent == Some(update.id) && r.name == step),
+                "missing child span {step}"
+            );
+        }
+        let snap = cp.telemetry().registry.snapshot();
+        assert_eq!(snap.counter("cp.update.total"), 1);
+        assert_eq!(snap.counter("cp.update.failures"), 0);
+    }
+
+    #[test]
+    fn remove_chain_strips_rules_routes_and_bindings() {
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        let handle = cp.deploy_chain(request(1)).unwrap();
+        let site = handle.routes[0].sites[0];
+        let report = cp.remove_chain(ChainId::new(1)).unwrap();
+        // Capacity is back, and the data-plane state is gone everywhere:
+        // forwarder rules, stored local-switchboard routes, edge bindings.
+        let ctl = cp.vnf_controller(VnfId::new(0)).unwrap();
+        assert!((ctl.available_at(site) - 100.0).abs() < 1e-9);
+        assert!(cp.routes_of(ChainId::new(1)).is_empty());
+        let local = cp.local(site).unwrap();
+        assert!(local.routes_for_chain(ChainId::new(1)).is_empty());
+        assert!(local.installed_labels().is_empty());
+        let edge = cp.edge().instance_at(SiteId::new(0)).unwrap();
+        assert_eq!(edge.routes_for(ChainId::new(1)), 0);
+        // Teardown only shrinks reservations — no 2PC round, but it does
+        // pay WAN propagation to the affected sites.
+        assert_eq!(report.participants_2pc, 0);
+        assert!(report.wan_messages >= 1);
+        let snap = cp.telemetry().registry.snapshot();
+        assert_eq!(snap.counter("cp.remove.total"), 1);
+        assert!(cp
+            .telemetry()
+            .tracer
+            .snapshot()
+            .iter()
+            .any(|r| r.name == "cp.remove" && r.attr("chain").is_some()));
+    }
+
+    #[test]
+    fn reroute_chain_recovers_from_a_dead_site() {
+        use sb_faults::{CrashWindow, FaultPlan, FaultSpec};
+        let mut cp = control_plane();
+        cp.register_attachment("customer-in", SiteId::new(0));
+        cp.register_attachment("customer-out", SiteId::new(3));
+        cp.deploy_chain_via(request(1), vec![(vec![SiteId::new(1)], 1.0)])
+            .unwrap();
+        // Site 1 dies permanently; reroute must move the chain to site 2
+        // through the delta pipeline.
+        cp.set_fault_plan(sb_faults::shared(FaultPlan::new(
+            FaultSpec::new(1).with_crash(CrashWindow::permanent(SiteId::new(1), SimTime::ZERO)),
+        )));
+        let h = cp.reroute_chain(ChainId::new(1)).unwrap();
+        assert_eq!(h.routes.len(), 1);
+        assert_eq!(h.routes[0].sites, vec![SiteId::new(2)]);
+        assert!((h.routes[0].fraction - 1.0).abs() < 1e-9);
     }
 }

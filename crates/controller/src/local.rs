@@ -177,6 +177,12 @@ impl LocalSwitchboard {
         self.routes.insert(route.route, route);
     }
 
+    /// Forgets a stored route (teardown / update retirement). Returns the
+    /// removed announcement, if any.
+    pub fn remove_route(&mut self, route: RouteId) -> Option<RouteAnnouncement> {
+        self.routes.remove(&route)
+    }
+
     /// The replicated routes for `chain`, in route-id order.
     #[must_use]
     pub fn routes_for_chain(&self, chain: sb_types::ChainId) -> Vec<&RouteAnnouncement> {
@@ -223,13 +229,14 @@ impl LocalSwitchboard {
                 .forwarders
                 .get_mut(&fwd_id)
                 .expect("pool members exist");
-            fwd.install_rules(
+            fwd.install_rules_epoch(
                 route.labels,
                 RuleSet {
                     to_vnf,
                     to_next: to_next.clone(),
                     to_prev: to_prev.clone(),
                 },
+                route.epoch.max(1),
             );
             for r in &recs {
                 if !r.supports_labels {
@@ -238,6 +245,36 @@ impl LocalSwitchboard {
             }
         }
         Ok(())
+    }
+
+    /// Removes every rule set (all epochs) for `labels` from every
+    /// forwarder at this site, returning the number of forwarders that had
+    /// one. Pinned flows in forwarder flow tables are untouched — removal
+    /// only stops new flows from matching (teardown, DESIGN.md §10).
+    pub fn remove_route_rules(&mut self, labels: LabelPair) -> usize {
+        let mut removed = 0;
+        for fwd in self.forwarders.values_mut() {
+            if fwd.remove_rules(labels).is_some() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Retires every rule epoch older than `epoch` for `labels` at every
+    /// forwarder here — the final make-before-break step once the
+    /// load-balancing weights point at the new epoch. Returns the number
+    /// of epochs retired across the site.
+    pub fn retire_epochs_below(&mut self, labels: LabelPair, epoch: u64) -> usize {
+        let mut retired = 0;
+        for fwd in self.forwarders.values_mut() {
+            for old in fwd.installed_epochs(labels) {
+                if old < epoch && fwd.retire_epoch(labels, old) {
+                    retired += 1;
+                }
+            }
+        }
+        retired
     }
 
     /// For the mobility flow (Section 6): picks, among the replicated
@@ -307,6 +344,7 @@ mod tests {
             vnfs: vec![VnfId::new(vnf)],
             sites: vec![SiteId::new(site)],
             fraction: 1.0,
+            epoch: 1,
         }
     }
 
@@ -403,5 +441,48 @@ mod tests {
         l.store_route(route(1, 1, 1, 0));
         l.store_route(route(2, 2, 1, 0));
         assert_eq!(l.installed_labels().len(), 2);
+    }
+
+    #[test]
+    fn remove_route_rules_strips_every_forwarder() {
+        let mut l = LocalSwitchboard::new(SiteId::new(0), 1);
+        let vnf = VnfId::new(1);
+        l.attach_instances(vnf, &[rec(1, 1.0), rec(2, 1.0)]); // two forwarders
+        let r = route(1, 1, 1, 0);
+        l.store_route(r.clone());
+        l.install_stage_rules(
+            &r,
+            0,
+            vec![(Addr::Edge(sb_types::EdgeInstanceId::new(9)), 1.0)],
+            vec![(Addr::Edge(sb_types::EdgeInstanceId::new(8)), 1.0)],
+        )
+        .unwrap();
+        assert_eq!(l.remove_route_rules(r.labels), 2);
+        assert!(l.remove_route(r.route).is_some());
+        // New flows for the removed labels now fail at every forwarder.
+        for id in l.forwarder_ids() {
+            let fwd = l.forwarder_mut(id).unwrap();
+            let key = sb_types::FlowKey::tcp([1, 1, 1, 1], 5, [2, 2, 2, 2], 6);
+            let pkt = sb_dataplane::Packet::labeled(r.labels, key, 64);
+            assert!(fwd
+                .process(pkt, Addr::Edge(sb_types::EdgeInstanceId::new(8)))
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn retire_epochs_below_keeps_only_the_new_epoch() {
+        let mut l = LocalSwitchboard::new(SiteId::new(0), 2);
+        let vnf = VnfId::new(1);
+        l.attach_instances(vnf, &[rec(1, 1.0)]);
+        let mut r = route(1, 1, 1, 0);
+        let hops = vec![(Addr::Edge(sb_types::EdgeInstanceId::new(9)), 1.0)];
+        l.install_stage_rules(&r, 0, hops.clone(), hops.clone()).unwrap();
+        r.epoch = 2;
+        l.install_stage_rules(&r, 0, hops.clone(), hops).unwrap();
+        let fid = l.forwarder_ids()[0];
+        assert_eq!(l.forwarder(fid).unwrap().installed_epochs(r.labels), vec![1, 2]);
+        assert_eq!(l.retire_epochs_below(r.labels, 2), 1);
+        assert_eq!(l.forwarder(fid).unwrap().installed_epochs(r.labels), vec![2]);
     }
 }

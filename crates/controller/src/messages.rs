@@ -28,6 +28,14 @@ pub struct RouteAnnouncement {
     pub sites: Vec<SiteId>,
     /// The fraction of the chain's traffic carried by this route.
     pub fraction: f64,
+    /// The configuration epoch that installed (or last updated) this
+    /// route. Forwarder rules are tagged with it so an update can install
+    /// new-epoch rules alongside the old ones and retire the old epoch
+    /// only after the load-balancing weights have shifted
+    /// (make-before-break, DESIGN.md §10). Deploy starts at epoch 1;
+    /// `0` (the serde default, for pre-epoch payloads) is treated as 1.
+    #[serde(default)]
+    pub epoch: u64,
 }
 
 impl RouteAnnouncement {
@@ -80,11 +88,23 @@ mod tests {
             vnfs: vec![VnfId::new(5)],
             sites: vec![SiteId::new(2)],
             fraction: 0.5,
+            epoch: 3,
         };
         let json = serde_json::to_string(&ra).unwrap();
         let back: RouteAnnouncement = serde_json::from_str(&json).unwrap();
         assert_eq!(back, ra);
         assert_eq!(back.site_of_stage(0), SiteId::new(2));
+    }
+
+    #[test]
+    fn pre_epoch_payloads_default_to_epoch_zero() {
+        // Stored routes serialized before epochs existed carry no `epoch`
+        // field; deserialization must not reject them.
+        let json = r#"{"chain":1,"route":2,"labels":{"chain":3,"egress":4},
+            "ingress_site":0,"egress_site":1,"vnfs":[5],"sites":[2],
+            "fraction":0.5}"#;
+        let back: RouteAnnouncement = serde_json::from_str(json).unwrap();
+        assert_eq!(back.epoch, 0);
     }
 
     #[test]

@@ -179,10 +179,70 @@ impl Switchboard {
         self.cp.add_edge_site(chain, attachment, site)
     }
 
+    /// Updates a deployed chain's routes to an explicit target through the
+    /// epoch-versioned delta pipeline. See [`ControlPlane::update_chain`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-plane errors; on a vetoed commit the old routes
+    /// keep serving.
+    pub fn update_chain(
+        &mut self,
+        chain: ChainId,
+        routes: Vec<(Vec<SiteId>, f64)>,
+    ) -> Result<ChainHandle> {
+        self.cp.update_chain(chain, routes)
+    }
+
+    /// Recomputes and incrementally applies a deployed chain's routes,
+    /// warm-started from live load. See [`ControlPlane::reroute_chain`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-plane errors.
+    pub fn reroute_chain(&mut self, chain: ChainId) -> Result<ChainHandle> {
+        self.cp.reroute_chain(chain)
+    }
+
+    /// Tears a chain down through the delta pipeline. See
+    /// [`ControlPlane::remove_chain`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-plane errors.
+    pub fn remove_chain(&mut self, chain: ChainId) -> Result<DeploymentReport> {
+        self.cp.remove_chain(chain)
+    }
+
     /// The routes of a deployed chain.
     #[must_use]
     pub fn routes_of(&self, chain: ChainId) -> Vec<RouteAnnouncement> {
         self.cp.routes_of(chain)
+    }
+
+    /// Applies any forwarder restarts the fault plan has scheduled up to
+    /// the control plane's current virtual time: every forwarder at the
+    /// restarting site loses its volatile flow-table pins
+    /// ([`sb_dataplane::Forwarder::clear_flow_state`]) while its installed
+    /// rules — re-pushed from the controller's persistent store — survive.
+    /// Surviving flows then re-pin deterministically on their next packet.
+    fn apply_due_forwarder_restarts(&mut self) {
+        let due = match self.cp.fault_plan() {
+            Some(plan) => {
+                let now = self.cp.now();
+                plan.lock().expect("fault plan lock").take_due_restarts(now)
+            }
+            None => return,
+        };
+        for site in due {
+            if let Some(local) = self.cp.local_mut(site) {
+                for fid in local.forwarder_ids() {
+                    if let Some(fw) = local.forwarder_mut(fid) {
+                        fw.clear_flow_state();
+                    }
+                }
+            }
+        }
     }
 
     /// Propagation latency between two sites' nodes.
@@ -234,6 +294,7 @@ impl Switchboard {
         ingress_site: SiteId,
         packets: &[Packet],
     ) -> Vec<Result<Transit>> {
+        self.apply_due_forwarder_restarts();
         let mut results: Vec<Option<Result<Transit>>> = packets.iter().map(|_| None).collect();
         let mut live: Vec<InFlight> = Vec::with_capacity(packets.len());
         {

@@ -203,7 +203,7 @@ pub struct Forwarder {
     id: ForwarderId,
     site: SiteId,
     mode: ForwarderMode,
-    rules: HashMap<LabelPair, RuleSet>,
+    rules: HashMap<LabelPair, EpochRules>,
     /// Static next hop used in [`ForwarderMode::Bridge`].
     bridge_next: Option<Addr>,
     /// Labels to re-affix per label-unaware VNF instance (Section 5.3,
@@ -300,18 +300,62 @@ impl Forwarder {
         self.flow_table.len()
     }
 
-    /// Installs (or replaces) the rule sets for a label pair. Existing
-    /// flow-table entries are untouched, so established connections keep
-    /// their instances (Section 5.3: "existing entries ... remain until the
-    /// completion of a flow and only new flows route on the new routes").
+    /// Installs (or replaces) the rule sets for a label pair at its current
+    /// active epoch. Existing flow-table entries are untouched, so
+    /// established connections keep their instances (Section 5.3: "existing
+    /// entries ... remain until the completion of a flow and only new flows
+    /// route on the new routes").
     pub fn install_rules(&mut self, labels: LabelPair, rules: RuleSet) {
-        self.rules.insert(labels, rules);
+        let entry = self.rules.entry(labels).or_default();
+        let epoch = entry.active_epoch().unwrap_or(0);
+        entry.install(epoch, rules);
     }
 
-    /// Removes the rule sets for a label pair; established flows continue
-    /// via their flow-table entries.
+    /// Installs the rule sets for a label pair tagged with `epoch`
+    /// (DESIGN.md §10). The highest installed epoch is the active one: new
+    /// flows hash onto it, while flows pinned in the flow table keep
+    /// draining on whatever epoch installed their entry — make-before-break
+    /// needs both present until the old epoch is retired.
+    pub fn install_rules_epoch(&mut self, labels: LabelPair, rules: RuleSet, epoch: u64) {
+        self.rules.entry(labels).or_default().install(epoch, rules);
+    }
+
+    /// Removes the rule set tagged `epoch` for a label pair (the retire step
+    /// of an update, or the new epoch itself when rolling back). Returns
+    /// whether such an epoch was installed. Established flows continue via
+    /// their flow-table entries regardless.
+    pub fn retire_epoch(&mut self, labels: LabelPair, epoch: u64) -> bool {
+        let Some(entry) = self.rules.get_mut(&labels) else {
+            return false;
+        };
+        let retired = entry.retire(epoch);
+        if entry.is_empty() {
+            self.rules.remove(&labels);
+        }
+        retired
+    }
+
+    /// The active (highest installed) epoch for a label pair.
+    #[must_use]
+    pub fn active_epoch(&self, labels: LabelPair) -> Option<u64> {
+        self.rules.get(&labels).and_then(EpochRules::active_epoch)
+    }
+
+    /// All installed epochs for a label pair, ascending.
+    #[must_use]
+    pub fn installed_epochs(&self, labels: LabelPair) -> Vec<u64> {
+        self.rules
+            .get(&labels)
+            .map(|e| e.sets.iter().map(|(ep, _)| *ep).collect())
+            .unwrap_or_default()
+    }
+
+    /// Removes every epoch's rule sets for a label pair, returning the
+    /// active one; established flows continue via their flow-table entries.
     pub fn remove_rules(&mut self, labels: LabelPair) -> Option<RuleSet> {
-        self.rules.remove(&labels)
+        self.rules
+            .remove(&labels)
+            .and_then(|mut e| e.sets.pop().map(|(_, r)| r))
     }
 
     /// Sets the static next hop used in [`ForwarderMode::Bridge`].
@@ -710,16 +754,60 @@ impl Forwarder {
     }
 }
 
+/// Epoch-versioned rule sets for one label pair (DESIGN.md §10): each
+/// installed epoch keeps its own [`RuleSet`], sorted ascending, and the
+/// highest epoch is the active one. During a make-before-break update both
+/// the old and the new epoch are present — new flows select on the active
+/// epoch while pinned flows drain via the flow table — until the control
+/// plane retires the old tag.
+#[derive(Debug, Clone, Default)]
+struct EpochRules {
+    /// `(epoch, rules)` pairs, ascending by epoch; the last is active.
+    sets: Vec<(u64, RuleSet)>,
+}
+
+impl EpochRules {
+    fn active(&self) -> Option<&RuleSet> {
+        self.sets.last().map(|(_, r)| r)
+    }
+
+    fn active_epoch(&self) -> Option<u64> {
+        self.sets.last().map(|(ep, _)| *ep)
+    }
+
+    fn install(&mut self, epoch: u64, rules: RuleSet) {
+        match self.sets.binary_search_by_key(&epoch, |(ep, _)| *ep) {
+            Ok(i) => self.sets[i].1 = rules,
+            Err(i) => self.sets.insert(i, (epoch, rules)),
+        }
+    }
+
+    fn retire(&mut self, epoch: u64) -> bool {
+        match self.sets.binary_search_by_key(&epoch, |(ep, _)| *ep) {
+            Ok(i) => {
+                self.sets.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
 /// [`Forwarder::rules_for`] over a borrowed rule map, so batch loops can
-/// hold the rule cache while mutating the flow table and counters.
-fn rules_for_in(rules: &HashMap<LabelPair, RuleSet>, labels: LabelPair) -> Result<&RuleSet> {
-    if let Some(r) = rules.get(&labels) {
+/// hold the rule cache while mutating the flow table and counters. Always
+/// resolves to the label pair's *active* epoch.
+fn rules_for_in(rules: &HashMap<LabelPair, EpochRules>, labels: LabelPair) -> Result<&RuleSet> {
+    if let Some(r) = rules.get(&labels).and_then(EpochRules::active) {
         return Ok(r);
     }
     rules
         .iter()
-        .find(|(l, _)| l.chain() == labels.chain())
-        .map(|(_, r)| r)
+        .filter(|(l, _)| l.chain() == labels.chain())
+        .find_map(|(_, e)| e.active())
         .ok_or_else(|| Error::forwarding(format!("no rule for labels {labels}")))
 }
 
@@ -757,7 +845,7 @@ fn finish_output(
 fn affinity_next_in(
     flow_table: &mut FlowTable,
     stats: &mut ForwarderStats,
-    rules: &HashMap<LabelPair, RuleSet>,
+    rules: &HashMap<LabelPair, EpochRules>,
     key: FlowKey,
     hash: u64,
     labels: LabelPair,
@@ -934,6 +1022,68 @@ mod tests {
         let pkt2 = Packet::labeled(labels(), key(2000), 500);
         let (_, fresh) = f.process(pkt2, edge()).unwrap();
         assert_eq!(fresh, vnf(99));
+    }
+
+    #[test]
+    fn new_epoch_takes_over_new_flows_while_pins_drain() {
+        let mut f = affinity_forwarder();
+        assert_eq!(f.active_epoch(labels()), Some(0));
+        let pkt = Packet::labeled(labels(), key(1000), 500);
+        let (_, inst) = f.process(pkt, edge()).unwrap();
+
+        // Install epoch 1 pointing everything at a new instance: the old
+        // epoch's rules stay installed, but epoch 1 is now active.
+        f.install_rules_epoch(
+            labels(),
+            RuleSet {
+                to_vnf: WeightedChoice::single(vnf(99)),
+                to_next: WeightedChoice::single(fwd_addr(9)),
+                to_prev: WeightedChoice::single(edge()),
+            },
+            1,
+        );
+        assert_eq!(f.active_epoch(labels()), Some(1));
+        assert_eq!(f.installed_epochs(labels()), vec![0, 1]);
+
+        // Pinned flow keeps draining on its flow-table entry; a fresh flow
+        // hashes onto the new epoch.
+        let (_, still) = f.process(pkt, edge()).unwrap();
+        assert_eq!(still, inst);
+        let pkt2 = Packet::labeled(labels(), key(2000), 500);
+        let (_, fresh) = f.process(pkt2, edge()).unwrap();
+        assert_eq!(fresh, vnf(99));
+
+        // Retiring the old epoch leaves the new one active and breaks
+        // nothing: the pin still serves the old flow.
+        assert!(f.retire_epoch(labels(), 0));
+        assert!(!f.retire_epoch(labels(), 0), "already retired");
+        assert_eq!(f.installed_epochs(labels()), vec![1]);
+        let (_, after) = f.process(pkt, edge()).unwrap();
+        assert_eq!(after, inst);
+    }
+
+    #[test]
+    fn retiring_the_new_epoch_rolls_back_to_the_old_rules() {
+        let mut f = affinity_forwarder();
+        f.install_rules_epoch(
+            labels(),
+            RuleSet {
+                to_vnf: WeightedChoice::single(vnf(99)),
+                to_next: WeightedChoice::single(fwd_addr(9)),
+                to_prev: WeightedChoice::single(edge()),
+            },
+            7,
+        );
+        assert_eq!(f.active_epoch(labels()), Some(7));
+        // Rollback: drop the new epoch before any weight shift happened.
+        assert!(f.retire_epoch(labels(), 7));
+        assert_eq!(f.active_epoch(labels()), Some(0));
+        let pkt = Packet::labeled(labels(), key(3000), 500);
+        let (_, next) = f.process(pkt, edge()).unwrap();
+        assert!(next == vnf(1) || next == vnf(2), "old epoch serves: {next:?}");
+        // Retiring the last epoch removes the label pair entirely.
+        assert!(f.retire_epoch(labels(), 0));
+        assert_eq!(f.active_epoch(labels()), None);
     }
 
     #[test]

@@ -110,6 +110,31 @@ impl CrashWindow {
     }
 }
 
+/// A scheduled forwarder restart: at `at`, every forwarder at `site` loses
+/// its volatile flow-table state (pinned flows) while its installed rules —
+/// pushed from the controller's persistent store — survive. Surviving flows
+/// re-pin deterministically on their next packet (Section 5.3's flow
+/// affinity is soft state).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForwarderRestart {
+    /// The site whose forwarders restart.
+    pub site: SiteId,
+    /// When the restart (and state loss) takes effect, in simulated
+    /// nanoseconds (same convention as [`CrashWindow`]).
+    pub at_nanos: u64,
+}
+
+impl ForwarderRestart {
+    /// A restart of `site`'s forwarders at `at`.
+    #[must_use]
+    pub fn new(site: SiteId, at: SimTime) -> Self {
+        Self {
+            site,
+            at_nanos: at.as_nanos(),
+        }
+    }
+}
+
 /// Which control-plane RPC a timeout decision applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RpcPhase {
@@ -158,6 +183,10 @@ pub struct FaultSpec {
     pub prepare_timeout_probability: f64,
     /// Probability that a 2PC commit RPC times out.
     pub commit_timeout_probability: f64,
+    /// Scheduled forwarder restarts (flow-table state loss). Defaults to
+    /// none, so specs serialized before this field existed still load.
+    #[serde(default)]
+    pub restarts: Vec<ForwarderRestart>,
 }
 
 impl FaultSpec {
@@ -175,6 +204,7 @@ impl FaultSpec {
             crashes: Vec::new(),
             prepare_timeout_probability: 0.0,
             commit_timeout_probability: 0.0,
+            restarts: Vec::new(),
         }
     }
 
@@ -227,6 +257,13 @@ impl FaultSpec {
         self.commit_timeout_probability = p;
         self
     }
+
+    /// Schedules a forwarder restart at `site` taking effect at `at`.
+    #[must_use]
+    pub fn with_forwarder_restart(mut self, site: SiteId, at: SimTime) -> Self {
+        self.restarts.push(ForwarderRestart::new(site, at));
+        self
+    }
 }
 
 /// What the plan decided for one message.
@@ -257,6 +294,8 @@ pub struct FaultStats {
     pub prepare_timeouts: u64,
     /// Injected 2PC commit timeouts.
     pub commit_timeouts: u64,
+    /// Forwarder restarts fired (flow-table state wiped).
+    pub forwarder_restarts: u64,
 }
 
 impl FaultStats {
@@ -269,6 +308,7 @@ impl FaultStats {
             + self.suppressed_by_crash
             + self.prepare_timeouts
             + self.commit_timeouts
+            + self.forwarder_restarts
     }
 }
 
@@ -283,6 +323,7 @@ struct FaultTelemetry {
     suppressed_by_crash: Counter,
     prepare_timeouts: Counter,
     commit_timeouts: Counter,
+    forwarder_restarts: Counter,
 }
 
 impl FaultTelemetry {
@@ -296,6 +337,7 @@ impl FaultTelemetry {
             suppressed_by_crash: reg.counter("faults.crash_suppressed"),
             prepare_timeouts: reg.counter("faults.prepare_timeouts"),
             commit_timeouts: reg.counter("faults.commit_timeouts"),
+            forwarder_restarts: reg.counter("faults.forwarder_restarts"),
         }
     }
 }
@@ -308,6 +350,8 @@ pub struct FaultPlan {
     rng: StdRng,
     stats: FaultStats,
     telemetry: Option<FaultTelemetry>,
+    /// Fired flags for `spec.restarts`, parallel by index.
+    restarts_fired: Vec<bool>,
 }
 
 impl FaultPlan {
@@ -315,11 +359,13 @@ impl FaultPlan {
     #[must_use]
     pub fn new(spec: FaultSpec) -> Self {
         let rng = StdRng::seed_from_u64(spec.seed);
+        let restarts_fired = vec![false; spec.restarts.len()];
         Self {
             spec,
             rng,
             stats: FaultStats::default(),
             telemetry: None,
+            restarts_fired,
         }
     }
 
@@ -352,6 +398,32 @@ impl FaultPlan {
             .crashes
             .iter()
             .any(|c| c.site == site && c.covers(at))
+    }
+
+    /// Drains the forwarder restarts due by simulated time `now`, in spec
+    /// order: each scheduled restart fires exactly once, so callers can
+    /// poll every batch without double-wiping state. Consumes no
+    /// randomness — restarts are scheduled events, not probabilistic ones,
+    /// so identical specs replay identical restart sequences regardless of
+    /// how often this is polled.
+    pub fn take_due_restarts(&mut self, now: SimTime) -> Vec<SiteId> {
+        let mut due = Vec::new();
+        for (i, r) in self.spec.restarts.iter().enumerate() {
+            if !self.restarts_fired[i] && r.at_nanos <= now.as_nanos() {
+                self.restarts_fired[i] = true;
+                due.push(r.site);
+            }
+        }
+        self.stats.forwarder_restarts += due.len() as u64;
+        if let Some(t) = &self.telemetry {
+            for _ in &due {
+                t.forwarder_restarts.inc();
+                t.hub
+                    .tracer
+                    .event("fault.forwarder_restart", None, t.hub.clock.now_ns(), &[]);
+            }
+        }
+        due
     }
 
     /// Records that a message was suppressed because of a crash window.
@@ -630,5 +702,62 @@ mod tests {
         assert_eq!(back.seed, spec.seed);
         assert_eq!(back.pair_overrides.len(), 1);
         assert_eq!(back.crashes.len(), 1);
+    }
+
+    #[test]
+    fn restarts_round_trip_and_default_to_empty() {
+        let spec = FaultSpec::new(3).with_forwarder_restart(
+            SiteId::new(2),
+            SimTime::from_millis(40.0),
+        );
+        let v = serde::Serialize::to_value(&spec);
+        let back: FaultSpec = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back.restarts, spec.restarts);
+        // A spec serialized before the field existed deserializes to none.
+        let old = serde::Serialize::to_value(&FaultSpec::new(3));
+        let serde::Value::Object(mut entries) = old else {
+            panic!("spec must serialize to an object")
+        };
+        entries.retain(|(k, _)| k != "restarts");
+        let back: FaultSpec = serde::Deserialize::from_value(&serde::Value::Object(entries))
+            .unwrap();
+        assert!(back.restarts.is_empty());
+    }
+
+    #[test]
+    fn due_restarts_fire_exactly_once_in_spec_order() {
+        let spec = FaultSpec::new(9)
+            .with_forwarder_restart(SiteId::new(1), SimTime::from_millis(10.0))
+            .with_forwarder_restart(SiteId::new(2), SimTime::from_millis(10.0))
+            .with_forwarder_restart(SiteId::new(3), SimTime::from_millis(99.0));
+        let mut plan = FaultPlan::new(spec);
+        assert!(plan.take_due_restarts(SimTime::from_millis(5.0)).is_empty());
+        assert_eq!(
+            plan.take_due_restarts(SimTime::from_millis(20.0)),
+            vec![SiteId::new(1), SiteId::new(2)]
+        );
+        // Already-fired restarts never fire again.
+        assert_eq!(
+            plan.take_due_restarts(SimTime::from_millis(100.0)),
+            vec![SiteId::new(3)]
+        );
+        assert!(plan.take_due_restarts(SimTime::from_millis(200.0)).is_empty());
+        assert_eq!(plan.stats().forwarder_restarts, 3);
+        // Polling consumed no randomness: the fate stream matches a fresh
+        // plan with the same seed.
+        let mut twin = FaultPlan::new(FaultSpec::new(9).with_drop_probability(0.5));
+        let mut polled = FaultPlan::new(
+            FaultSpec::new(9)
+                .with_drop_probability(0.5)
+                .with_forwarder_restart(SiteId::new(1), SimTime::ZERO),
+        );
+        polled.take_due_restarts(SimTime::from_millis(1.0));
+        for i in 0..32 {
+            let at = SimTime::from_millis(f64::from(i));
+            assert_eq!(
+                twin.message_fate(at, SiteId::new(0), SiteId::new(1)),
+                polled.message_fate(at, SiteId::new(0), SiteId::new(1)),
+            );
+        }
     }
 }

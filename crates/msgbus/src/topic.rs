@@ -79,6 +79,20 @@ impl Topic {
         )
     }
 
+    /// The per-site topic carrying epoch-tagged route *deltas* for `chain`
+    /// (DESIGN.md §10). Unlike the chain-wide `/routes/site_<gsb>_gsb`
+    /// replication topic — owned by the Global Switchboard and fanned out
+    /// to every site — this topic is owned by the affected site itself, so
+    /// publishing an update delta costs one WAN copy per affected site and
+    /// the WAN message count scales with the delta, not the chain.
+    #[must_use]
+    pub fn route_delta(chain: u32, site: SiteId) -> Self {
+        Self::with_owner(
+            format!("/c{chain}/routes/site_{}_delta", site.value()),
+            site,
+        )
+    }
+
     /// The site whose proxy stores this topic's subscription filters.
     #[must_use]
     pub fn owner(&self) -> SiteId {
@@ -135,6 +149,14 @@ mod tests {
         assert_eq!(t.owner(), SiteId::new(2));
         // Round trip through parse agrees on the owner.
         assert_eq!(Topic::parse(t.path()).unwrap().owner(), SiteId::new(2));
+    }
+
+    #[test]
+    fn route_delta_topic_is_owned_by_the_affected_site() {
+        let t = Topic::route_delta(4, SiteId::new(3));
+        assert_eq!(t.path(), "/c4/routes/site_3_delta");
+        assert_eq!(t.owner(), SiteId::new(3));
+        assert_eq!(Topic::parse(t.path()).unwrap().owner(), SiteId::new(3));
     }
 
     #[test]

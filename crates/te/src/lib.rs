@@ -28,6 +28,7 @@
 
 pub mod baselines;
 pub mod capacity;
+pub mod delta;
 pub mod dp;
 pub mod eval;
 pub mod lp;

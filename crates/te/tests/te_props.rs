@@ -189,3 +189,50 @@ proptest! {
 fn sol_paths(routes: &ChainRoutes, chain: &ChainSpec) -> Vec<RoutePath> {
     routes.decompose(chain)
 }
+
+/// Arbitrary path sets over a small site universe, with duplicate site
+/// sequences and near-zero fractions allowed — the canonicalizer must
+/// absorb both.
+fn arb_paths() -> impl Strategy<Value = Vec<RoutePath>> {
+    prop::collection::vec(
+        (prop::collection::vec(0u32..5, 1..=3), 0.0..1.0f64),
+        0..6,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(sites, fraction)| RoutePath {
+                sites: sites.into_iter().map(SiteId::new).collect(),
+                fraction,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reconciliation equivalence (DESIGN.md §10): for any installed and
+    /// target path sets, applying the diff to the installed set yields
+    /// exactly the target — so the incremental update pipeline converges
+    /// to the same routes a full redeploy would install.
+    #[test]
+    fn apply_of_diff_reconciles_to_target(old in arb_paths(), new in arb_paths()) {
+        use sb_te::delta::{canonical_paths, paths_equal, RouteDelta};
+        let delta = RouteDelta::diff(&old, &new);
+        let reconciled = delta.apply(&old);
+        prop_assert!(
+            paths_equal(&reconciled, &new, 1e-9),
+            "apply(diff(old,new), old) = {reconciled:?} != canonical(new) = {:?}",
+            canonical_paths(&new)
+        );
+        // The delta's scope covers every site whose routes changed, and
+        // a self-diff is always empty.
+        let self_delta = RouteDelta::diff(&old, &old);
+        prop_assert!(self_delta.is_empty());
+        for p in &delta.added {
+            for s in &p.sites {
+                prop_assert!(delta.affected_sites().contains(s));
+            }
+        }
+    }
+}

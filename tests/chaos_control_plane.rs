@@ -13,7 +13,7 @@ use switchboard::types::Error;
 
 /// The seeds the CI chaos job sweeps; keep in sync with
 /// `.github/workflows/ci.yml`.
-const CHAOS_SEEDS: [u64; 3] = [7, 42, 1337];
+const CHAOS_SEEDS: [u64; 4] = [7, 42, 1337, 4242];
 
 /// CI's chaos matrix narrows a run to one seed via `CHAOS_SEED`; local
 /// runs sweep all of [`CHAOS_SEEDS`].
@@ -297,6 +297,116 @@ fn chaos_run_exports_fault_correlated_telemetry() {
             std::fs::write(&path, sb.telemetry().export_json())
                 .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         }
+    }
+}
+
+/// A site crashing mid-`update_chain` must veto the delta's 2PC and leave
+/// the old epoch fully serving: routes unchanged, no leaked reservations,
+/// traffic never zero. Once the site is healthy again the same update goes
+/// through, and new flows follow the new epoch.
+#[test]
+fn mid_update_site_crash_leaves_old_epoch_serving() {
+    for seed in chaos_seeds() {
+        let (mut sb, sites) = testbed(None);
+        sb.use_passthrough_behaviors();
+        let chain = ChainId::new(1);
+        sb.deploy_chain_via(chain_request(1), vec![(vec![sites[1]], 1.0)])
+            .unwrap();
+        let key = FlowKey::tcp([10, 0, 0, 1], 1000, [10, 9, 9, 9], 80);
+        assert!(sb
+            .send(chain, sites[0], Packet::unlabeled(key, 500))
+            .unwrap()
+            .delivered);
+        let before_routes = sb.routes_of(chain);
+        let before_avail = availability(&sb);
+
+        // The update's target site goes down exactly when the update runs.
+        let now = sb.control_plane().now();
+        sb.control_plane_mut()
+            .set_fault_plan(switchboard::faults::shared(
+                switchboard::faults::FaultPlan::new(
+                    FaultSpec::new(seed)
+                        .with_crash(CrashWindow::permanent(sites[2], now)),
+                ),
+            ));
+        let err = sb
+            .update_chain(chain, vec![(vec![sites[2]], 1.0)])
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::CommitRejected { .. }),
+            "seed {seed}: {err}"
+        );
+        // Old epoch untouched: same routes, same capacity, nothing pending.
+        assert_eq!(sb.routes_of(chain), before_routes, "seed {seed}");
+        assert_eq!(availability(&sb), before_avail, "seed {seed}");
+        assert_no_pending_reservations(&sb);
+        // Traffic never zero: both the established flow and fresh flows
+        // keep flowing on the old epoch.
+        for i in 0..4u16 {
+            let k = FlowKey::tcp([10, 0, 1, i as u8], 2000 + i, [10, 9, 9, 9], 80);
+            assert!(
+                sb.send(chain, sites[0], Packet::unlabeled(k, 500))
+                    .unwrap()
+                    .delivered,
+                "seed {seed}: traffic dropped while old epoch should serve"
+            );
+        }
+
+        // Site recovers; the identical update now succeeds.
+        sb.control_plane_mut()
+            .set_fault_plan(switchboard::faults::shared(
+                switchboard::faults::FaultPlan::new(FaultSpec::new(seed)),
+            ));
+        let h = sb
+            .update_chain(chain, vec![(vec![sites[2]], 1.0)])
+            .unwrap();
+        assert_eq!(h.routes.len(), 1, "seed {seed}");
+        assert_eq!(h.routes[0].sites, vec![sites[2]], "seed {seed}");
+    }
+}
+
+/// Commit acks lost during the delta-scoped 2PC of an update degrade the
+/// report (`partial_failures`) without breaking atomicity — the grown
+/// reservation is durably committed and the new split serves.
+#[test]
+fn update_commit_ack_loss_is_reported_but_atomic() {
+    for seed in chaos_seeds() {
+        let (mut sb, sites) = testbed(None);
+        sb.use_passthrough_behaviors();
+        let chain = ChainId::new(1);
+        sb.deploy_chain_via(
+            chain_request(1),
+            vec![(vec![sites[1]], 0.5), (vec![sites[2]], 0.5)],
+        )
+        .unwrap();
+        sb.control_plane_mut()
+            .set_fault_plan(switchboard::faults::shared(
+                switchboard::faults::FaultPlan::new(
+                    FaultSpec::new(seed).with_commit_timeouts(1.0),
+                ),
+            ));
+        let h = sb
+            .update_chain(
+                chain,
+                vec![(vec![sites[1]], 0.3), (vec![sites[2]], 0.7)],
+            )
+            .unwrap();
+        assert!(
+            h.report
+                .partial_failures
+                .iter()
+                .any(|n| n.contains("commit ack")),
+            "seed {seed}: {:?}",
+            h.report.partial_failures
+        );
+        // Only the grown route voted.
+        assert_eq!(h.report.participants_2pc, 1, "seed {seed}");
+        assert_no_pending_reservations(&sb);
+        let k = FlowKey::tcp([10, 0, 2, 1], 3000, [10, 9, 9, 9], 80);
+        assert!(sb
+            .send(chain, sites[0], Packet::unlabeled(k, 500))
+            .unwrap()
+            .delivered);
     }
 }
 

@@ -45,6 +45,21 @@ fn fig10_route_addition_doubles_throughput_within_a_second() {
     // "load is balanced evenly on the two routes"
     assert_eq!(o.fractions.len(), 2);
     assert!(o.fractions.iter().all(|f| (f - 0.5).abs() < 1e-9));
+    // Incremental update touches only the delta: strictly fewer 2PC
+    // participants and WAN messages than installing the same target from
+    // scratch.
+    assert!(
+        o.update_report.participants_2pc < o.redeploy_report.participants_2pc,
+        "2pc participants: update {} vs redeploy {}",
+        o.update_report.participants_2pc,
+        o.redeploy_report.participants_2pc
+    );
+    assert!(
+        o.update_report.wan_messages < o.redeploy_report.wan_messages,
+        "wan messages: update {} vs redeploy {}",
+        o.update_report.wan_messages,
+        o.redeploy_report.wan_messages
+    );
 }
 
 #[test]

@@ -118,6 +118,32 @@ pub fn from_field<T: Deserialize>(v: &Value, type_name: &str, field: &str) -> Re
     }
 }
 
+/// Derive-support helper for `#[serde(default)]` fields: like
+/// [`from_field`], but a missing field yields `T::default()` instead of an
+/// error (present fields must still deserialize).
+///
+/// # Errors
+///
+/// Returns [`Error`] when `v` is not an object or a present field fails to
+/// deserialize.
+pub fn from_field_or_default<T: Deserialize + Default>(
+    v: &Value,
+    type_name: &str,
+    field: &str,
+) -> Result<T, Error> {
+    match v {
+        Value::Object(_) => match v.get(field) {
+            Some(fv) => {
+                T::from_value(fv).map_err(|e| Error::msg(format!("{type_name}.{field}: {e}")))
+            }
+            None => Ok(T::default()),
+        },
+        other => Err(Error::msg(format!(
+            "{type_name}: expected object, found {other:?}"
+        ))),
+    }
+}
+
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -17,7 +17,8 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Shape {
-    NamedStruct { fields: Vec<String> },
+    /// Named fields with a `#[serde(default)]` marker each.
+    NamedStruct { fields: Vec<(String, bool)> },
     NewtypeStruct,
     Enum { variants: Vec<(String, bool)> },
 }
@@ -38,17 +39,38 @@ fn ident_of(tt: &TokenTree) -> Option<String> {
     }
 }
 
-/// Consumes leading attributes (`#[...]`) from `toks[*pos]`.
-fn skip_attrs(toks: &[TokenTree], pos: &mut usize) {
+/// Consumes leading attributes (`#[...]`) from `toks[*pos]`, returning
+/// `true` when one of them is `#[serde(default)]` (the only field-level
+/// serde attribute the stand-in honors; `#[serde(transparent)]` is a no-op
+/// for the shapes it supports, and anything else is skipped).
+fn skip_attrs(toks: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
     while *pos < toks.len() && is_punct(&toks[*pos], '#') {
         *pos += 1; // '#'
         if *pos < toks.len() {
             if let TokenTree::Group(g) = &toks[*pos] {
                 if g.delimiter() == Delimiter::Bracket {
+                    has_default |= attr_is_serde_default(g.stream());
                     *pos += 1;
                 }
             }
         }
+    }
+    has_default
+}
+
+/// Recognizes a `serde(default)` attribute body (within the brackets).
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.len() != 2 || ident_of(&toks[0]).as_deref() != Some("serde") {
+        return false;
+    }
+    match &toks[1] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| ident_of(&t).as_deref() == Some("default")),
+        _ => false,
     }
 }
 
@@ -66,12 +88,12 @@ fn skip_vis(toks: &[TokenTree], pos: &mut usize) {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
     let toks: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut pos = 0;
     while pos < toks.len() {
-        skip_attrs(&toks, &mut pos);
+        let has_default = skip_attrs(&toks, &mut pos);
         skip_vis(&toks, &mut pos);
         if pos >= toks.len() {
             break;
@@ -97,7 +119,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             }
             pos += 1;
         }
-        fields.push(name);
+        fields.push((name, has_default));
     }
     fields
 }
@@ -207,7 +229,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::NamedStruct { fields } => {
             let pushes: String = fields
                 .iter()
-                .map(|f| {
+                .map(|(f, _)| {
                     format!(
                         "obj.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
                     )
@@ -253,7 +275,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::NamedStruct { fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::from_field(v, {name:?}, {f:?})?,"))
+                .map(|(f, has_default)| {
+                    let getter = if *has_default {
+                        "from_field_or_default"
+                    } else {
+                        "from_field"
+                    };
+                    format!("{f}: ::serde::{getter}(v, {name:?}, {f:?})?,")
+                })
                 .collect();
             format!("Ok(Self {{ {inits} }})")
         }
