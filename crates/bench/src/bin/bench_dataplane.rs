@@ -5,6 +5,7 @@
 //! cargo run --release -p sb-bench --bin bench-dataplane -- --out BENCH_dataplane.json
 //! cargo run --release -p sb-bench --bin bench-dataplane -- --quick   # CI smoke
 //! cargo run --release -p sb-bench --bin bench-dataplane -- --check-overhead
+//! cargo run --release -p sb-bench --bin bench-dataplane -- --quick --check-scaleout
 //! ```
 //!
 //! Without `--out` the JSON goes to stdout. `--quick` uses short CI-scale
@@ -16,22 +17,37 @@
 //! fully disabled, exiting non-zero if the instrumented run is more than
 //! 5% slower — the CI gate that keeps the observability layer off the
 //! fast path.
+//!
+//! `--check-scaleout` skips the matrix and measures the contended sharded
+//! runner at 1 versus 2 shards, exiting non-zero if 2 contending shards do
+//! not reach at least 1.5x the single-shard rate — the CI gate that keeps
+//! the shared-nothing runner actually scaling. On hosts with fewer than
+//! four cores (generator + 2 shards + sink) the check is skipped with a
+//! note and exits zero: a starved host measures scheduler noise, not
+//! scaling.
 
-use sb_bench::dataplane_baseline::{check_overhead, run, to_json, BaselineConfig};
+use sb_bench::dataplane_baseline::{
+    check_overhead, check_scaleout, run, to_json, BaselineConfig, SCALEOUT_MIN_CORES,
+};
 
 /// Maximum tolerated throughput loss with default telemetry sampling.
 const OVERHEAD_TOLERANCE: f64 = 0.05;
+
+/// Minimum contended 2-shard speedup over 1 shard.
+const SCALEOUT_MIN_RATIO: f64 = 1.5;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = BaselineConfig::full();
     let mut out_path: Option<String> = None;
     let mut overhead_only = false;
+    let mut scaleout_only = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => cfg = BaselineConfig::quick(),
             "--check-overhead" => overhead_only = true,
+            "--check-scaleout" => scaleout_only = true,
             "--out" | "-o" => {
                 out_path = it.next().cloned();
                 if out_path.is_none() {
@@ -40,16 +56,44 @@ fn main() {
                 }
             }
             "--help" | "-h" => {
-                eprintln!("usage: bench-dataplane [--quick] [--check-overhead] [--out <path>]");
+                eprintln!(
+                    "usage: bench-dataplane [--quick] [--check-overhead] [--check-scaleout] [--out <path>]"
+                );
                 return;
             }
             other => {
                 eprintln!(
-                    "unknown argument '{other}'; usage: bench-dataplane [--quick] [--check-overhead] [--out <path>]"
+                    "unknown argument '{other}'; usage: bench-dataplane [--quick] [--check-overhead] [--check-scaleout] [--out <path>]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    if scaleout_only {
+        let report = check_scaleout(&cfg);
+        if report.skipped {
+            eprintln!(
+                "[bench-dataplane: SKIP: contended scale-out needs >= {SCALEOUT_MIN_CORES} cores \
+                 (gen + 2 shards + sink), host has {}]",
+                report.available_cores
+            );
+            return;
+        }
+        eprintln!(
+            "[bench-dataplane: contended scale-out: {:.3} Mpps @ 2 shards vs {:.3} Mpps @ 1 shard \
+             (ratio {:.2}, {} cores)]",
+            report.two_shard_mpps, report.single_shard_mpps, report.ratio, report.available_cores
+        );
+        if report.ratio < SCALEOUT_MIN_RATIO {
+            eprintln!(
+                "[bench-dataplane: FAIL: 2 contending shards must reach {SCALEOUT_MIN_RATIO}x \
+                 a single shard]"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[bench-dataplane: scale-out gate passed]");
+        return;
     }
 
     if overhead_only {

@@ -17,7 +17,10 @@
 //! CI runs the same binary with `--quick` as a smoke check that the
 //! harness works and the JSON stays well-formed.
 
-use sb_dataplane::runner::{measure_isolated, measure_isolated_with_hub, ScaleoutConfig};
+use sb_dataplane::runner::{
+    measure_isolated, measure_isolated_with_hub, measure_sharded, measure_sharded_with_hub,
+    ScaleoutConfig, ShardedConfig,
+};
 use sb_dataplane::ForwarderMode;
 use sb_telemetry::Telemetry;
 use serde::Serialize;
@@ -51,6 +54,25 @@ pub struct ScaleCell {
     pub mpps: f64,
 }
 
+/// One contended scale-out cell: N shard threads running concurrently
+/// behind SPSC rings (`measure_sharded`), as opposed to the isolated cells
+/// where each instance is measured alone and the rates summed.
+#[derive(Debug, Clone, Serialize)]
+pub struct ContendedCell {
+    /// Concurrent forwarder shard threads.
+    pub shards: usize,
+    /// Size of the global flow population split across the shards.
+    pub flows_total: usize,
+    /// Aggregate steady-state throughput across the contending shards.
+    pub mpps: f64,
+    /// Median per-packet forwarding latency, merged across shards.
+    pub latency_p50_ns: u64,
+    /// 99th-percentile per-packet forwarding latency, merged across shards.
+    pub latency_p99_ns: u64,
+    /// Aggregate flow-table entries across all shards at the end.
+    pub flow_entries: usize,
+}
+
 /// One batch-size cell (Affinity mode, 2K flows).
 #[derive(Debug, Clone, Serialize)]
 pub struct BatchCell {
@@ -77,6 +99,8 @@ pub struct Baseline {
     pub single_instance: Vec<SingleCell>,
     /// Affinity-mode isolated scale-out points.
     pub scaleout: Vec<ScaleCell>,
+    /// Affinity-mode contended scale-out: 1→N shard threads live at once.
+    pub contended_scaleout: Vec<ContendedCell>,
     /// Throughput vs batch size (Affinity, smallest flow count).
     pub batch_sweep: Vec<BatchCell>,
     /// The `sb_telemetry::Telemetry::export_json` snapshot of the hub the
@@ -101,6 +125,11 @@ pub struct BaselineConfig {
     pub instance_counts: Vec<usize>,
     /// Batch sizes for the amortization sweep.
     pub batch_sizes: Vec<usize>,
+    /// Shard counts for the contended scale-out sweep.
+    pub shard_counts: Vec<usize>,
+    /// Flows per shard in the contended sweep (`flows_total = shards *
+    /// flows_per_shard`, so per-shard work stays constant as N grows).
+    pub flows_per_shard: usize,
 }
 
 impl BaselineConfig {
@@ -113,6 +142,8 @@ impl BaselineConfig {
             flow_counts: vec![2_048, 65_536],
             instance_counts: vec![1, 2],
             batch_sizes: vec![1, 32],
+            shard_counts: vec![1, 2],
+            flows_per_shard: 4_096,
         }
     }
 
@@ -125,6 +156,9 @@ impl BaselineConfig {
             flow_counts: vec![2_048, 65_536, 524_288],
             instance_counts: vec![1, 2, 4],
             batch_sizes: vec![1, 8, 32, 256],
+            // The 4-shard row drives 4 x 512K = 2M+ concurrent flows.
+            shard_counts: vec![1, 2, 4],
+            flows_per_shard: 524_288,
         }
     }
 }
@@ -203,6 +237,19 @@ pub fn run(cfg: &BaselineConfig) -> Baseline {
         });
     }
 
+    let mut contended = Vec::new();
+    for &shards in &cfg.shard_counts {
+        let r = measure_sharded_with_hub(&sharded_config(cfg, shards), Some(&hub));
+        contended.push(ContendedCell {
+            shards,
+            flows_total: r.flows_total,
+            mpps: r.throughput.value(),
+            latency_p50_ns: r.latency.p50_ns,
+            latency_p99_ns: r.latency.p99_ns,
+            flow_entries: r.flow_entries,
+        });
+    }
+
     let sweep_flows = cfg.flow_counts.first().copied().unwrap_or(2_048);
     let mut batch_sweep = Vec::new();
     for &batch_size in &cfg.batch_sizes {
@@ -229,14 +276,32 @@ pub fn run(cfg: &BaselineConfig) -> Baseline {
     Baseline {
         benchmark: "dataplane",
         packet_size: 64,
-        methodology: "isolated per-instance generate->process loops \
-                      (sb_dataplane::runner::measure_isolated), aggregate = sum of \
-                      per-instance steady-state rates",
+        methodology: "single_instance/scaleout: isolated per-instance \
+                      generate->process loops (sb_dataplane::runner::measure_isolated), \
+                      aggregate = sum of per-instance steady-state rates; \
+                      contended_scaleout: N shard threads live simultaneously behind \
+                      SPSC rings with RSS flow sharding \
+                      (sb_dataplane::runner::measure_sharded), so shards contend for \
+                      cores — rows only show scaling when the host has cores to give \
+                      (gen + N shards + sink threads)",
         duration_ms,
         single_instance: single,
         scaleout,
+        contended_scaleout: contended,
         batch_sweep,
         telemetry,
+    }
+}
+
+fn sharded_config(cfg: &BaselineConfig, shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        flows_total: shards * cfg.flows_per_shard,
+        packet_size: 64,
+        mode: ForwarderMode::Affinity,
+        duration: cfg.duration,
+        warmup: cfg.warmup,
+        ..ShardedConfig::default()
     }
 }
 
@@ -320,6 +385,60 @@ pub fn check_overhead(cfg: &BaselineConfig) -> OverheadReport {
     }
 }
 
+/// The shard-thread layout needs this many cores before contended scaling
+/// is physically possible: a generator, two shards, and a sink.
+pub const SCALEOUT_MIN_CORES: usize = 4;
+
+/// Result of the contended scale-out gate (`bench-dataplane
+/// --check-scaleout`): aggregate Mpps at 1 versus 2 contending shards.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleoutReport {
+    /// Cores the host reports (`std::thread::available_parallelism`).
+    pub available_cores: usize,
+    /// `true` when the host has fewer than [`SCALEOUT_MIN_CORES`] cores and
+    /// the measurement was skipped (the gate passes vacuously: a starved
+    /// host cannot show scaling, only scheduler noise).
+    pub skipped: bool,
+    /// Aggregate Mpps at 1 shard, best of three runs.
+    pub single_shard_mpps: f64,
+    /// Aggregate Mpps at 2 contending shards, best of three runs.
+    pub two_shard_mpps: f64,
+    /// `two_shard / single_shard`; the gate fails below its threshold.
+    pub ratio: f64,
+}
+
+/// Measures the 2-shard contended speedup over 1 shard (best of three runs
+/// each to damp scheduler noise). When the host has fewer than
+/// [`SCALEOUT_MIN_CORES`] cores the measurement is skipped — see
+/// [`ScaleoutReport::skipped`].
+#[must_use]
+pub fn check_scaleout(cfg: &BaselineConfig) -> ScaleoutReport {
+    let available_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if available_cores < SCALEOUT_MIN_CORES {
+        return ScaleoutReport {
+            available_cores,
+            skipped: true,
+            single_shard_mpps: 0.0,
+            two_shard_mpps: 0.0,
+            ratio: 0.0,
+        };
+    }
+    let best = |shards: usize| -> f64 {
+        (0..3)
+            .map(|_| measure_sharded(&sharded_config(cfg, shards)).throughput.value())
+            .fold(0.0_f64, f64::max)
+    };
+    let single_shard_mpps = best(1);
+    let two_shard_mpps = best(2);
+    ScaleoutReport {
+        available_cores,
+        skipped: false,
+        single_shard_mpps,
+        two_shard_mpps,
+        ratio: two_shard_mpps / single_shard_mpps,
+    }
+}
+
 /// Serializes a baseline as indented JSON (the vendored `serde_json` has no
 /// pretty printer, so we re-indent its compact output; string literals in
 /// the document contain no braces or brackets, which keeps this safe).
@@ -397,16 +516,27 @@ mod tests {
             flow_counts: vec![128],
             instance_counts: vec![1],
             batch_sizes: vec![1, 16],
+            shard_counts: vec![1, 2],
+            flows_per_shard: 256,
         };
         let b = run(&cfg);
         assert_eq!(b.single_instance.len(), 3);
         assert!(b.single_instance.iter().all(|c| c.mpps > 0.0));
         assert!(b.single_instance.iter().all(|c| c.latency_p50_ns > 0
             && c.latency_p99_ns >= c.latency_p50_ns));
+        assert_eq!(b.contended_scaleout.len(), 2);
+        for (cell, &shards) in b.contended_scaleout.iter().zip(&cfg.shard_counts) {
+            assert_eq!(cell.shards, shards);
+            assert_eq!(cell.flows_total, shards * cfg.flows_per_shard);
+            assert!(cell.mpps > 0.0, "{shards} shards produced nothing");
+            assert!(cell.flow_entries >= cell.flows_total);
+            assert!(cell.latency_p99_ns >= cell.latency_p50_ns);
+        }
         let json = to_json(&b);
         let parsed = serde_json::from_str_value(&json).unwrap();
         assert!(parsed.get("single_instance").is_some());
         assert!(parsed.get("batch_sweep").is_some());
+        assert!(parsed.get("contended_scaleout").is_some());
         let metrics = parsed
             .get("telemetry")
             .and_then(|t| t.get("metrics"))
@@ -449,11 +579,35 @@ mod tests {
             flow_counts: vec![128],
             instance_counts: vec![1],
             batch_sizes: vec![32],
+            shard_counts: vec![1],
+            flows_per_shard: 128,
         };
         let r = check_overhead(&cfg);
         assert!(r.disabled_mpps > 0.0);
         assert!(r.enabled_mpps > 0.0);
         assert!(r.ratio > 0.0);
+    }
+
+    #[test]
+    fn scaleout_gate_skips_or_measures_by_core_count() {
+        let cfg = BaselineConfig {
+            duration: Duration::from_millis(15),
+            warmup: Duration::from_millis(4),
+            flow_counts: vec![128],
+            instance_counts: vec![1],
+            batch_sizes: vec![32],
+            shard_counts: vec![1, 2],
+            flows_per_shard: 256,
+        };
+        let r = check_scaleout(&cfg);
+        if r.available_cores < SCALEOUT_MIN_CORES {
+            assert!(r.skipped, "starved host must skip, not fail noisily");
+        } else {
+            assert!(!r.skipped);
+            assert!(r.single_shard_mpps > 0.0);
+            assert!(r.two_shard_mpps > 0.0);
+            assert!(r.ratio > 0.0);
+        }
     }
 
     #[test]

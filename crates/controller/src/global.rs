@@ -499,6 +499,16 @@ impl ControlPlane {
         self.locals.get_mut(&site)
     }
 
+    /// All sites with a Local Switchboard, in ascending site order so that
+    /// callers iterating over them (e.g. fault application) behave
+    /// deterministically.
+    #[must_use]
+    pub fn sites(&self) -> Vec<SiteId> {
+        let mut sites: Vec<SiteId> = self.locals.keys().copied().collect();
+        sites.sort_unstable();
+        sites
+    }
+
     /// The VNF controller of `vnf`.
     #[must_use]
     pub fn vnf_controller(&self, vnf: VnfId) -> Option<&VnfController> {

@@ -12,7 +12,7 @@ use sb_msgbus::DelayModel;
 use sb_te::NetworkModel;
 use sb_types::{ChainId, Error, InstanceId, Millis, Result, SiteId};
 use sb_vnfs::VnfBehavior;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Configuration of a [`Switchboard`] deployment.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +35,10 @@ pub struct Switchboard {
     behaviors: HashMap<InstanceId, Box<dyn VnfBehavior>>,
     passthrough_default: bool,
     max_hops: usize,
+    /// Instances killed by the fault plan's scheduled VNF crashes. Packets
+    /// already routed toward one of these when the crash fired (or pinned
+    /// to a sole-instance rule) are dropped at the dead instance.
+    crashed_vnfs: HashSet<InstanceId>,
 }
 
 impl std::fmt::Debug for Switchboard {
@@ -66,6 +70,7 @@ impl Switchboard {
             behaviors: HashMap::new(),
             passthrough_default: false,
             max_hops,
+            crashed_vnfs: HashSet::new(),
         }
     }
 
@@ -245,6 +250,47 @@ impl Switchboard {
         }
     }
 
+    /// Applies any VNF instance crashes the fault plan has scheduled up to
+    /// the control plane's current virtual time. Every forwarder at every
+    /// site drops the dead instance from its load-balancing rules and
+    /// evicts the flow-table entries pinned to it
+    /// ([`sb_dataplane::Forwarder::fail_vnf_instance`]): affected flows
+    /// fail over to the surviving instances on their next packet, while
+    /// flows pinned elsewhere keep their affinity (DESIGN.md §8).
+    fn apply_due_vnf_crashes(&mut self) {
+        let due = match self.cp.fault_plan() {
+            Some(plan) => {
+                let now = self.cp.now();
+                plan.lock()
+                    .expect("fault plan lock")
+                    .take_due_vnf_crashes(now)
+            }
+            None => return,
+        };
+        if due.is_empty() {
+            return;
+        }
+        let sites = self.cp.sites();
+        for instance in due {
+            self.crashed_vnfs.insert(instance);
+            for &site in &sites {
+                if let Some(local) = self.cp.local_mut(site) {
+                    if let Some(fid) = local.forwarder_of_instance(instance) {
+                        if let Some(fw) = local.forwarder_mut(fid) {
+                            fw.fail_vnf_instance(instance);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Instances the fault plan has crashed so far.
+    #[must_use]
+    pub fn crashed_vnfs(&self) -> &HashSet<InstanceId> {
+        &self.crashed_vnfs
+    }
+
     /// Propagation latency between two sites' nodes.
     fn prop(&self, a: SiteId, b: SiteId) -> Result<Millis> {
         let d = self
@@ -295,6 +341,7 @@ impl Switchboard {
         packets: &[Packet],
     ) -> Vec<Result<Transit>> {
         self.apply_due_forwarder_restarts();
+        self.apply_due_vnf_crashes();
         let mut results: Vec<Option<Result<Transit>>> = packets.iter().map(|_| None).collect();
         let mut live: Vec<InFlight> = Vec::with_capacity(packets.len());
         {
@@ -396,10 +443,25 @@ impl Switchboard {
             return;
         };
         // Charge wide-area propagation per packet (sites may differ when
-        // reverse traffic converges from several origins).
+        // reverse traffic converges from several origins). Wide-area hops
+        // are where the fault plan's per-packet loss applies: a lost packet
+        // vanishes in transit and is reported as an undelivered transit,
+        // not a forwarding error.
+        let plan = self.cp.fault_plan().cloned();
         let mut arrived = Vec::with_capacity(group.len());
         for mut g in group {
             if site != g.site {
+                if let Some(p) = &plan {
+                    if p.lock().expect("fault plan lock").packet_is_lost() {
+                        results[g.idx] = Some(Ok(Transit {
+                            hops: g.hops,
+                            latency: g.latency,
+                            delivered: false,
+                            output: None,
+                        }));
+                        continue;
+                    }
+                }
                 match self.prop(g.site, site) {
                     Ok(d) => {
                         g.latency += d;
@@ -450,6 +512,18 @@ impl Switchboard {
             unreachable!("caller dispatches on hop kind");
         };
         flight.hops.push(Addr::Vnf(instance));
+        if self.crashed_vnfs.contains(&instance) {
+            // The instance died while this packet was in flight (or it is
+            // the sole instance of its rule, left as a documented
+            // blackhole): the packet is lost at the dead box.
+            results[flight.idx] = Some(Ok(Transit {
+                hops: flight.hops,
+                latency: flight.latency,
+                delivered: false,
+                output: None,
+            }));
+            return;
+        }
         let passthrough_default = self.passthrough_default;
         let behavior = match self.behaviors.entry(instance) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
@@ -505,6 +579,19 @@ impl Switchboard {
             return;
         };
         if edge_site != flight.site {
+            // The hop to a remote egress edge is still label-switched, so
+            // it is subject to the same per-packet wide-area loss.
+            if let Some(p) = self.cp.fault_plan() {
+                if p.lock().expect("fault plan lock").packet_is_lost() {
+                    results[flight.idx] = Some(Ok(Transit {
+                        hops: flight.hops,
+                        latency: flight.latency,
+                        delivered: false,
+                        output: None,
+                    }));
+                    return;
+                }
+            }
             match self.prop(flight.site, edge_site) {
                 Ok(d) => flight.latency += d,
                 Err(err) => {

@@ -316,6 +316,31 @@ impl FlowTable {
         removed
     }
 
+    /// Removes every entry whose pinned next hop satisfies `pred`; returns
+    /// how many were removed. This is the failover primitive: when a VNF
+    /// instance crashes, the forwarder evicts the entries pinned to it so
+    /// affected flows re-run weighted selection over the survivors, while
+    /// entries pinned elsewhere are untouched (affinity of surviving flows
+    /// is preserved — see DESIGN.md §8).
+    ///
+    /// Cost is one full scan plus a backward-shift removal per match; fine
+    /// off the fast path (crashes are control-plane-rare events).
+    pub fn remove_where(&mut self, mut pred: impl FnMut(&FlowTableKey, Addr) -> bool) -> usize {
+        // Collect first: backward-shift deletion moves entries between
+        // buckets, so removing during the scan could skip or revisit slots.
+        let doomed: Vec<FlowTableKey> = self
+            .hashes
+            .iter()
+            .zip(&self.slots)
+            .filter(|(&tag, slot)| tag != 0 && pred(&slot.key, slot.next))
+            .map(|(_, slot)| slot.key)
+            .collect();
+        for key in &doomed {
+            self.remove(key);
+        }
+        doomed.len()
+    }
+
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -523,6 +548,25 @@ mod tests {
         t.insert_hashed(k, h, a).unwrap();
         assert_eq!(t.get(&k), Some(a));
         assert_eq!(t.get_hashed(&k, h), Some(a));
+    }
+
+    #[test]
+    fn remove_where_evicts_only_matching_next_hops() {
+        let mut t = FlowTable::with_capacity(128);
+        let dead = Addr::Vnf(InstanceId::new(7));
+        let live = Addr::Vnf(InstanceId::new(8));
+        for p in 0..100u16 {
+            let next = if p % 3 == 0 { dead } else { live };
+            t.insert(ftk(p, FlowContext::FromWire), next).unwrap();
+        }
+        let evicted = t.remove_where(|_, next| next == dead);
+        assert_eq!(evicted, 34);
+        assert_eq!(t.len(), 66);
+        for p in 0..100u16 {
+            let want = if p % 3 == 0 { None } else { Some(live) };
+            assert_eq!(t.get(&ftk(p, FlowContext::FromWire)), want, "port {p}");
+        }
+        assert_eq!(t.remove_where(|_, next| next == dead), 0, "idempotent");
     }
 
     #[test]

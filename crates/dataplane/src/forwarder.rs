@@ -387,6 +387,34 @@ impl Forwarder {
         self.flow_table.clear();
     }
 
+    /// Handles the mid-flow crash of an attached VNF instance (DESIGN.md
+    /// §8): load-balancer failover that honors the affinity of surviving
+    /// flows. Two things happen, in order:
+    ///
+    /// 1. every installed rule set (all label pairs, all epochs) drops the
+    ///    instance from its `to_vnf` weighted choice, so no *new* pin can
+    ///    select it — unless it is a rule set's only target, in which case
+    ///    that rule set is left unchanged (its flows blackhole rather than
+    ///    silently rerouting somewhere the chain never specified);
+    /// 2. every flow-table entry pinned to the instance is evicted, so the
+    ///    flows it was serving re-run weighted selection over the survivors
+    ///    on their next packet and then stay pinned there.
+    ///
+    /// Entries pinned to *other* instances are untouched: surviving flows
+    /// keep their affinity through the failover, which is what the chaos
+    /// tests assert. Returns the number of flow-table entries evicted.
+    pub fn fail_vnf_instance(&mut self, instance: InstanceId) -> usize {
+        let dead = Addr::Vnf(instance);
+        for epochs in self.rules.values_mut() {
+            for (_, rules) in &mut epochs.sets {
+                if let Ok(pruned) = rules.to_vnf.without(dead) {
+                    rules.to_vnf = pruned;
+                }
+            }
+        }
+        self.flow_table.remove_where(|_, next| next == dead)
+    }
+
     /// Per-packet work rounds charged by every mode: parsing, copying and
     /// checksum work a real forwarder does regardless of features. The
     /// value is calibrated so the *relative* overheads of labels and
@@ -957,6 +985,78 @@ mod tests {
             },
         );
         f
+    }
+
+    #[test]
+    fn fail_vnf_instance_fails_over_without_moving_survivors() {
+        let mut f = affinity_forwarder();
+        // Pin enough flows that both instances get some.
+        let mut pinned: Vec<(u16, Addr)> = Vec::new();
+        for port in 0..200u16 {
+            let pkt = Packet::labeled(labels(), key(port), 64);
+            let (_, inst) = f.process(pkt, edge()).unwrap();
+            pinned.push((port, inst));
+        }
+        assert!(
+            pinned.iter().any(|&(_, a)| a == vnf(1))
+                && pinned.iter().any(|&(_, a)| a == vnf(2)),
+            "test needs flows on both instances"
+        );
+
+        let evicted = f.fail_vnf_instance(InstanceId::new(1));
+        let dead_flows = pinned.iter().filter(|&&(_, a)| a == vnf(1)).count();
+        assert!(evicted >= dead_flows, "{evicted} < {dead_flows}");
+
+        for &(port, before) in &pinned {
+            let pkt = Packet::labeled(labels(), key(port), 64);
+            let (_, now) = f.process(pkt, edge()).unwrap();
+            if before == vnf(2) {
+                // Surviving flows keep their pins: affinity honored.
+                assert_eq!(now, vnf(2), "survivor flow {port} moved");
+            } else {
+                // Failed-over flows land on the survivor and stay there.
+                assert_eq!(now, vnf(2), "flow {port} still on dead instance");
+            }
+            let (_, again) = f.process(pkt, edge()).unwrap();
+            assert_eq!(again, now, "post-failover affinity broken for {port}");
+        }
+
+        // Failing the only remaining instance keeps the rule set (flows
+        // blackhole rather than reroute off-chain), and evicts the pins.
+        let evicted = f.fail_vnf_instance(InstanceId::new(2));
+        assert!(evicted > 0);
+        let pkt = Packet::labeled(labels(), key(0), 64);
+        let (_, still) = f.process(pkt, edge()).unwrap();
+        assert_eq!(still, vnf(2), "sole-target rule set must be kept");
+    }
+
+    #[test]
+    fn fail_vnf_instance_prunes_every_epoch() {
+        let mut f = affinity_forwarder();
+        f.install_rules_epoch(
+            labels(),
+            RuleSet {
+                to_vnf: WeightedChoice::new(vec![(vnf(1), 1.0), (vnf(3), 1.0)]).unwrap(),
+                to_next: WeightedChoice::single(fwd_addr(8)),
+                to_prev: WeightedChoice::single(edge()),
+            },
+            7,
+        );
+        f.fail_vnf_instance(InstanceId::new(1));
+        // Epoch 7 (active) no longer selects vnf 1...
+        for port in 0..50u16 {
+            let pkt = Packet::labeled(labels(), key(port), 64);
+            let (_, inst) = f.process(pkt, edge()).unwrap();
+            assert_ne!(inst, vnf(1), "dead instance selected at active epoch");
+        }
+        // ...and neither does the old epoch once the new one is rolled back.
+        assert!(f.retire_epoch(labels(), 7));
+        f.clear_flow_state();
+        for port in 0..50u16 {
+            let pkt = Packet::labeled(labels(), key(port), 64);
+            let (_, inst) = f.process(pkt, edge()).unwrap();
+            assert_ne!(inst, vnf(1), "dead instance selected at old epoch");
+        }
     }
 
     #[test]

@@ -152,6 +152,32 @@ impl WeightedChoice {
         0.0
     }
 
+    /// Rebuilds the choice with `target` removed and the remaining weights
+    /// renormalized — the load-balancer half of VNF-instance failover
+    /// (DESIGN.md §8): after a crash the dead instance must win no further
+    /// selections, while the survivors keep their relative weights.
+    ///
+    /// Removing an absent target rebuilds the same distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `target` is the only
+    /// candidate (a choice must keep at least one target; the caller
+    /// decides whether a fully-dead pool blackholes or keeps the stale
+    /// rule).
+    pub fn without(&self, target: Addr) -> Result<Self> {
+        let mut prev = 0.0;
+        let mut weights = Vec::with_capacity(self.targets.len().saturating_sub(1));
+        for &(a, cum) in &self.targets {
+            let w = cum - prev;
+            prev = cum;
+            if a != target {
+                weights.push((a, w));
+            }
+        }
+        Self::new(weights)
+    }
+
     /// Number of candidates.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -344,6 +370,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn without_removes_target_and_keeps_relative_weights() {
+        let wc =
+            WeightedChoice::new(vec![(vnf(1), 2.0), (vnf(2), 3.0), (vnf(3), 5.0)]).unwrap();
+        let survivors = wc.without(vnf(2)).unwrap();
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(survivors.weight_of(vnf(2)), 0.0);
+        // 2:5 renormalized.
+        assert!((survivors.weight_of(vnf(1)) - 2.0 / 7.0).abs() < 1e-12);
+        assert!((survivors.weight_of(vnf(3)) - 5.0 / 7.0).abs() < 1e-12);
+        // The dead target never wins a selection.
+        for i in 0..10_000u64 {
+            let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            assert_ne!(survivors.select(h), vnf(2));
+        }
+        // Removing an absent target keeps the distribution.
+        let same = wc.without(vnf(9)).unwrap();
+        assert_eq!(same.weight_of(vnf(2)), wc.weight_of(vnf(2)));
+        // The last target cannot be removed.
+        assert!(WeightedChoice::single(vnf(1)).without(vnf(1)).is_err());
     }
 
     #[test]

@@ -37,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sb_netsim::SimTime;
 use sb_telemetry::{Counter, Telemetry};
-use sb_types::{Millis, SiteId};
+use sb_types::{InstanceId, Millis, SiteId};
 use serde::{Deserialize, Serialize};
 
 /// Probabilistic fault rates for one direction of a site pair.
@@ -135,6 +135,31 @@ impl ForwarderRestart {
     }
 }
 
+/// A scheduled VNF instance crash: at `at`, `instance` dies permanently.
+/// Forwarders that load-balance over it must fail remaining flows over to
+/// the surviving instances while leaving unaffected flows pinned where they
+/// are (Section 5.3's affinity guarantee under churn). Like
+/// [`ForwarderRestart`], crashes are scheduled events, not probabilistic
+/// ones: they consume no randomness and fire exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VnfCrash {
+    /// The VNF instance that dies.
+    pub instance: InstanceId,
+    /// When the crash takes effect, in simulated nanoseconds.
+    pub at_nanos: u64,
+}
+
+impl VnfCrash {
+    /// A crash of `instance` at `at`.
+    #[must_use]
+    pub fn new(instance: InstanceId, at: SimTime) -> Self {
+        Self {
+            instance,
+            at_nanos: at.as_nanos(),
+        }
+    }
+}
+
 /// Which control-plane RPC a timeout decision applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RpcPhase {
@@ -187,6 +212,16 @@ pub struct FaultSpec {
     /// none, so specs serialized before this field existed still load.
     #[serde(default)]
     pub restarts: Vec<ForwarderRestart>,
+    /// Per-packet loss probability on the label-switched data path. Drawn
+    /// from a dedicated RNG stream (see [`FaultPlan::packet_is_lost`]), so
+    /// data-plane volume never perturbs control-plane fates. Defaults to
+    /// zero for older serialized specs.
+    #[serde(default)]
+    pub packet_loss_probability: f64,
+    /// Scheduled VNF instance crashes. Defaults to none for older
+    /// serialized specs.
+    #[serde(default)]
+    pub vnf_crashes: Vec<VnfCrash>,
 }
 
 impl FaultSpec {
@@ -205,6 +240,8 @@ impl FaultSpec {
             prepare_timeout_probability: 0.0,
             commit_timeout_probability: 0.0,
             restarts: Vec::new(),
+            packet_loss_probability: 0.0,
+            vnf_crashes: Vec::new(),
         }
     }
 
@@ -264,6 +301,20 @@ impl FaultSpec {
         self.restarts.push(ForwarderRestart::new(site, at));
         self
     }
+
+    /// Sets the per-packet data-plane loss probability.
+    #[must_use]
+    pub fn with_packet_loss(mut self, p: f64) -> Self {
+        self.packet_loss_probability = p;
+        self
+    }
+
+    /// Schedules a permanent crash of VNF `instance` at `at`.
+    #[must_use]
+    pub fn with_vnf_crash(mut self, instance: InstanceId, at: SimTime) -> Self {
+        self.vnf_crashes.push(VnfCrash::new(instance, at));
+        self
+    }
 }
 
 /// What the plan decided for one message.
@@ -296,6 +347,10 @@ pub struct FaultStats {
     pub commit_timeouts: u64,
     /// Forwarder restarts fired (flow-table state wiped).
     pub forwarder_restarts: u64,
+    /// Data-plane packets lost on the label-switched path.
+    pub packets_lost: u64,
+    /// VNF instance crashes fired.
+    pub vnf_crashes: u64,
 }
 
 impl FaultStats {
@@ -309,6 +364,8 @@ impl FaultStats {
             + self.prepare_timeouts
             + self.commit_timeouts
             + self.forwarder_restarts
+            + self.packets_lost
+            + self.vnf_crashes
     }
 }
 
@@ -324,6 +381,8 @@ struct FaultTelemetry {
     prepare_timeouts: Counter,
     commit_timeouts: Counter,
     forwarder_restarts: Counter,
+    packets_lost: Counter,
+    vnf_crashes: Counter,
 }
 
 impl FaultTelemetry {
@@ -338,6 +397,8 @@ impl FaultTelemetry {
             prepare_timeouts: reg.counter("faults.prepare_timeouts"),
             commit_timeouts: reg.counter("faults.commit_timeouts"),
             forwarder_restarts: reg.counter("faults.forwarder_restarts"),
+            packets_lost: reg.counter("faults.packets_lost"),
+            vnf_crashes: reg.counter("faults.vnf_crashes"),
         }
     }
 }
@@ -348,24 +409,39 @@ impl FaultTelemetry {
 pub struct FaultPlan {
     spec: FaultSpec,
     rng: StdRng,
+    /// Dedicated stream for per-packet loss draws. Data-plane packet volume
+    /// is orders of magnitude above control-plane message volume, so giving
+    /// packets their own stream keeps control-plane fates byte-identical
+    /// whether or not the data path is exercised.
+    pkt_rng: StdRng,
     stats: FaultStats,
     telemetry: Option<FaultTelemetry>,
     /// Fired flags for `spec.restarts`, parallel by index.
     restarts_fired: Vec<bool>,
+    /// Fired flags for `spec.vnf_crashes`, parallel by index.
+    vnf_crashes_fired: Vec<bool>,
 }
+
+/// XOR'd into the seed for the packet-loss stream so it never replays the
+/// control-plane stream (splitmix64's golden-gamma constant).
+const PACKET_STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 impl FaultPlan {
     /// Instantiates `spec` with its embedded seed.
     #[must_use]
     pub fn new(spec: FaultSpec) -> Self {
         let rng = StdRng::seed_from_u64(spec.seed);
+        let pkt_rng = StdRng::seed_from_u64(spec.seed ^ PACKET_STREAM_SALT);
         let restarts_fired = vec![false; spec.restarts.len()];
+        let vnf_crashes_fired = vec![false; spec.vnf_crashes.len()];
         Self {
             spec,
             rng,
+            pkt_rng,
             stats: FaultStats::default(),
             telemetry: None,
             restarts_fired,
+            vnf_crashes_fired,
         }
     }
 
@@ -424,6 +500,51 @@ impl FaultPlan {
             }
         }
         due
+    }
+
+    /// Drains the VNF crashes due by simulated time `now`, in spec order:
+    /// each crash fires exactly once. Consumes no randomness (same contract
+    /// as [`Self::take_due_restarts`]). The caller is expected to fail the
+    /// instance over on every forwarder that load-balances across it.
+    pub fn take_due_vnf_crashes(&mut self, now: SimTime) -> Vec<InstanceId> {
+        let mut due = Vec::new();
+        for (i, c) in self.spec.vnf_crashes.iter().enumerate() {
+            if !self.vnf_crashes_fired[i] && c.at_nanos <= now.as_nanos() {
+                self.vnf_crashes_fired[i] = true;
+                due.push(c.instance);
+            }
+        }
+        self.stats.vnf_crashes += due.len() as u64;
+        if let Some(t) = &self.telemetry {
+            for inst in &due {
+                t.vnf_crashes.inc();
+                let inst_s = inst.to_string();
+                t.hub.tracer.event(
+                    "fault.vnf_crash",
+                    None,
+                    t.hub.clock.now_ns(),
+                    &[("instance", &inst_s)],
+                );
+            }
+        }
+        due
+    }
+
+    /// Decides whether one data-plane packet on a label-switched wide-area
+    /// hop is lost. Draws exactly one value from the dedicated packet
+    /// stream per call regardless of the configured probability, so the
+    /// stream position depends only on how many packets crossed the wide
+    /// area — never on the loss rate — and control-plane fates (which use
+    /// the main stream) are untouched entirely.
+    pub fn packet_is_lost(&mut self) -> bool {
+        let lost = self.pkt_rng.gen_bool(clamp(self.spec.packet_loss_probability));
+        if lost {
+            self.stats.packets_lost += 1;
+            if let Some(t) = &self.telemetry {
+                t.packets_lost.inc();
+            }
+        }
+        lost
     }
 
     /// Records that a message was suppressed because of a crash window.
@@ -722,6 +843,97 @@ mod tests {
         let back: FaultSpec = serde::Deserialize::from_value(&serde::Value::Object(entries))
             .unwrap();
         assert!(back.restarts.is_empty());
+    }
+
+    #[test]
+    fn packet_loss_uses_its_own_stream() {
+        // A plan that never consults packet loss and one that consults it
+        // heavily must produce identical control-plane fates.
+        let spec = FaultSpec::new(21)
+            .with_drop_probability(0.3)
+            .with_packet_loss(0.5);
+        let mut quiet = FaultPlan::new(spec.clone());
+        let mut busy = FaultPlan::new(spec);
+        for i in 0..64 {
+            for _ in 0..100 {
+                busy.packet_is_lost();
+            }
+            let at = SimTime::from_millis(f64::from(i));
+            assert_eq!(
+                quiet.message_fate(at, SiteId::new(0), SiteId::new(1)),
+                busy.message_fate(at, SiteId::new(0), SiteId::new(1)),
+            );
+        }
+        assert!(busy.stats().packets_lost > 0);
+        // And the packet stream itself replays from the seed alone.
+        let draw = |seed: u64| {
+            let mut p = FaultPlan::new(FaultSpec::new(seed).with_packet_loss(0.5));
+            (0..256).map(|_| p.packet_is_lost()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(21), draw(21));
+        assert_ne!(draw(21), draw(22));
+    }
+
+    #[test]
+    fn packet_loss_rates_are_honored_at_the_extremes() {
+        let mut never = FaultPlan::new(FaultSpec::new(5));
+        let mut always = FaultPlan::new(FaultSpec::new(5).with_packet_loss(1.0));
+        for _ in 0..100 {
+            assert!(!never.packet_is_lost());
+            assert!(always.packet_is_lost());
+        }
+        assert_eq!(never.stats().packets_lost, 0);
+        assert_eq!(always.stats().packets_lost, 100);
+    }
+
+    #[test]
+    fn due_vnf_crashes_fire_exactly_once_without_randomness() {
+        let spec = FaultSpec::new(13)
+            .with_drop_probability(0.5)
+            .with_vnf_crash(InstanceId::new(4), SimTime::from_millis(10.0))
+            .with_vnf_crash(InstanceId::new(5), SimTime::from_millis(30.0));
+        let mut plan = FaultPlan::new(spec);
+        assert!(plan.take_due_vnf_crashes(SimTime::from_millis(5.0)).is_empty());
+        assert_eq!(
+            plan.take_due_vnf_crashes(SimTime::from_millis(10.0)),
+            vec![InstanceId::new(4)]
+        );
+        assert!(plan.take_due_vnf_crashes(SimTime::from_millis(20.0)).is_empty());
+        assert_eq!(
+            plan.take_due_vnf_crashes(SimTime::from_millis(99.0)),
+            vec![InstanceId::new(5)]
+        );
+        assert_eq!(plan.stats().vnf_crashes, 2);
+        // Draining crashes left the fate stream where a fresh plan starts.
+        let mut twin = FaultPlan::new(FaultSpec::new(13).with_drop_probability(0.5));
+        for i in 0..32 {
+            let at = SimTime::from_millis(f64::from(i));
+            assert_eq!(
+                twin.message_fate(at, SiteId::new(0), SiteId::new(1)),
+                plan.message_fate(at, SiteId::new(0), SiteId::new(1)),
+            );
+        }
+    }
+
+    #[test]
+    fn dataplane_fault_fields_default_for_old_specs() {
+        let old = serde::Serialize::to_value(&FaultSpec::new(3));
+        let serde::Value::Object(mut entries) = old else {
+            panic!("spec must serialize to an object")
+        };
+        entries.retain(|(k, _)| k != "packet_loss_probability" && k != "vnf_crashes");
+        let back: FaultSpec =
+            serde::Deserialize::from_value(&serde::Value::Object(entries)).unwrap();
+        assert_eq!(back.packet_loss_probability, 0.0);
+        assert!(back.vnf_crashes.is_empty());
+        // And a populated spec round-trips.
+        let spec = FaultSpec::new(8)
+            .with_packet_loss(0.25)
+            .with_vnf_crash(InstanceId::new(7), SimTime::from_millis(15.0));
+        let v = serde::Serialize::to_value(&spec);
+        let back: FaultSpec = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back.packet_loss_probability, 0.25);
+        assert_eq!(back.vnf_crashes, spec.vnf_crashes);
     }
 
     #[test]

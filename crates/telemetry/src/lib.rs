@@ -25,7 +25,7 @@ pub mod json;
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use metrics::{labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use trace::{Clock, RecordKind, Sampler, SpanId, TraceRecord, TraceRecorder};
 
 /// One registry + one trace ring + one clock, shared by every component
