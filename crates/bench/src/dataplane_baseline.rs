@@ -452,7 +452,7 @@ pub fn to_json(baseline: &Baseline) -> String {
     indent_json(&compact)
 }
 
-fn indent_json(compact: &str) -> String {
+pub(crate) fn indent_json(compact: &str) -> String {
     let mut out = String::with_capacity(compact.len() * 2);
     let mut depth: usize = 0;
     let mut in_string = false;

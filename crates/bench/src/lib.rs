@@ -12,6 +12,7 @@
 //! See `DESIGN.md` §3 for the experiment ↔ module index and
 //! `EXPERIMENTS.md` for measured-vs-paper numbers.
 
+pub mod controlplane;
 pub mod dataplane_baseline;
 pub mod fig10_dynamic_routing;
 pub mod fig11_e2e_routing;

@@ -42,10 +42,12 @@ mod edge;
 mod global;
 mod local;
 mod messages;
+pub mod reconcile;
 mod vnfctl;
 
 pub use edge::{EdgeController, EdgeInstance};
 pub use global::{ChainHandle, ChainRequest, ControlPlane, ControlPlaneConfig, DeploymentReport};
+pub use reconcile::{DrainReport, FleetReconciler};
 pub use local::LocalSwitchboard;
 pub use messages::{ForwarderRecord, InstanceRecord, RouteAnnouncement};
 pub use sb_faults::{FaultPlan, FaultSpec, SharedFaultPlan};

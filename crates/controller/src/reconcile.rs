@@ -1,0 +1,430 @@
+//! The prioritized reconciliation queue: fleet-scale convergence after
+//! demand storms (DESIGN.md §12).
+//!
+//! The deployment saga of [`crate::ControlPlane`] re-routes one chain per
+//! update. At fleet scale the interesting regime is a *storm*: thousands
+//! of demand changes arriving faster than they can be solved. The
+//! [`FleetReconciler`] absorbs a storm without re-solving the fleet:
+//!
+//! - [`FleetReconciler::enqueue`] marks a chain dirty with a priority and
+//!   a demand target. Repeated updates to the same chain **coalesce**
+//!   (highest priority wins, latest demand target wins), so a chain that
+//!   flaps a hundred times between drains is solved once;
+//! - [`FleetReconciler::drain`] converges the queue: every dirty chain's
+//!   installed load is unwound from the shared
+//!   [`sb_te::dp::LoadTracker`], then the dirty chains are re-solved in
+//!   canonical order — ascending `(priority, chain id)` — against the
+//!   clean chains' standing load, through one shared
+//!   [`sb_te::dp::DpScratch`] and [`sb_te::SubproblemCache`]. The
+//!   canonical order makes the outcome a function of the coalesced queue
+//!   *contents*, independent of update arrival order (property-tested);
+//! - each re-solve is diffed against the installed paths with
+//!   [`sb_te::delta::RouteDelta`], so the report carries the update
+//!   pipeline's real WAN cost: one message per affected site, exactly as
+//!   [`crate::ControlPlane`] scopes its delta announcements.
+//!
+//! When every chain is dirty the drain degenerates to a cold batched
+//! re-solve (tracker reset instead of pairwise unwinding, which would
+//! leave float dust), making a full-fleet storm bit-identical to
+//! [`sb_te::route_chains_batched`].
+
+use sb_te::batch::{CacheStats, SubproblemCache};
+use sb_te::delta::RouteDelta;
+use sb_te::dp::{self, DpConfig, DpScratch, LoadTracker};
+use sb_te::{ChainRoutes, ChainSpec, NetworkModel, RoutePath, RoutingSolution};
+use sb_telemetry::{Counter, Histogram, Telemetry};
+use sb_types::ChainId;
+use std::collections::HashMap;
+
+/// One coalesced pending entry of the reconciliation queue.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    /// Lower is more urgent.
+    priority: u8,
+    /// Demand target as a scale of the chain's base (construction-time)
+    /// demand.
+    scale: f64,
+}
+
+/// What one [`FleetReconciler::drain`] did.
+#[derive(Debug, Clone, Default)]
+pub struct DrainReport {
+    /// Dirty chains re-solved in this drain.
+    pub resolved_chains: usize,
+    /// Updates absorbed by coalescing since the previous drain.
+    pub coalesced: u64,
+    /// Per-path route operations across all emitted deltas.
+    pub delta_ops: usize,
+    /// WAN messages the update pipeline would send: one per site affected
+    /// by each chain's delta (unchanged paths cost nothing).
+    pub wan_messages: usize,
+}
+
+/// Telemetry handles the reconciler publishes into (named exactly as the
+/// benchmark snapshot expects them).
+#[derive(Debug, Clone)]
+struct ReconcileTelemetry {
+    cache_hits: Counter,
+    cache_misses: Counter,
+    queue_coalesced: Counter,
+    route_compute: Histogram,
+}
+
+impl ReconcileTelemetry {
+    fn new(hub: &Telemetry) -> Self {
+        Self {
+            cache_hits: hub.registry.counter("te.cache_hits"),
+            cache_misses: hub.registry.counter("te.cache_misses"),
+            queue_coalesced: hub.registry.counter("te.queue_coalesced"),
+            route_compute: hub.registry.histogram("cp.route_compute"),
+        }
+    }
+}
+
+/// The fleet-scale incremental routing driver: chain specs, their
+/// installed routes, the live load tracker, the shared subproblem cache,
+/// and the prioritized dirty-chain queue.
+#[derive(Debug)]
+pub struct FleetReconciler {
+    model: NetworkModel,
+    config: DpConfig,
+    /// Chain specs as originally deployed — demand targets scale these.
+    base_specs: Vec<ChainSpec>,
+    /// Current per-chain specs (base demand × last applied scale).
+    specs: Vec<ChainSpec>,
+    /// Installed route paths per chain, kept in lockstep with `tracker`.
+    installed: Vec<Vec<RoutePath>>,
+    index: HashMap<ChainId, usize>,
+    tracker: LoadTracker,
+    cache: SubproblemCache,
+    scratch: DpScratch,
+    pending: HashMap<usize, Pending>,
+    coalesced_since_drain: u64,
+    tele: Option<ReconcileTelemetry>,
+}
+
+impl FleetReconciler {
+    /// Deploys every chain of `model` through the batched solver (shared
+    /// scratch + cache) and returns the reconciler holding the resulting
+    /// live state.
+    #[must_use]
+    pub fn new(model: NetworkModel, config: DpConfig) -> Self {
+        let base_specs: Vec<ChainSpec> = model.chains().to_vec();
+        let index = base_specs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.id, i))
+            .collect();
+        let mut tracker = LoadTracker::new(&model);
+        let mut cache = SubproblemCache::new();
+        let mut scratch = DpScratch::new();
+        let installed = base_specs
+            .iter()
+            .map(|spec| {
+                dp::route_chain_with(&model, &mut tracker, &config, spec, &mut scratch, Some(&mut cache))
+            })
+            .collect();
+        Self {
+            specs: base_specs.clone(),
+            base_specs,
+            installed,
+            index,
+            tracker,
+            cache,
+            scratch,
+            model,
+            config,
+            pending: HashMap::new(),
+            coalesced_since_drain: 0,
+            tele: None,
+        }
+    }
+
+    /// Publishes cache and queue counters plus the per-chain
+    /// `cp.route_compute` latency histogram into `hub`.
+    pub fn attach_telemetry(&mut self, hub: &Telemetry) {
+        let tele = ReconcileTelemetry::new(hub);
+        tele.cache_hits.set(self.cache.stats().hits);
+        tele.cache_misses.set(self.cache.stats().misses);
+        self.tele = Some(tele);
+    }
+
+    /// Number of chains under management.
+    #[must_use]
+    pub fn num_chains(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Dirty chains currently queued.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cumulative cache counters of the shared subproblem cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Marks `chain` dirty: its demand moves to `demand_scale` × the base
+    /// demand, to be re-solved at `priority` (lower = more urgent) on the
+    /// next [`FleetReconciler::drain`]. Repeated updates to the same
+    /// chain coalesce — the most urgent priority and the latest target
+    /// win. Returns `false` for chains the reconciler does not manage.
+    pub fn enqueue(&mut self, chain: ChainId, priority: u8, demand_scale: f64) -> bool {
+        let Some(&i) = self.index.get(&chain) else {
+            return false;
+        };
+        match self.pending.entry(i) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let p = e.get_mut();
+                p.priority = p.priority.min(priority);
+                p.scale = demand_scale;
+                self.coalesced_since_drain += 1;
+                if let Some(t) = &self.tele {
+                    t.queue_coalesced.inc();
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Pending {
+                    priority,
+                    scale: demand_scale,
+                });
+            }
+        }
+        true
+    }
+
+    /// Converges the queue: unwinds every dirty chain's installed load,
+    /// then re-solves the dirty chains in ascending `(priority, chain
+    /// id)` order against the standing load of the untouched chains.
+    /// Clean chains are never re-solved and never generate WAN traffic.
+    pub fn drain(&mut self) -> DrainReport {
+        let mut work: Vec<(u8, usize, f64)> = self
+            .pending
+            .drain()
+            .map(|(i, p)| (p.priority, i, p.scale))
+            .collect();
+        work.sort_unstable_by_key(|&(priority, i, _)| (priority, i));
+
+        let mut report = DrainReport {
+            coalesced: self.coalesced_since_drain,
+            ..DrainReport::default()
+        };
+        self.coalesced_since_drain = 0;
+
+        if work.len() == self.specs.len() {
+            // Full-fleet storm: a fresh tracker instead of pairwise
+            // unwinding, so the drain is exactly a cold batched re-solve
+            // (unwinding would leave float dust on every load).
+            self.tracker = LoadTracker::new(&self.model);
+            self.cache.clear();
+        } else {
+            for &(_, i, _) in &work {
+                for p in &self.installed[i] {
+                    let coefs = dp::path_coefficients(&self.model, &self.specs[i], &p.sites);
+                    self.tracker.apply(&coefs, -p.fraction);
+                    self.cache.note_apply(&self.tracker, &coefs);
+                }
+            }
+        }
+
+        for &(_, i, scale) in &work {
+            self.specs[i] = scaled_spec(&self.base_specs[i], scale);
+            let t0 = std::time::Instant::now();
+            let paths = dp::route_chain_with(
+                &self.model,
+                &mut self.tracker,
+                &self.config,
+                &self.specs[i],
+                &mut self.scratch,
+                Some(&mut self.cache),
+            );
+            if let Some(t) = &self.tele {
+                #[allow(clippy::cast_possible_truncation)]
+                t.route_compute.record(t0.elapsed().as_nanos() as u64);
+            }
+            let delta = RouteDelta::diff(&self.installed[i], &paths);
+            report.delta_ops += delta.num_ops();
+            report.wan_messages += delta.affected_sites().len();
+            self.installed[i] = paths;
+            report.resolved_chains += 1;
+        }
+
+        if let Some(t) = &self.tele {
+            let s = self.cache.stats();
+            t.cache_hits.set(s.hits);
+            t.cache_misses.set(s.misses);
+        }
+        report
+    }
+
+    /// The currently installed routing solution.
+    #[must_use]
+    pub fn solution(&self) -> RoutingSolution {
+        RoutingSolution {
+            chains: self
+                .specs
+                .iter()
+                .zip(&self.installed)
+                .map(|(spec, paths)| ChainRoutes::from_paths(&self.model, spec, paths))
+                .collect(),
+        }
+    }
+
+    /// The full sequential cold re-solve of the current specs — the
+    /// baseline the drain is benchmarked against (`bench-controlplane
+    /// --check-warm`).
+    #[must_use]
+    pub fn solve_cold(&self) -> RoutingSolution {
+        let mut tracker = LoadTracker::new(&self.model);
+        RoutingSolution {
+            chains: self
+                .specs
+                .iter()
+                .map(|spec| {
+                    let paths = dp::route_chain(&self.model, &mut tracker, &self.config, spec);
+                    ChainRoutes::from_paths(&self.model, spec, &paths)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// `base` with every per-stage forward/reverse demand scaled by `scale`.
+fn scaled_spec(base: &ChainSpec, scale: f64) -> ChainSpec {
+    let mut spec = base.clone();
+    for w in &mut spec.forward {
+        *w *= scale;
+    }
+    for v in &mut spec.reverse {
+        *v *= scale;
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchboard_test_model::*;
+
+    // Local line model mirroring sb-te's test fixture (that one is
+    // crate-private): 4 nodes, 2 middle sites, 2 VNFs, one chain.
+    mod switchboard_test_model {
+        use sb_te::{ChainSpec, NetworkModel};
+        use sb_topology::TopologyBuilder;
+        use sb_types::{ChainId, Millis, SiteId};
+        use std::collections::HashMap;
+
+        pub fn line_model(num_chains: usize) -> NetworkModel {
+            let mut tb = TopologyBuilder::new();
+            let n0 = tb.add_node("n0", (0.0, 0.0), 1.0);
+            let n1 = tb.add_node("n1", (0.0, 1.0), 1.0);
+            let n2 = tb.add_node("n2", (0.0, 2.0), 1.0);
+            let n3 = tb.add_node("n3", (0.0, 3.0), 1.0);
+            tb.add_duplex_link(n0, n1, 1000.0, Millis::new(5.0));
+            tb.add_duplex_link(n1, n2, 1000.0, Millis::new(10.0));
+            tb.add_duplex_link(n2, n3, 1000.0, Millis::new(5.0));
+            let mut b = NetworkModel::builder(tb.build());
+            let s1 = b.add_site(n1, 1000.0);
+            let s2 = b.add_site(n2, 1000.0);
+            let caps: HashMap<SiteId, f64> = [(s1, 300.0), (s2, 300.0)].into();
+            let vnf = b.add_vnf(caps, 1.0);
+            for i in 0..num_chains {
+                b.add_chain(ChainSpec::uniform(
+                    ChainId::new(i as u64),
+                    n0,
+                    n3,
+                    vec![vnf],
+                    10.0,
+                    2.0,
+                ));
+            }
+            b.build().expect("static construction is valid")
+        }
+    }
+
+    fn routed_total(sol: &RoutingSolution) -> f64 {
+        sol.chains.iter().map(|c| c.routed).sum()
+    }
+
+    #[test]
+    fn initial_solve_routes_every_chain() {
+        let r = FleetReconciler::new(line_model(4), DpConfig::default());
+        assert_eq!(r.num_chains(), 4);
+        assert!((routed_total(&r.solution()) - 4.0).abs() < 1e-6);
+        assert!(r.cache_stats().misses > 0);
+    }
+
+    #[test]
+    fn coalescing_keeps_one_entry_per_chain() {
+        let mut r = FleetReconciler::new(line_model(3), DpConfig::default());
+        assert!(r.enqueue(ChainId::new(1), 2, 1.5));
+        assert!(r.enqueue(ChainId::new(1), 0, 1.2)); // more urgent, newer target
+        assert!(r.enqueue(ChainId::new(1), 3, 1.4)); // less urgent, newest target
+        assert!(!r.enqueue(ChainId::new(99), 0, 1.0));
+        assert_eq!(r.pending_len(), 1);
+        let report = r.drain();
+        assert_eq!(report.resolved_chains, 1);
+        assert_eq!(report.coalesced, 2);
+        // The latest target won: chain 1 now runs at 1.4x demand.
+        assert!((r.specs[1].demand() / r.base_specs[1].demand() - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_converges_to_the_demand_targets() {
+        let mut r = FleetReconciler::new(line_model(3), DpConfig::default());
+        r.enqueue(ChainId::new(0), 1, 2.0);
+        r.enqueue(ChainId::new(2), 0, 0.5);
+        let report = r.drain();
+        assert_eq!(report.resolved_chains, 2);
+        assert!(report.wan_messages > 0 || report.delta_ops == 0);
+        let sol = r.solution();
+        assert!((routed_total(&sol) - 3.0).abs() < 1e-6, "all demand placed");
+        // Untouched chain 1 kept its routes: a second drain with an empty
+        // queue does nothing.
+        let empty = r.drain();
+        assert_eq!(empty.resolved_chains, 0);
+        assert_eq!(empty.wan_messages, 0);
+    }
+
+    #[test]
+    fn full_fleet_storm_equals_cold_resolve() {
+        let mut r = FleetReconciler::new(line_model(5), DpConfig::default());
+        for i in 0..5 {
+            r.enqueue(ChainId::new(i), 1, 1.7);
+        }
+        let report = r.drain();
+        assert_eq!(report.resolved_chains, 5);
+        let warm = r.solution();
+        let cold = r.solve_cold();
+        for (w, c) in warm.chains.iter().zip(&cold.chains) {
+            assert!((w.routed - c.routed).abs() < 1e-12);
+            assert_eq!(w.stages.len(), c.stages.len());
+            for (sw, sc) in w.stages.iter().zip(&c.stages) {
+                assert_eq!(sw.len(), sc.len());
+                for (fw, fc) in sw.iter().zip(sc) {
+                    assert_eq!(fw.from, fc.from);
+                    assert_eq!(fw.to, fc.to);
+                    assert!((fw.fraction - fc.fraction).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_counters_are_published() {
+        let hub = Telemetry::new();
+        let mut r = FleetReconciler::new(line_model(3), DpConfig::default());
+        r.attach_telemetry(&hub);
+        r.enqueue(ChainId::new(0), 0, 1.3);
+        r.enqueue(ChainId::new(0), 0, 1.3);
+        let _ = r.drain();
+        assert!(hub.registry.counter("te.cache_misses").get() > 0);
+        assert_eq!(hub.registry.counter("te.queue_coalesced").get(), 1);
+        let snap = hub.registry.snapshot();
+        let h = snap.histogram("cp.route_compute").expect("histogram exists");
+        assert_eq!(h.count, 1);
+    }
+}

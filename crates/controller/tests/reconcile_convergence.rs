@@ -1,0 +1,183 @@
+//! Property: the prioritized reconciliation queue converges to a
+//! solution that depends only on the coalesced queue *contents*, never on
+//! update arrival order — and a full-fleet storm converges to exactly the
+//! cold full re-solve of the post-storm specs.
+
+use proptest::prelude::*;
+use sb_controller::FleetReconciler;
+use sb_te::dp::DpConfig;
+use sb_te::{ChainSpec, NetworkModel, RoutingSolution};
+use sb_topology::TopologyBuilder;
+use sb_types::{ChainId, Millis, NodeId, SiteId, VnfId};
+use std::collections::HashMap;
+
+/// A random small model: 4-6 nodes in a ring with chords, sites at every
+/// node, 3 VNFs with random coverage, 2-5 chains.
+#[derive(Debug, Clone)]
+struct RandomModel {
+    nodes: usize,
+    chords: Vec<(usize, usize)>,
+    vnf_sites: Vec<Vec<usize>>,
+    chains: Vec<(usize, usize, Vec<usize>, f64)>,
+    capacity: f64,
+}
+
+fn arb_model() -> impl Strategy<Value = RandomModel> {
+    (4usize..7)
+        .prop_flat_map(|nodes| {
+            let chord = (0..nodes, 0..nodes).prop_filter("distinct", |(a, b)| a != b);
+            let vnf = prop::collection::btree_set(0..nodes, 1..=nodes.min(3))
+                .prop_map(|s| s.into_iter().collect::<Vec<_>>());
+            let chain = (
+                0..nodes,
+                0..nodes,
+                prop::collection::btree_set(0usize..3, 1..=2),
+                1.0..8.0f64,
+            )
+                .prop_map(|(i, e, vs, d)| (i, e, vs.into_iter().collect::<Vec<_>>(), d));
+            (
+                Just(nodes),
+                prop::collection::vec(chord, 0..3),
+                prop::collection::vec(vnf, 3),
+                prop::collection::vec(chain, 2..6),
+                50.0..200.0f64,
+            )
+        })
+        .prop_map(|(nodes, chords, vnf_sites, chains, capacity)| RandomModel {
+            nodes,
+            chords,
+            vnf_sites,
+            chains,
+            capacity,
+        })
+}
+
+fn build(rm: &RandomModel) -> NetworkModel {
+    let mut tb = TopologyBuilder::new();
+    let nodes: Vec<NodeId> = (0..rm.nodes)
+        .map(|i| tb.add_node(format!("n{i}"), (0.0, i as f64), 1.0))
+        .collect();
+    for i in 0..rm.nodes {
+        tb.add_duplex_link(
+            nodes[i],
+            nodes[(i + 1) % rm.nodes],
+            100.0,
+            Millis::new(1.0 + i as f64),
+        );
+    }
+    for &(a, b) in &rm.chords {
+        tb.add_duplex_link(nodes[a], nodes[b], 100.0, Millis::new(2.5));
+    }
+    let mut b = NetworkModel::builder(tb.build());
+    let sites: Vec<SiteId> = nodes.iter().map(|&n| b.add_site(n, rm.capacity)).collect();
+    for placement in &rm.vnf_sites {
+        let caps: HashMap<SiteId, f64> = placement
+            .iter()
+            .map(|&i| (sites[i], rm.capacity / 2.0))
+            .collect();
+        b.add_vnf(caps, 1.0);
+    }
+    for (ci, (ing, eg, vnfs, demand)) in rm.chains.iter().enumerate() {
+        b.add_chain(ChainSpec::uniform(
+            ChainId::new(ci as u64),
+            nodes[*ing],
+            nodes[*eg],
+            vnfs.iter().map(|&v| VnfId::new(v as u32)).collect(),
+            *demand,
+            demand * 0.2,
+        ));
+    }
+    b.build().expect("random model is structurally valid")
+}
+
+fn assert_solutions_equal(a: &RoutingSolution, b: &RoutingSolution) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.chains.len(), b.chains.len());
+    for (x, y) in a.chains.iter().zip(&b.chains) {
+        prop_assert!((x.routed - y.routed).abs() < 1e-12, "routed share diverged");
+        prop_assert_eq!(x.stages.len(), y.stages.len());
+        for (sa, sb) in x.stages.iter().zip(&y.stages) {
+            prop_assert_eq!(sa.len(), sb.len());
+            for (fa, fb) in sa.iter().zip(sb) {
+                prop_assert_eq!(fa.from, fb.from);
+                prop_assert_eq!(fa.to, fb.to);
+                prop_assert!((fa.fraction - fb.fraction).abs() < 1e-12);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An update storm: one coalesced `(priority, scale)` target per touched
+/// chain, delivered as a (possibly repeating) shuffled update stream.
+/// Repeats of a chain always carry its one target, so the coalesced
+/// queue contents are order-independent by construction — the property
+/// under test is that the *drain* is too.
+fn arb_storm(num_chains: usize) -> impl Strategy<Value = Vec<(usize, u8, f64)>> {
+    prop::collection::vec(prop::option::of((0u8..4, 0.5..2.0f64, 1usize..3)), num_chains)
+        .prop_map(|targets| {
+            targets
+                .into_iter()
+                .enumerate()
+                .filter_map(|(c, t)| t.map(|(p, s, reps)| (c, p, s, reps)))
+                .flat_map(|(c, p, s, reps)| (0..reps).map(move |_| (c, p, s)))
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same storm, two arrival orders: identical converged solutions.
+    #[test]
+    fn drain_is_order_independent(
+        (rm, stream) in arb_model().prop_flat_map(|rm| {
+            let n = rm.chains.len();
+            (Just(rm), arb_storm(n))
+        }),
+        seed in any::<u64>(),
+    ) {
+        let model = build(&rm);
+        let mut r1 = FleetReconciler::new(model.clone(), DpConfig::default());
+        let mut r2 = FleetReconciler::new(model, DpConfig::default());
+
+        // Order A: as drawn. Order B: deterministically permuted by seed.
+        let mut permuted = stream.clone();
+        let len = permuted.len();
+        for i in 0..len {
+            #[allow(clippy::cast_possible_truncation)]
+            let j = ((seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i as u64))
+                % len as u64) as usize;
+            permuted.swap(i, j);
+        }
+        for &(c, p, s) in &stream {
+            prop_assert!(r1.enqueue(ChainId::new(c as u64), p, s));
+        }
+        for &(c, p, s) in &permuted {
+            prop_assert!(r2.enqueue(ChainId::new(c as u64), p, s));
+        }
+        let rep1 = r1.drain();
+        let rep2 = r2.drain();
+        prop_assert_eq!(rep1.resolved_chains, rep2.resolved_chains);
+        assert_solutions_equal(&r1.solution(), &r2.solution())?;
+    }
+
+    /// A storm dirtying every chain (uniform priority) converges to
+    /// exactly the cold full re-solve of the post-storm specs.
+    #[test]
+    fn full_fleet_storm_equals_cold_resolve(
+        (rm, scales) in arb_model().prop_flat_map(|rm| {
+            let n = rm.chains.len();
+            (Just(rm), prop::collection::vec(0.5..2.0f64, n))
+        }),
+        priority in 0u8..4,
+    ) {
+        let model = build(&rm);
+        let mut r = FleetReconciler::new(model, DpConfig::default());
+        for (c, &s) in scales.iter().enumerate() {
+            prop_assert!(r.enqueue(ChainId::new(c as u64), priority, s));
+        }
+        let report = r.drain();
+        prop_assert_eq!(report.resolved_chains, scales.len());
+        assert_solutions_equal(&r.solution(), &r.solve_cold())?;
+    }
+}

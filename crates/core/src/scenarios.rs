@@ -237,6 +237,187 @@ pub fn tier1(config: &Tier1Config) -> NetworkModel {
     b.build().expect("generated model is structurally valid")
 }
 
+/// Parameters of the fleet-scale control-plane scenario: a synthetic
+/// wide-area backbone far beyond the fixed 25-city tier-1 topology, sized
+/// for the many-tenant regime (`bench-controlplane` runs it at 1k–10k
+/// chains over 100+ sites).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of backbone nodes; every node hosts a cloud site.
+    pub num_sites: usize,
+    /// Extra random chords on top of the connectivity ring.
+    pub chords: usize,
+    /// Number of VNF services in the catalog.
+    pub num_vnfs: usize,
+    /// Fraction of sites hosting each VNF.
+    pub coverage: f64,
+    /// Number of chains.
+    pub num_chains: usize,
+    /// VNFs per chain are drawn from this range.
+    pub chain_len: std::ops::RangeInclusive<usize>,
+    /// Total Switchboard traffic volume across all chains.
+    pub total_traffic: Rate,
+    /// Reverse traffic as a fraction of forward traffic.
+    pub reverse_ratio: f64,
+    /// Aggregate compute capacity as a multiple of the fleet's expected
+    /// compute load (4.0 leaves enough headroom that chains route fully
+    /// even when random placement crowds a pool, while utilization still
+    /// shapes the Fortz-Thorup cost).
+    pub capacity_headroom: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            num_sites: 120,
+            chords: 180,
+            num_vnfs: 12,
+            coverage: 0.25,
+            num_chains: 1000,
+            chain_len: 2..=4,
+            total_traffic: 1000.0,
+            reverse_ratio: 0.25,
+            capacity_headroom: 4.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Builds the fleet-scale model: `num_sites` nodes on a geographic circle
+/// joined by a ring plus random chords (so shortest paths span several
+/// WAN hops), one site per node, VNFs placed at `coverage` of the sites
+/// with site capacity divided among co-located VNFs, and `num_chains`
+/// random chains with randomized demand shares summing to
+/// `total_traffic`. Capacities are auto-sized from the expected compute
+/// load via `capacity_headroom`, so the default configuration routes
+/// (nearly) all demand at interesting utilization.
+///
+/// # Panics
+///
+/// Panics if `num_sites < 3`, `coverage` is not in `(0, 1]`, or
+/// `chain_len` is empty.
+#[must_use]
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+pub fn fleet(config: &FleetConfig) -> NetworkModel {
+    assert!(config.num_sites >= 3, "need at least 3 sites");
+    assert!(
+        config.coverage > 0.0 && config.coverage <= 1.0,
+        "coverage must be in (0, 1]"
+    );
+    assert!(!config.chain_len.is_empty(), "chain_len must be non-empty");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.num_sites;
+
+    // Nodes on a circle; link latency follows chord length so the ring
+    // neighbours are ~1 ms apart and antipodal chords cost tens of ms.
+    let mut tb = TopologyBuilder::new();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let theta = std::f64::consts::TAU * i as f64 / n as f64;
+            (30.0 * theta.sin(), -100.0 + 30.0 * theta.cos())
+        })
+        .collect();
+    let nodes: Vec<_> = positions
+        .iter()
+        .enumerate()
+        .map(|(i, &pos)| tb.add_node(format!("s{i}"), pos, 1.0))
+        .collect();
+    let latency = |a: usize, b: usize| {
+        let (ax, ay) = positions[a];
+        let (bx, by) = positions[b];
+        let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        Millis::new(0.5 + 0.4 * d)
+    };
+    // Bandwidth generous enough that link capacity never blocks routing:
+    // the compute dimension is what the control plane contends over.
+    let bw = config.total_traffic * (1.0 + config.reverse_ratio) * 4.0;
+    for i in 0..n {
+        tb.add_duplex_link(nodes[i], nodes[(i + 1) % n], bw, latency(i, (i + 1) % n));
+    }
+    let mut chord_set: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    while chord_set.len() < config.chords {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b || (a + 1) % n == b || (b + 1) % n == a {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if chord_set.insert(key) {
+            tb.add_duplex_link(nodes[a], nodes[b], bw, latency(a, b));
+        }
+    }
+
+    // Expected compute load: every unit of chain traffic crosses every
+    // VNF of its chain forward and reverse.
+    let mean_len = (config.chain_len.start() + config.chain_len.end()) as f64 / 2.0;
+    let expected_load =
+        config.total_traffic * (1.0 + config.reverse_ratio) * mean_len;
+    let site_capacity = config.capacity_headroom * expected_load / n as f64;
+
+    let mut b = NetworkModel::builder(tb.build());
+    let sites: Vec<SiteId> = nodes.iter().map(|&nd| b.add_site(nd, site_capacity)).collect();
+
+    // VNF placement mirrors `tier1`: coverage fraction of sites each,
+    // site capacity divided among co-located VNFs.
+    let sites_per_vnf = ((config.coverage * n as f64).ceil() as usize).clamp(1, n);
+    let mut placements: Vec<Vec<SiteId>> = Vec::with_capacity(config.num_vnfs);
+    let mut site_count: HashMap<SiteId, usize> = HashMap::new();
+    for _ in 0..config.num_vnfs {
+        let mut pool = sites.clone();
+        pool.shuffle(&mut rng);
+        let chosen: Vec<SiteId> = pool.into_iter().take(sites_per_vnf).collect();
+        for &s in &chosen {
+            *site_count.entry(s).or_insert(0) += 1;
+        }
+        placements.push(chosen);
+    }
+    for placement in &placements {
+        let caps: HashMap<SiteId, f64> = placement
+            .iter()
+            .map(|&s| (s, site_capacity / site_count[&s] as f64))
+            .collect();
+        b.add_vnf(caps, 1.0);
+    }
+
+    // Chains: random endpoints, random ascending VNF subsequence, demand
+    // shares drawn uniformly and normalized to the configured volume.
+    let mut raw: Vec<(usize, usize, Vec<usize>, f64)> = Vec::with_capacity(config.num_chains);
+    let mut weight_sum = 0.0;
+    for _ in 0..config.num_chains {
+        let src = rng.gen_range(0..n);
+        let mut dst = rng.gen_range(0..n);
+        while dst == src {
+            dst = rng.gen_range(0..n);
+        }
+        let len = rng.gen_range(config.chain_len.clone()).min(config.num_vnfs);
+        let mut vnf_ids: Vec<usize> = (0..config.num_vnfs).collect();
+        vnf_ids.shuffle(&mut rng);
+        let mut chosen: Vec<usize> = vnf_ids.into_iter().take(len).collect();
+        chosen.sort_unstable();
+        let w = rng.gen_range(0.5..1.5);
+        weight_sum += w;
+        raw.push((src, dst, chosen, w));
+    }
+    for (i, (src, dst, vnfs, w)) in raw.into_iter().enumerate() {
+        let demand = config.total_traffic * w / weight_sum;
+        b.add_chain(ChainSpec::uniform(
+            ChainId::new(i as u64),
+            nodes[src],
+            nodes[dst],
+            vnfs
+                .into_iter()
+                .map(|v| sb_types::VnfId::new(u32::try_from(v).expect("vnf count fits u32")))
+                .collect(),
+            demand,
+            demand * config.reverse_ratio,
+        ));
+    }
+
+    b.build().expect("generated model is structurally valid")
+}
+
 /// A diurnal sequence of tier-1 models (the paper's Section 7.3 future
 /// work: "extend our network model to include time-varying traffic
 /// matrices").
@@ -376,6 +557,68 @@ mod tests {
         for (ca, cb) in a.chains().iter().zip(b.chains()) {
             assert_eq!(ca, cb);
         }
+    }
+
+    #[test]
+    fn fleet_generates_requested_shape() {
+        let cfg = FleetConfig {
+            num_sites: 40,
+            chords: 30,
+            num_chains: 60,
+            ..FleetConfig::default()
+        };
+        let model = fleet(&cfg);
+        assert_eq!(model.num_sites(), 40);
+        assert_eq!(model.chains().len(), 60);
+        assert_eq!(model.vnfs().len(), cfg.num_vnfs);
+        let sites_per_vnf = (cfg.coverage * 40.0).ceil() as usize;
+        for v in model.vnfs() {
+            assert_eq!(v.sites().len(), sites_per_vnf);
+        }
+        for c in model.chains() {
+            assert!(cfg.chain_len.contains(&c.vnfs.len()));
+            assert!(c.vnfs.windows(2).all(|w| w[0] < w[1]));
+            assert!(c.demand() > 0.0);
+        }
+        let total: f64 = model.chains().iter().map(ChainSpec::demand).sum();
+        assert!((total - cfg.total_traffic * (1.0 + cfg.reverse_ratio)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fleet_routes_nearly_all_demand() {
+        // The auto-sized capacities must leave SB-DP room to place the
+        // fleet: the scenario is a control-plane benchmark, not a
+        // saturation study.
+        let cfg = FleetConfig {
+            num_sites: 60,
+            chords: 60,
+            num_chains: 150,
+            ..FleetConfig::default()
+        };
+        let model = fleet(&cfg);
+        let sol = sb_te::dp::route_chains(&model, &sb_te::dp::DpConfig::default());
+        let routed: f64 = sol.chains.iter().map(|c| c.routed).sum();
+        assert!(
+            routed > 0.95 * 150.0,
+            "only {routed} of 150 chains' demand routed"
+        );
+    }
+
+    #[test]
+    fn fleet_is_deterministic_per_seed() {
+        let cfg = FleetConfig {
+            num_sites: 30,
+            chords: 20,
+            num_chains: 25,
+            ..FleetConfig::default()
+        };
+        let a = fleet(&cfg);
+        let b = fleet(&cfg);
+        assert_eq!(a.chains().len(), b.chains().len());
+        for (ca, cb) in a.chains().iter().zip(b.chains()) {
+            assert_eq!(ca, cb);
+        }
+        assert_eq!(a.topology().num_links(), b.topology().num_links());
     }
 
     #[test]

@@ -1,0 +1,608 @@
+//! Batched SB-DP with a cross-chain subproblem cache.
+//!
+//! At fleet scale (thousands of chains over 100+ sites) the sequential
+//! solver's cost is dominated by re-evaluating the DP edge cost
+//! `cost(s, z, s')` for (site, VNF, site) triples that many tenants
+//! share: chains with overlapping site sequences relax the same edges
+//! against a load state that barely moved in between. This module
+//! memoizes those relaxations:
+//!
+//! - [`SubproblemCache`] caches [`crate::dp`]'s edge cost keyed by the
+//!   site-sequence segment it closes, split along its two independent
+//!   load dependencies: a *transit* term (propagation latency + network
+//!   utilization cost, keyed by the `(from node, to node)` pair and
+//!   depending only on the links routing it) and a *VNF* term (the
+//!   compute utilization cost, keyed by `(next VNF, destination site)`
+//!   and depending only on that pool's load). Both tables are dense
+//!   arrays, so a hit is an index + NaN check — far cheaper than the
+//!   `HashMap` walk a fresh evaluation pays — and the coarse transit key
+//!   is shared across every VNF and chain crossing the same node pair;
+//! - every transit cell is indexed by the links it reads, and
+//!   [`SubproblemCache::note_apply`] invalidates the touched cells
+//!   whenever [`crate::dp::LoadTracker::apply`] dirties a link or pool —
+//!   so a hit always returns the value a fresh evaluation would compute,
+//!   and the batched solver is *result-identical* to the sequential one
+//!   (property-tested under arbitrary eviction schedules);
+//! - an optional load quantum trades exactness for hit rate: with a
+//!   nonzero quantum, entries survive an apply as long as every touched
+//!   load stays inside its quantized bucket (the "(segment, quantized
+//!   tracker load)" keying of DESIGN.md §12). The default quantum of
+//!   zero keeps the cache exact.
+//!
+//! [`route_chains_batched`] is the fleet entry point: one shared
+//! [`crate::dp::DpScratch`] (O(1) allocations per chain) plus one shared
+//! cache across all chains of a model.
+
+use crate::dp::{self, DpConfig, DpScratch, LoadTracker, PathCoefs};
+use crate::model::{NetworkModel, Place};
+use crate::route::{ChainRoutes, RoutingSolution};
+use sb_netsim::queueing::fortz_thorup_cost;
+use sb_types::{LinkId, SiteId, VnfId};
+
+/// Bucket sentinel for "no entry was cached against this load yet".
+const UNKNOWN_BUCKET: i64 = i64::MIN;
+
+/// Hit/miss/invalidation counters of a [`SubproblemCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh edge-cost evaluation.
+    pub misses: u64,
+    /// Entries dropped because a load they depend on changed.
+    pub invalidations: u64,
+    /// Entries dropped to stay within the configured capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoized DP edge costs shared across chains, with exact invalidation.
+///
+/// Coherence contract: between [`SubproblemCache::clear`] (or
+/// construction) and now, every mutation of the tracker the cached costs
+/// were computed against must have been reported via
+/// [`SubproblemCache::note_apply`]. [`route_chains_batched`] and the
+/// controller's reconciler maintain this automatically; clear the cache
+/// when switching to a different tracker or model.
+#[derive(Debug, Clone)]
+pub struct SubproblemCache {
+    /// Node count the dense tables were sized for (0 = unsized).
+    n_nodes: usize,
+    /// Site count the VNF table was sized for.
+    num_sites: usize,
+    /// VNF count the VNF table was sized for.
+    num_vnfs: usize,
+    /// Transit cost cells, `NaN` = empty: `transit[a * n + b]` holds
+    /// `latency(a, b) + util_weight * net_cost(a, b)` against the loads
+    /// last reported (infinite when `b` is unreachable from `a`).
+    transit: Vec<f64>,
+    /// Fortz-Thorup compute cost cells, `NaN` = empty:
+    /// `vnf_ft[vnf * num_sites + site]` (infinite when not deployed).
+    vnf_ft: Vec<f64>,
+    /// Which live transit cells read each link's load (cell indexes;
+    /// drained on invalidation, duplicates after a refill are harmless).
+    by_link: Vec<Vec<u32>>,
+    /// Flat snapshot of the routing table: the `(link, fraction)` pairs
+    /// of every node pair, concatenated, in the exact iteration order
+    /// [`crate::dp`]'s cost function sees them — so a refill's
+    /// floating-point sum is bit-identical to a fresh evaluation.
+    path_links: Vec<(u32, f64)>,
+    /// Per transit cell, the `[start, end)` range into `path_links`.
+    path_span: Vec<(u32, u32)>,
+    /// Per link, its background traffic `g_e` (static model state).
+    link_bg: Vec<f64>,
+    /// Per link, its bandwidth (static model state).
+    link_bw: Vec<f64>,
+    /// Quantized-load bucket the live transit cells of each link were
+    /// cached in (only consulted when `quantum > 0`).
+    link_bucket: Vec<i64>,
+    /// Same, per (VNF, site) pool cell.
+    vnf_bucket: Vec<i64>,
+    /// Live (non-NaN) cells across both tables.
+    filled: usize,
+    capacity: usize,
+    quantum: f64,
+    stats: CacheStats,
+}
+
+impl Default for SubproblemCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The quantized bucket a load value falls into (`quantum <= 0` pins
+/// everything to one bucket; callers then invalidate unconditionally).
+fn bucket(quantum: f64, load: f64) -> i64 {
+    if quantum <= 0.0 {
+        return 0;
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        (load / quantum).floor() as i64
+    }
+}
+
+impl SubproblemCache {
+    /// An unbounded, exact cache (quantum 0): hits are always identical
+    /// to a fresh evaluation.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(usize::MAX)
+    }
+
+    /// An exact cache holding at most `capacity` live cells; every cell
+    /// is flushed when an insert would overflow. Evictions only cost
+    /// extra misses, never correctness.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            n_nodes: 0,
+            num_sites: 0,
+            num_vnfs: 0,
+            transit: Vec::new(),
+            vnf_ft: Vec::new(),
+            by_link: Vec::new(),
+            path_links: Vec::new(),
+            path_span: Vec::new(),
+            link_bg: Vec::new(),
+            link_bw: Vec::new(),
+            link_bucket: Vec::new(),
+            vnf_bucket: Vec::new(),
+            filled: 0,
+            capacity,
+            quantum: 0.0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Sets the load quantum. Zero (the default) invalidates on every
+    /// touched load — exact. A positive quantum keeps entries alive while
+    /// every dependency load stays inside its bucket of `quantum` load
+    /// units — higher hit rate, approximate costs within one bucket.
+    pub fn set_quantum(&mut self, quantum: f64) {
+        self.quantum = quantum.max(0.0);
+    }
+
+    /// Live memoized cells across both tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// Whether the cache currently holds no live cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// Counter snapshot (cumulative across [`SubproblemCache::clear`]).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every live cell and dependency index, keeping the counters
+    /// and table sizing. Required when the tracker the cache shadows is
+    /// replaced or mutated outside [`SubproblemCache::note_apply`]'s
+    /// knowledge.
+    pub fn clear(&mut self) {
+        self.transit.fill(f64::NAN);
+        self.vnf_ft.fill(f64::NAN);
+        for cells in &mut self.by_link {
+            cells.clear();
+        }
+        self.link_bucket.fill(UNKNOWN_BUCKET);
+        self.vnf_bucket.fill(UNKNOWN_BUCKET);
+        self.filled = 0;
+    }
+
+    /// (Re)allocates the dense tables when the model's dimensions differ
+    /// from what the cache was last sized for.
+    fn ensure_model(&mut self, model: &NetworkModel) {
+        let n = model.topology().num_nodes();
+        let l = model.topology().num_links();
+        let s = model.num_sites();
+        let v = model.vnfs().len();
+        if self.n_nodes == n && self.num_sites == s && self.num_vnfs == v && self.by_link.len() == l
+        {
+            return;
+        }
+        self.n_nodes = n;
+        self.num_sites = s;
+        self.num_vnfs = v;
+        self.transit = vec![f64::NAN; n * n];
+        self.vnf_ft = vec![f64::NAN; v * s];
+        self.by_link = vec![Vec::new(); l];
+        self.link_bucket = vec![UNKNOWN_BUCKET; l];
+        self.vnf_bucket = vec![UNKNOWN_BUCKET; v * s];
+        self.filled = 0;
+        self.path_links.clear();
+        self.path_span.clear();
+        self.path_span.reserve(n * n);
+        for a in 0..n {
+            for b in 0..n {
+                let start = u32::try_from(self.path_links.len()).expect("snapshot fits u32");
+                if a != b {
+                    let from = sb_types::NodeId::new(u32::try_from(a).expect("node id fits u32"));
+                    let to = sb_types::NodeId::new(u32::try_from(b).expect("node id fits u32"));
+                    for (&link, &r) in model.routing().fractions_between(from, to) {
+                        let li = u32::try_from(link.index()).expect("link id fits u32");
+                        self.path_links.push((li, r));
+                    }
+                }
+                let end = u32::try_from(self.path_links.len()).expect("snapshot fits u32");
+                self.path_span.push((start, end));
+            }
+        }
+        self.link_bg = (0..l)
+            .map(|i| model.background(LinkId::new(u32::try_from(i).expect("link id fits u32"))))
+            .collect();
+        self.link_bw = model
+            .topology()
+            .links()
+            .iter()
+            .map(sb_topology::Link::bandwidth)
+            .collect();
+    }
+
+    /// The memoized DP edge cost: identical to [`crate::dp`]'s cost
+    /// function, served from the dense transit and VNF tables when their
+    /// cells are live and recomputed (and cached) otherwise.
+    #[must_use]
+    pub fn edge_cost(
+        &mut self,
+        model: &NetworkModel,
+        tracker: &LoadTracker,
+        config: &DpConfig,
+        from: Place,
+        to: Place,
+        next_vnf: Option<VnfId>,
+    ) -> f64 {
+        self.ensure_model(model);
+        let ti = from.node.index() * self.n_nodes + to.node.index();
+        let mut hit = true;
+        let mut transit = self.transit[ti];
+        if transit.is_nan() {
+            hit = false;
+            transit = self.fill_transit(model, tracker, config, ti, from, to);
+        }
+        let mut cost = transit;
+        if transit.is_finite() && config.util_weight > 0.0 {
+            if let (Some(vnf), Some(site)) = (next_vnf, to.site) {
+                let vi = vnf.index() * self.num_sites + site.index();
+                let mut ft = self.vnf_ft[vi];
+                if ft.is_nan() {
+                    hit = false;
+                    ft = self.fill_vnf(model, tracker, vi, vnf, site);
+                }
+                cost = if ft.is_infinite() {
+                    f64::INFINITY
+                } else {
+                    cost + config.util_weight * ft
+                };
+            }
+        }
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        cost
+    }
+
+    /// Computes and (capacity permitting) caches the transit cell `ti`:
+    /// the latency plus weighted network utilization cost `from → to`,
+    /// registering the links it read in the invalidation index.
+    fn fill_transit(
+        &mut self,
+        model: &NetworkModel,
+        tracker: &LoadTracker,
+        config: &DpConfig,
+        ti: usize,
+        from: Place,
+        to: Place,
+    ) -> f64 {
+        let latency = model.latency(from.node, to.node).value();
+        if !latency.is_finite() {
+            return self.store_transit(ti, f64::INFINITY);
+        }
+        let mut cost = latency;
+        if config.util_weight > 0.0 && from.node != to.node {
+            let (start, end) = self.path_span[ti];
+            let span = &self.path_links[start as usize..end as usize];
+            let mut net = 0.0;
+            for &(li, r) in span {
+                let li = li as usize;
+                let u = (tracker.link_load[li] + self.link_bg[li]) / self.link_bw[li];
+                net += r * fortz_thorup_cost(u);
+            }
+            cost += config.util_weight * net;
+            let stored = self.admit();
+            if stored {
+                self.transit[ti] = cost;
+                self.filled += 1;
+                // Register the link dependencies of the stored cell.
+                let cell = u32::try_from(ti).expect("transit table fits u32");
+                let (start, end) = self.path_span[ti];
+                for i in start as usize..end as usize {
+                    let li = self.path_links[i].0 as usize;
+                    self.by_link[li].push(cell);
+                    if self.quantum > 0.0 && self.link_bucket[li] == UNKNOWN_BUCKET {
+                        self.link_bucket[li] = bucket(self.quantum, tracker.link_load[li]);
+                    }
+                }
+            }
+            return cost;
+        }
+        // Latency-only transit (same node, or util_weight 0): no load
+        // dependencies to register.
+        self.store_transit(ti, cost)
+    }
+
+    /// Writes `value` into transit cell `ti` if capacity allows,
+    /// returning `value` either way.
+    fn store_transit(&mut self, ti: usize, value: f64) -> f64 {
+        if self.admit() {
+            self.transit[ti] = value;
+            self.filled += 1;
+        }
+        value
+    }
+
+    /// Computes and (capacity permitting) caches the Fortz-Thorup compute
+    /// cost cell `vi` of `vnf` at `site`.
+    fn fill_vnf(
+        &mut self,
+        model: &NetworkModel,
+        tracker: &LoadTracker,
+        vi: usize,
+        vnf: VnfId,
+        site: SiteId,
+    ) -> f64 {
+        let u = tracker.vnf_utilization(model, vnf, site);
+        let ft = if u.is_infinite() {
+            f64::INFINITY
+        } else {
+            fortz_thorup_cost(u)
+        };
+        if self.admit() {
+            self.vnf_ft[vi] = ft;
+            self.filled += 1;
+            if self.quantum > 0.0 && self.vnf_bucket[vi] == UNKNOWN_BUCKET {
+                let load = tracker.vnf_site_load.get(&(vnf, site)).copied().unwrap_or(0.0);
+                self.vnf_bucket[vi] = bucket(self.quantum, load);
+            }
+        }
+        ft
+    }
+
+    /// Whether one more cell may be stored, flushing everything first
+    /// when the capacity is reached (arbitrary-eviction schedule; only
+    /// costs misses, never correctness).
+    fn admit(&mut self) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.filled >= self.capacity {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                self.stats.evictions += self.filled as u64;
+            }
+            self.clear();
+        }
+        true
+    }
+
+    /// Reports that `tracker` just absorbed (or released) load along
+    /// `coefs` — the hook paired with every [`LoadTracker::apply`] in the
+    /// batched/reconciled paths. Cells depending on a touched link or
+    /// (VNF, site) pool are invalidated; with a positive quantum they
+    /// survive while the load stays inside its bucket.
+    pub fn note_apply(&mut self, tracker: &LoadTracker, coefs: &PathCoefs) {
+        if self.n_nodes == 0 {
+            return;
+        }
+        for &link in coefs.links.keys() {
+            self.touch_link(link, tracker.link_load[link.index()]);
+        }
+        for &(vnf, site) in coefs.vnf_sites.keys() {
+            let load = tracker.vnf_site_load.get(&(vnf, site)).copied().unwrap_or(0.0);
+            self.touch_vnf_site(vnf, site, load);
+        }
+    }
+
+    fn touch_link(&mut self, link: LinkId, load: f64) {
+        let li = link.index();
+        let b = bucket(self.quantum, load);
+        if self.quantum > 0.0 && self.link_bucket[li] == b {
+            return;
+        }
+        self.link_bucket[li] = b;
+        for cell in self.by_link[li].drain(..) {
+            let slot = &mut self.transit[cell as usize];
+            if !slot.is_nan() {
+                *slot = f64::NAN;
+                self.filled -= 1;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    fn touch_vnf_site(&mut self, vnf: VnfId, site: SiteId, load: f64) {
+        let vi = vnf.index() * self.num_sites + site.index();
+        if vi >= self.vnf_ft.len() {
+            return;
+        }
+        let b = bucket(self.quantum, load);
+        if self.quantum > 0.0 && self.vnf_bucket[vi] == b {
+            return;
+        }
+        self.vnf_bucket[vi] = b;
+        if !self.vnf_ft[vi].is_nan() {
+            self.vnf_ft[vi] = f64::NAN;
+            self.filled -= 1;
+            self.stats.invalidations += 1;
+        }
+    }
+}
+
+/// Routes all chains sequentially like [`dp::route_chains`], but through
+/// one shared [`DpScratch`] and `cache` — the fleet-scale fast path. The
+/// cache is cleared on entry (its entries may shadow a different load
+/// state) and left coherent with the final load state on return. With the
+/// default exact quantum the result is identical to
+/// [`dp::route_chains`].
+#[must_use]
+pub fn route_chains_batched(
+    model: &NetworkModel,
+    config: &DpConfig,
+    cache: &mut SubproblemCache,
+) -> RoutingSolution {
+    let mut tracker = LoadTracker::new(model);
+    let mut scratch = DpScratch::new();
+    route_chains_batched_into(model, config, cache, &mut tracker, &mut scratch)
+}
+
+/// [`route_chains_batched`] with caller-owned tracker and scratch, for
+/// callers (the controller's reconciler) that keep the tracker and cache
+/// alive across solves. `tracker` may carry pre-existing load; the cache
+/// is cleared on entry and is coherent with `tracker` on return.
+#[must_use]
+pub fn route_chains_batched_into(
+    model: &NetworkModel,
+    config: &DpConfig,
+    cache: &mut SubproblemCache,
+    tracker: &mut LoadTracker,
+    scratch: &mut DpScratch,
+) -> RoutingSolution {
+    cache.clear();
+    let chains = model
+        .chains()
+        .iter()
+        .map(|c| {
+            let paths = dp::route_chain_with(model, tracker, config, c, scratch, Some(cache));
+            ChainRoutes::from_paths(model, c, &paths)
+        })
+        .collect();
+    RoutingSolution { chains }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::route_chains;
+    use crate::model::testutil::line_model;
+
+    fn solutions_equal(a: &RoutingSolution, b: &RoutingSolution) -> bool {
+        a.chains.len() == b.chains.len()
+            && a.chains.iter().zip(&b.chains).all(|(x, y)| {
+                (x.routed - y.routed).abs() < 1e-12
+                    && x.stages.len() == y.stages.len()
+                    && x.stages.iter().zip(&y.stages).all(|(sa, sb)| {
+                        sa.len() == sb.len()
+                            && sa.iter().zip(sb).all(|(fa, fb)| {
+                                fa.from == fb.from
+                                    && fa.to == fb.to
+                                    && (fa.fraction - fb.fraction).abs() < 1e-12
+                            })
+                    })
+            })
+    }
+
+    #[test]
+    fn batched_matches_sequential_on_line_model() {
+        let m = line_model();
+        let cfg = DpConfig::default();
+        let seq = route_chains(&m, &cfg);
+        let mut cache = SubproblemCache::new();
+        let bat = route_chains_batched(&m, &cfg, &mut cache);
+        assert!(solutions_equal(&seq, &bat));
+        let s = cache.stats();
+        assert!(s.misses > 0, "cache never consulted");
+    }
+
+    #[test]
+    fn batched_matches_under_tiny_capacity() {
+        let m = line_model().with_scaled_traffic(3.0);
+        let cfg = DpConfig::default();
+        let seq = route_chains(&m, &cfg);
+        for cap in [0, 1, 2, 7] {
+            let mut cache = SubproblemCache::with_capacity(cap);
+            let bat = route_chains_batched(&m, &cfg, &mut cache);
+            assert!(solutions_equal(&seq, &bat), "capacity {cap} diverged");
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_edges_and_invalidates_on_apply() {
+        let m = line_model();
+        let cfg = DpConfig::default();
+        let tracker = LoadTracker::new(&m);
+        let mut cache = SubproblemCache::new();
+        let chain = &m.chains()[0];
+        let from = Place::node(chain.ingress);
+        let site = m.vnfs()[0].sites()[0];
+        let to = Place::site(m.site_node(site), site);
+        let c1 = cache.edge_cost(&m, &tracker, &cfg, from, to, Some(chain.vnfs[0]));
+        let c2 = cache.edge_cost(&m, &tracker, &cfg, from, to, Some(chain.vnfs[0]));
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+
+        // Load the destination pool: the entry must fall out.
+        let mut tracker = tracker;
+        let coefs = dp::path_coefficients(&m, chain, &[site]);
+        tracker.apply(&coefs, 0.5);
+        cache.note_apply(&tracker, &coefs);
+        let c3 = cache.edge_cost(&m, &tracker, &cfg, from, to, Some(chain.vnfs[0]));
+        assert_eq!(cache.stats().misses, 2, "stale entry survived an apply");
+        assert!(c3 > c1, "cost must rise with destination load");
+        assert!(cache.stats().invalidations > 0);
+    }
+
+    #[test]
+    fn quantized_cache_keeps_entries_within_a_bucket() {
+        let m = line_model();
+        let cfg = DpConfig::default();
+        let mut tracker = LoadTracker::new(&m);
+        let mut cache = SubproblemCache::new();
+        cache.set_quantum(1e6); // huge buckets: nothing ever crosses
+        let chain = &m.chains()[0];
+        let from = Place::node(chain.ingress);
+        let site = m.vnfs()[0].sites()[0];
+        let to = Place::site(m.site_node(site), site);
+        let _ = cache.edge_cost(&m, &tracker, &cfg, from, to, Some(chain.vnfs[0]));
+        let coefs = dp::path_coefficients(&m, chain, &[site]);
+        tracker.apply(&coefs, 0.5);
+        cache.note_apply(&tracker, &coefs);
+        let _ = cache.edge_cost(&m, &tracker, &cfg, from, to, Some(chain.vnfs[0]));
+        assert_eq!(cache.stats().hits, 1, "in-bucket apply must not invalidate");
+        assert_eq!(cache.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!(CacheStats::default().hit_rate() == 0.0);
+    }
+}

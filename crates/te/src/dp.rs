@@ -30,6 +30,12 @@ use std::collections::HashMap;
 
 const EPS: f64 = 1e-9;
 
+/// One DP table cell: the best prefix cost of placing the current
+/// stage's VNF at this site, plus the parent site of the previous stage
+/// (`None` for the first stage — the ingress has no site). `None` cells
+/// were never relaxed.
+type DpCell = Option<(f64, Option<SiteId>)>;
+
 /// Tuning knobs of the DP cost function.
 #[derive(Debug, Clone)]
 pub struct DpConfig {
@@ -233,55 +239,106 @@ pub(crate) fn edge_cost(
     cost
 }
 
+/// Reusable SB-DP workspace: the per-stage tables [`route_chain`] needs,
+/// hoisted out of the solver so the batched entry points allocate them
+/// once per fleet instead of once per stage per chain. The tables are
+/// dense (indexed by `SiteId`), which also removes per-relaxation hashing
+/// from the DP inner loop.
+#[derive(Debug, Default)]
+pub struct DpScratch {
+    /// Per-stage DP tables: `stages[z][site.index()]` holds the best
+    /// prefix cost placing the `z`-th VNF at that site, plus the parent
+    /// site of the preceding stage (Eq 8's `E(z, s)` with backpointers).
+    stages: Vec<Vec<DpCell>>,
+    /// Frontier of the previous stage, in ascending site-id order (the
+    /// deterministic tie-break order the sequential solver established).
+    prev: Vec<(Place, f64, Option<SiteId>)>,
+}
+
+impl DpScratch {
+    /// A fresh, empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears and resizes the tables for one run of `chain` against
+    /// `model`, reusing every previously grown allocation.
+    fn reset(&mut self, model: &NetworkModel, chain: &ChainSpec) {
+        let n = model.num_sites();
+        while self.stages.len() < chain.vnfs.len() {
+            self.stages.push(Vec::new());
+        }
+        for stage in self.stages.iter_mut().take(chain.vnfs.len()) {
+            stage.clear();
+            stage.resize(n, None);
+        }
+        self.prev.clear();
+    }
+}
+
 /// Runs the DP of Eq 8 once for `chain` against the current loads and
 /// returns the least-cost site sequence, or `None` when no VNF of the
-/// chain has any deployment reachable from the ingress.
+/// chain has any deployment reachable from the ingress. Edge costs go
+/// through `cache` when one is supplied (see [`crate::batch`]); the cache
+/// is exact, so the result is identical either way.
 fn best_path(
     model: &NetworkModel,
     tracker: &LoadTracker,
     config: &DpConfig,
     chain: &ChainSpec,
+    scratch: &mut DpScratch,
+    mut cache: Option<&mut crate::batch::SubproblemCache>,
 ) -> Option<Vec<SiteId>> {
-    // E[z][site] with parent pointers; stage z places the z-th VNF.
-    let mut costs: Vec<HashMap<SiteId, (f64, Option<SiteId>)>> = Vec::new();
-    let mut prev: Vec<(Place, f64, Option<SiteId>)> =
-        vec![(Place::node(chain.ingress), 0.0, None)];
+    scratch.reset(model, chain);
+    scratch.prev.push((Place::node(chain.ingress), 0.0, None));
 
     for (z, &vnf_id) in chain.vnfs.iter().enumerate() {
         let vnf = &model.vnfs()[vnf_id.index()];
-        let mut stage: HashMap<SiteId, (f64, Option<SiteId>)> = HashMap::new();
+        let (stages, prev) = (&mut scratch.stages, &mut scratch.prev);
+        let stage = &mut stages[z];
+        let mut any = false;
         for site in vnf.sites() {
             let to = Place::site(model.site_node(site), site);
             let mut best: Option<(f64, Option<SiteId>)> = None;
-            for &(from, base, from_site) in &prev {
-                let _ = from_site;
-                let c = base + edge_cost(model, tracker, config, from, to, Some(vnf_id));
+            for &(from, base, _) in prev.iter() {
+                let edge = match cache.as_deref_mut() {
+                    Some(c) => c.edge_cost(model, tracker, config, from, to, Some(vnf_id)),
+                    None => edge_cost(model, tracker, config, from, to, Some(vnf_id)),
+                };
+                let c = base + edge;
                 if c.is_finite() && best.is_none_or(|(b, _)| c < b) {
                     best = Some((c, from.site));
                 }
             }
-            if let Some((c, parent)) = best {
-                stage.insert(site, (c, parent));
+            if let Some(entry) = best {
+                stage[site.index()] = Some(entry);
+                any = true;
             }
         }
-        if stage.is_empty() {
+        if !any {
             return None;
         }
-        prev = stage
-            .iter()
-            .map(|(&s, &(c, _))| (Place::site(model.site_node(s), s), c, Some(s)))
-            .collect();
-        // Deterministic iteration order for reproducibility.
-        prev.sort_by_key(|&(_, _, s)| s.map(SiteId::value));
-        costs.push(stage);
-        let _ = z;
+        // Rebuild the frontier by ascending site index: the same
+        // deterministic order the sorted sparse frontier used to have.
+        prev.clear();
+        for (idx, slot) in stage.iter().enumerate() {
+            if let Some((c, _)) = *slot {
+                let s = SiteId::new(u32::try_from(idx).expect("site count fits u32"));
+                prev.push((Place::site(model.site_node(s), s), c, Some(s)));
+            }
+        }
     }
 
     // Close to the egress.
     let egress = Place::node(chain.egress);
     let mut best_last: Option<(f64, SiteId)> = None;
-    for &(from, base, site) in &prev {
-        let c = base + edge_cost(model, tracker, config, from, egress, None);
+    for &(from, base, site) in &scratch.prev {
+        let edge = match cache.as_deref_mut() {
+            Some(c) => c.edge_cost(model, tracker, config, from, egress, None),
+            None => edge_cost(model, tracker, config, from, egress, None),
+        };
+        let c = base + edge;
         if let Some(site) = site {
             if c.is_finite() && best_last.is_none_or(|(b, _)| c < b) {
                 best_last = Some((c, site));
@@ -296,7 +353,7 @@ fn best_path(
     // Backtrack parents.
     let mut sites = vec![at];
     for z in (1..chain.vnfs.len()).rev() {
-        let (_, parent) = costs[z][&at];
+        let (_, parent) = scratch.stages[z][at.index()].expect("backtracked site was relaxed");
         let p = parent.expect("non-first stage has a parent site");
         sites.push(p);
         at = p;
@@ -314,13 +371,31 @@ pub fn route_chain(
     config: &DpConfig,
     chain: &ChainSpec,
 ) -> Vec<RoutePath> {
+    route_chain_with(model, tracker, config, chain, &mut DpScratch::new(), None)
+}
+
+/// [`route_chain`] with caller-supplied workspaces: `scratch` is reused
+/// across calls (O(1) allocations per chain once grown), and edge costs go
+/// through `cache` when one is supplied. Every load the call places is
+/// reported to the cache, so cached costs stay exact — results are
+/// identical to [`route_chain`].
+#[must_use]
+pub fn route_chain_with(
+    model: &NetworkModel,
+    tracker: &mut LoadTracker,
+    config: &DpConfig,
+    chain: &ChainSpec,
+    scratch: &mut DpScratch,
+    mut cache: Option<&mut crate::batch::SubproblemCache>,
+) -> Vec<RoutePath> {
     let mut remaining = 1.0;
     let mut paths: Vec<RoutePath> = Vec::new();
     for _ in 0..config.max_paths_per_chain {
         if remaining <= EPS {
             break;
         }
-        let Some(sites) = best_path(model, tracker, config, chain) else {
+        let Some(sites) = best_path(model, tracker, config, chain, scratch, cache.as_deref_mut())
+        else {
             break;
         };
         let coefs = path_coefficients(model, chain, &sites);
@@ -330,6 +405,9 @@ pub fn route_chain(
             break;
         }
         tracker.apply(&coefs, fraction);
+        if let Some(c) = cache.as_deref_mut() {
+            c.note_apply(tracker, &coefs);
+        }
         remaining -= fraction;
         // Merge with an existing identical path if the DP re-picks it.
         if let Some(p) = paths.iter_mut().find(|p| p.sites == sites) {

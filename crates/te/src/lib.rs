@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod batch;
 pub mod capacity;
 pub mod delta;
 pub mod dp;
@@ -35,5 +36,6 @@ pub mod lp;
 mod model;
 mod route;
 
+pub use batch::{route_chains_batched, CacheStats, SubproblemCache};
 pub use model::{ChainSpec, NetworkModel, NetworkModelBuilder, Place, VnfSpec};
 pub use route::{ChainRoutes, RoutePath, RoutingSolution, StageFlow};
