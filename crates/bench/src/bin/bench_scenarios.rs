@@ -1,0 +1,123 @@
+//! Emits the machine-readable "day in the life" scenario baseline
+//! (`BENCH_scenarios.json`).
+//!
+//! ```text
+//! cargo run --release -p sb-bench --bin bench-scenarios -- --out BENCH_scenarios.json
+//! cargo run --release -p sb-bench --bin bench-scenarios -- --quick             # CI smoke
+//! cargo run --release -p sb-bench --bin bench-scenarios -- --quick --check-slo # CI gate
+//! ```
+//!
+//! Without `--out` the JSON goes to stdout. `--quick` shrinks every
+//! variant (smaller fleet, shorter day, fewer users) while keeping all
+//! the composed workload dimensions.
+//!
+//! `--check-slo` is the scenario gate: the steady and flash-crowd
+//! variants must pass every SLO target, and the regional-failure variant
+//! must violate its drop-rate SLO *during* the fault interval, pass the
+//! reconvergence budget, and run drop-free after healing. Exits non-zero
+//! on any miss. On single-core hosts the check is skipped with a note
+//! and exits zero.
+
+use sb_bench::scenarios_report::{check_slo, run_variants, to_baseline, to_json};
+
+/// Minimum cores for the SLO gate (below this the run is skipped, not
+/// failed — starved CI hosts time out long before they produce a
+/// meaningful verdict).
+const SLO_GATE_MIN_CORES: usize = 2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut gate = false;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check-slo" => gate = true,
+            "--out" | "-o" => {
+                out_path = it.next().cloned();
+                if out_path.is_none() {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: bench-scenarios [--quick] [--check-slo] [--out <path>]");
+                return;
+            }
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'; usage: bench-scenarios [--quick] \
+                     [--check-slo] [--out <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if gate {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        if cores < SLO_GATE_MIN_CORES {
+            eprintln!(
+                "[bench-scenarios: SKIP: SLO gate needs >= {SLO_GATE_MIN_CORES} cores, \
+                 host has {cores}]"
+            );
+            return;
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let runs = run_variants(quick);
+    for r in &runs {
+        eprintln!(
+            "[bench-scenarios: {}: {} windows, offered {} delivered {} dropped {} \
+             unserved {}, {} drains / {} resolves / {} wan msgs, slo {} ({:.0} ms)]",
+            r.result.name,
+            r.result.windows.len(),
+            r.result.totals.offered,
+            r.result.totals.delivered,
+            r.result.totals.dropped,
+            r.result.totals.unserved,
+            r.result.totals.drains,
+            r.result.totals.resolved_chains,
+            r.result.totals.wan_messages,
+            if r.result.slo.pass { "PASS" } else { "VIOLATED" },
+            r.wall_ms,
+        );
+    }
+
+    if gate {
+        let failures = check_slo(&runs);
+        if failures.is_empty() {
+            eprintln!("[bench-scenarios: SLO gate passed]");
+        } else {
+            for f in &failures {
+                eprintln!("[bench-scenarios: FAIL: {}: {}]", f.variant, f.reason);
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let baseline = to_baseline(&runs);
+    let json = to_json(&baseline);
+    eprintln!(
+        "[bench-scenarios: {} variants in {:.1}s, sched microbench {:.0} ns/event at \
+         depth {}]",
+        baseline.variants.len(),
+        t0.elapsed().as_secs_f64(),
+        baseline.sched_microbench.ns_per_event,
+        baseline.sched_microbench.depth,
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, json).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("[bench-scenarios: wrote {path}]");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -21,6 +21,7 @@ pub mod fig13_ablations;
 pub mod fig7_forwarder_overhead;
 pub mod fig8_dataplane_scaling;
 pub mod fig9_msgbus;
+pub mod scenarios_report;
 pub mod table2_edge_addition;
 pub mod table3_cache_sharing;
 pub mod timevarying;

@@ -1,0 +1,340 @@
+//! The machine-readable "day in the life" scenario baseline
+//! (`BENCH_scenarios.json`).
+//!
+//! Each variant runs one [`switchboard::scenarios::daylife`] scenario —
+//! steady diurnal, flash crowd, regional failure — over the fleet model
+//! and embeds the full windowed time series plus the per-scenario SLO
+//! report, so the checked-in document shows exactly which windows
+//! violated which targets (the regional-failure variant *must* violate
+//! its drop-rate SLO during reconvergence and recover afterwards — that
+//! is the point of the exercise, and [`check_slo`] gates on it).
+//!
+//! The document also records the event-engine profile of every run
+//! (events executed, peak heap depth) and a binary-heap scheduler
+//! microbenchmark: the data behind the calendar-queue defer decision in
+//! EXPERIMENTS.md — with peak queue depths this small, `O(log depth)`
+//! heap operations cannot dominate a scenario run.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p sb-bench --bin bench-scenarios -- --out BENCH_scenarios.json
+//! ```
+//!
+//! CI runs the same binary with `--quick --check-slo` as the scenario
+//! SLO gate.
+
+use sb_netsim::{SimTime, Simulator};
+use serde::Serialize;
+use std::time::Instant;
+use switchboard::scenarios::daylife::{self, DaylifeConfig, DaylifeResult};
+
+/// One scenario variant of the baseline document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioRow {
+    /// Scenario name (`steady_diurnal`, `flash_crowd`,
+    /// `regional_failure`).
+    pub name: String,
+    /// Cloud sites in the fleet model.
+    pub sites: usize,
+    /// Chains in the fleet.
+    pub chains: usize,
+    /// Total user population.
+    pub users: u64,
+    /// Telemetry windows in the run.
+    pub windows: u64,
+    /// Window width in virtual nanoseconds.
+    pub window_ns: u64,
+    /// Wall time of the run in milliseconds.
+    pub wall_ms: f64,
+    /// Requests offered over the whole run.
+    pub offered: u64,
+    /// Requests delivered.
+    pub delivered: u64,
+    /// Requests dropped into failed sites.
+    pub dropped: u64,
+    /// Requests refused for lack of routed capacity.
+    pub unserved: u64,
+    /// Reconciler drains across the day.
+    pub drains: u64,
+    /// Chains re-solved across all drains.
+    pub resolved_chains: u64,
+    /// WAN messages the update pipeline would have sent.
+    pub wan_messages: u64,
+    /// Simulator events executed.
+    pub events_executed: u64,
+    /// Peak pending-event heap depth.
+    pub peak_pending: usize,
+    /// Whether every SLO target passed.
+    pub slo_pass: bool,
+    /// The full SLO report (`SloReport::to_json`).
+    pub slo: serde_json::Value,
+    /// The windowed time series (`WindowRoller::to_json`).
+    pub timeseries: serde_json::Value,
+}
+
+/// The binary-heap scheduler microbenchmark (calendar-queue defer data).
+#[derive(Debug, Clone, Serialize)]
+pub struct SchedMicrobench {
+    /// Events pushed and popped.
+    pub events: u64,
+    /// Nanoseconds per event (schedule + dispatch) at that depth.
+    pub ns_per_event: f64,
+    /// Queue depth the microbench held steady.
+    pub depth: usize,
+}
+
+/// The full baseline document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenariosBaseline {
+    /// Document identifier.
+    pub benchmark: &'static str,
+    /// How the numbers were measured.
+    pub methodology: &'static str,
+    /// The scenario variants.
+    pub variants: Vec<ScenarioRow>,
+    /// The scheduler microbenchmark.
+    pub sched_microbench: SchedMicrobench,
+}
+
+/// One executed variant: the config it ran with, the result, and the
+/// wall time. [`check_slo`] consumes these directly; [`to_baseline`]
+/// renders them into the document.
+pub struct VariantRun {
+    /// The configuration the scenario ran with.
+    pub cfg: DaylifeConfig,
+    /// The scenario result.
+    pub result: DaylifeResult,
+    /// Wall time of the run in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Runs the three canonical variants (full-size, or shrunk with
+/// `quick`).
+#[must_use]
+pub fn run_variants(quick: bool) -> Vec<VariantRun> {
+    DaylifeConfig::standard_suite(42)
+        .into_iter()
+        .map(|cfg| {
+            let cfg = if quick { cfg.quick() } else { cfg };
+            let t0 = Instant::now();
+            let result = daylife::run(&cfg);
+            VariantRun {
+                cfg,
+                result,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Measures the binary-heap scheduler at a representative depth: a
+/// steady-state churn where every popped event schedules a successor, so
+/// the queue holds `depth` events throughout.
+#[must_use]
+pub fn sched_microbench(depth: usize, events: u64) -> SchedMicrobench {
+    let mut sim: Simulator<u64> = Simulator::new();
+    fn tick(sim: &mut Simulator<u64>, remaining: &mut u64) {
+        if *remaining > 0 {
+            *remaining -= 1;
+            let at = sim.now() + sb_types::Millis::new(1.0);
+            sim.schedule_at(at, tick);
+        }
+    }
+    // Seed the queue to the target depth; each event keeps one successor
+    // alive, so the depth stays put while `events` dispatches happen.
+    let mut remaining = events.saturating_sub(depth as u64);
+    for i in 0..depth {
+        #[allow(clippy::cast_precision_loss)]
+        sim.schedule_at(SimTime::from_millis(i as f64 * 0.1), tick);
+    }
+    let t0 = Instant::now();
+    sim.run(&mut remaining);
+    let elapsed = t0.elapsed().as_secs_f64();
+    #[allow(clippy::cast_precision_loss)]
+    let ns_per_event = elapsed * 1e9 / sim.executed_events().max(1) as f64;
+    SchedMicrobench {
+        events: sim.executed_events(),
+        ns_per_event,
+        depth,
+    }
+}
+
+/// Renders executed variants into the baseline document.
+///
+/// # Panics
+///
+/// Panics if a scenario's own JSON output fails to parse (it cannot —
+/// both writers emit valid JSON by construction).
+#[must_use]
+pub fn to_baseline(runs: &[VariantRun]) -> ScenariosBaseline {
+    let variants = runs
+        .iter()
+        .map(|r| {
+            let model_sites = r.cfg.fleet.num_sites;
+            ScenarioRow {
+                name: r.result.name.clone(),
+                sites: model_sites,
+                chains: r.cfg.fleet.num_chains,
+                users: r.cfg.users,
+                windows: r.cfg.windows,
+                window_ns: r.cfg.window_ns,
+                wall_ms: r.wall_ms,
+                offered: r.result.totals.offered,
+                delivered: r.result.totals.delivered,
+                dropped: r.result.totals.dropped,
+                unserved: r.result.totals.unserved,
+                drains: r.result.totals.drains,
+                resolved_chains: r.result.totals.resolved_chains,
+                wan_messages: r.result.totals.wan_messages,
+                events_executed: r.result.sched.events_executed,
+                peak_pending: r.result.sched.peak_pending,
+                slo_pass: r.result.slo.pass,
+                slo: serde_json::from_str_value(&r.result.slo.to_json())
+                    .expect("SLO report emits valid JSON"),
+                timeseries: serde_json::from_str_value(&r.result.timeseries_json)
+                    .expect("window roller emits valid JSON"),
+            }
+        })
+        .collect();
+    ScenariosBaseline {
+        benchmark: "scenarios",
+        methodology: "each variant drives the daylife scenario harness (diurnal demand, \
+                      Zipf populations, mobility, staggered deploys, plus the variant's \
+                      flash crowd or regional failure) over the fleet model on the \
+                      discrete-event engine; per-window counters/gauges/histograms come \
+                      from the WindowRoller over the shared virtual clock and the SLO \
+                      report from sb_telemetry::slo::evaluate; runs are deterministic, \
+                      only wall_ms and the scheduler microbenchmark vary across hosts",
+        variants,
+        sched_microbench: sched_microbench(64, 100_000),
+    }
+}
+
+/// A failed SLO gate: which variant and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloGateFailure {
+    /// Variant name.
+    pub variant: String,
+    /// Human-readable description of the violated expectation.
+    pub reason: String,
+}
+
+/// The scenario SLO gate:
+///
+/// - the steady and flash variants must pass *every* SLO target;
+/// - the regional-failure variant must *violate* its drop-rate SLO
+///   during the fault interval (windows between onset and
+///   heal+detection), must keep every violation inside that interval,
+///   must pass the reconvergence target (the violation streak is bounded
+///   by the detection budget), and must deliver drop-free windows after
+///   healing.
+#[must_use]
+pub fn check_slo(runs: &[VariantRun]) -> Vec<SloGateFailure> {
+    let mut failures = Vec::new();
+    let mut fail = |variant: &str, reason: String| {
+        failures.push(SloGateFailure {
+            variant: variant.to_string(),
+            reason,
+        });
+    };
+    for r in runs {
+        let name = r.result.name.as_str();
+        if let Some(f) = r.cfg.failure {
+            let Some(drop_slo) = r.result.slo.outcome("drop_rate") else {
+                fail(name, "no drop_rate SLO in the report".to_string());
+                continue;
+            };
+            if drop_slo.violated_windows.is_empty() {
+                fail(
+                    name,
+                    "regional failure produced no drop-rate violation windows".to_string(),
+                );
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let window_s = r.cfg.window_ns as f64 / 1e9;
+            let first_ok = (f.start_s / window_s).floor();
+            let last_ok = ((f.start_s + f.duration_s + f.detection_delay_s) / window_s).ceil();
+            for &w in &drop_slo.violated_windows {
+                #[allow(clippy::cast_precision_loss)]
+                let wf = w as f64;
+                if wf < first_ok || wf > last_ok {
+                    fail(
+                        name,
+                        format!(
+                            "drop-rate violation in window {w}, outside the fault \
+                             interval [{first_ok}, {last_ok}]"
+                        ),
+                    );
+                }
+            }
+            match r.result.slo.outcome("reconvergence") {
+                Some(o) if o.pass => {}
+                Some(_) => fail(
+                    name,
+                    "drops outlasted the reconvergence budget".to_string(),
+                ),
+                None => fail(name, "no reconvergence SLO in the report".to_string()),
+            }
+            let tail = r.result.windows.len().saturating_sub(3);
+            for (k, w) in r.result.windows.iter().enumerate().skip(tail) {
+                if w.counter("daylife.dropped").delta > 0 {
+                    fail(name, format!("still dropping in tail window {k}"));
+                }
+                if w.counter("daylife.delivered").delta == 0 {
+                    fail(name, format!("no delivery in tail window {k}"));
+                }
+            }
+        } else if !r.result.slo.pass {
+            fail(
+                name,
+                format!("must pass every SLO target: {}", r.result.slo.to_json()),
+            );
+        }
+    }
+    failures
+}
+
+/// Serializes a baseline into the checked-in pretty-printed JSON form.
+///
+/// # Panics
+///
+/// Panics if serialization fails (it cannot for this type).
+#[must_use]
+pub fn to_json(baseline: &ScenariosBaseline) -> String {
+    let compact = serde_json::to_string(baseline).expect("baseline serializes");
+    crate::dataplane_baseline::indent_json(&compact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_passes_the_slo_gate_and_serializes() {
+        let runs = run_variants(true);
+        assert_eq!(runs.len(), 3);
+        let failures = check_slo(&runs);
+        assert!(failures.is_empty(), "SLO gate failed: {failures:?}");
+        let baseline = to_baseline(&runs);
+        let json = to_json(&baseline);
+        let doc = serde_json::from_str_value(&json).expect("valid JSON");
+        let variants = match doc.get("variants") {
+            Some(serde_json::Value::Array(v)) => v,
+            other => panic!("variants must be an array, got {other:?}"),
+        };
+        assert_eq!(variants.len(), 3);
+        for v in variants {
+            assert!(v.get("slo").is_some());
+            let ts = v.get("timeseries").expect("timeseries embedded");
+            assert!(ts.get("windows").is_some());
+        }
+    }
+
+    #[test]
+    fn sched_microbench_reports_sane_numbers() {
+        let m = sched_microbench(32, 2_000);
+        assert_eq!(m.events, 2_000);
+        assert!(m.ns_per_event > 0.0);
+    }
+}

@@ -33,8 +33,8 @@ use sb_te::delta::RouteDelta;
 use sb_te::dp::{self, DpConfig, DpScratch, LoadTracker};
 use sb_te::{ChainRoutes, ChainSpec, NetworkModel, RoutePath, RoutingSolution};
 use sb_telemetry::{Counter, Histogram, Telemetry};
-use sb_types::ChainId;
-use std::collections::HashMap;
+use sb_types::{ChainId, SiteId};
+use std::collections::{BTreeSet, HashMap};
 
 /// One coalesced pending entry of the reconciliation queue.
 #[derive(Debug, Clone, Copy)]
@@ -87,11 +87,17 @@ impl ReconcileTelemetry {
 #[derive(Debug)]
 pub struct FleetReconciler {
     model: NetworkModel,
+    /// The healthy model as constructed — site failures degrade copies of
+    /// this, never the original, so healing restores it exactly.
+    pristine_model: NetworkModel,
     config: DpConfig,
     /// Chain specs as originally deployed — demand targets scale these.
     base_specs: Vec<ChainSpec>,
     /// Current per-chain specs (base demand × last applied scale).
     specs: Vec<ChainSpec>,
+    /// Last applied demand scale per chain (so health-driven re-solves
+    /// preserve the demand target).
+    scales: Vec<f64>,
     /// Installed route paths per chain, kept in lockstep with `tracker`.
     installed: Vec<Vec<RoutePath>>,
     index: HashMap<ChainId, usize>,
@@ -100,6 +106,12 @@ pub struct FleetReconciler {
     scratch: DpScratch,
     pending: HashMap<usize, Pending>,
     coalesced_since_drain: u64,
+    /// Sites currently marked failed.
+    failed_sites: BTreeSet<SiteId>,
+    /// Chains whose routes were forced off their preferred sites by a
+    /// failure; re-enqueued on the next health change so healing lets
+    /// them reclaim optimal placement.
+    displaced: BTreeSet<usize>,
     tele: Option<ReconcileTelemetry>,
 }
 
@@ -126,16 +138,20 @@ impl FleetReconciler {
             .collect();
         Self {
             specs: base_specs.clone(),
+            scales: vec![1.0; base_specs.len()],
             base_specs,
             installed,
             index,
             tracker,
             cache,
             scratch,
+            pristine_model: model.clone(),
             model,
             config,
             pending: HashMap::new(),
             coalesced_since_drain: 0,
+            failed_sites: BTreeSet::new(),
+            displaced: BTreeSet::new(),
             tele: None,
         }
     }
@@ -196,6 +212,101 @@ impl FleetReconciler {
         true
     }
 
+    /// The installed route paths of `chain` (empty for unknown chains).
+    #[must_use]
+    pub fn installed_paths(&self, chain: ChainId) -> &[RoutePath] {
+        self.index
+            .get(&chain)
+            .map_or(&[][..], |&i| &self.installed[i])
+    }
+
+    /// Sites currently marked failed.
+    #[must_use]
+    pub fn failed_sites(&self) -> &BTreeSet<SiteId> {
+        &self.failed_sites
+    }
+
+    /// Replaces the set of failed sites (pass `&[]` to heal everything)
+    /// and enqueues every chain the health change can affect, at
+    /// `priority`. Returns the number of chains enqueued.
+    ///
+    /// The routing model is rebuilt from the pristine one with failed
+    /// sites removed from every VNF's deployment map, and the subproblem
+    /// cache is cleared (its entries assume the old site sets). Installed
+    /// load is **not** unwound here — [`FleetReconciler::drain`] unwinds
+    /// pending chains itself; path load coefficients depend only on
+    /// topology, which a VNF-site-set swap leaves unchanged.
+    ///
+    /// Affected chains are: those whose installed paths touch a site whose
+    /// health changed, those left under-routed by an earlier change, and
+    /// those previously displaced by a failure (so healing lets them
+    /// reclaim optimal placement). Chains already pending keep their
+    /// queued demand target; only their priority can become more urgent.
+    pub fn set_failed_sites(&mut self, failed: &[SiteId], priority: u8) -> usize {
+        let new: BTreeSet<SiteId> = failed.iter().copied().collect();
+        if new == self.failed_sites {
+            return 0;
+        }
+        let changed: BTreeSet<SiteId> = self
+            .failed_sites
+            .symmetric_difference(&new)
+            .copied()
+            .collect();
+        self.failed_sites = new;
+
+        let mut model = self.pristine_model.clone();
+        for vnf in self.pristine_model.vnfs() {
+            if vnf
+                .site_capacity
+                .keys()
+                .any(|s| self.failed_sites.contains(s))
+            {
+                let degraded = vnf
+                    .site_capacity
+                    .iter()
+                    .filter(|(s, _)| !self.failed_sites.contains(s))
+                    .map(|(s, c)| (*s, *c))
+                    .collect();
+                model = model.with_vnf_sites(vnf.id, degraded);
+            }
+        }
+        self.model = model;
+        self.cache.clear();
+
+        let mut affected = std::mem::take(&mut self.displaced);
+        for (i, paths) in self.installed.iter().enumerate() {
+            let touches_changed = paths
+                .iter()
+                .any(|p| p.sites.iter().any(|s| changed.contains(s)));
+            let under_routed = paths.iter().map(|p| p.fraction).sum::<f64>() < 1.0 - 1e-9;
+            if touches_changed || under_routed {
+                affected.insert(i);
+            }
+        }
+        for &i in &affected {
+            match self.pending.entry(i) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().priority = e.get().priority.min(priority);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(Pending {
+                        priority,
+                        scale: self.scales[i],
+                    });
+                }
+            }
+        }
+        let count = affected.len();
+        // On a fully healed model nothing stays displaced; otherwise the
+        // affected set is exactly what the next health change must revisit.
+        self.displaced = if self.failed_sites.is_empty() {
+            BTreeSet::new()
+        } else {
+            affected
+        };
+        count
+    }
+
     /// Converges the queue: unwinds every dirty chain's installed load,
     /// then re-solves the dirty chains in ascending `(priority, chain
     /// id)` order against the standing load of the untouched chains.
@@ -232,6 +343,7 @@ impl FleetReconciler {
 
         for &(_, i, scale) in &work {
             self.specs[i] = scaled_spec(&self.base_specs[i], scale);
+            self.scales[i] = scale;
             let t0 = std::time::Instant::now();
             let paths = dp::route_chain_with(
                 &self.model,
@@ -411,6 +523,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn site_failure_reroutes_off_the_failed_site_and_healing_restores() {
+        let model = line_model(4);
+        let sites = model.sites();
+        let mut r = FleetReconciler::new(model, DpConfig::default());
+        let healthy_routed = routed_total(&r.solution());
+        assert!((healthy_routed - 4.0).abs() < 1e-6);
+
+        // Fail the first site: every chain routed through it must move.
+        let enqueued = r.set_failed_sites(&sites[..1], 0);
+        assert!(enqueued > 0);
+        assert_eq!(r.pending_len(), enqueued);
+        let report = r.drain();
+        assert_eq!(report.resolved_chains, enqueued);
+        for i in 0..4u64 {
+            for p in r.installed_paths(ChainId::new(i)) {
+                assert!(
+                    !p.sites.contains(&sites[0]),
+                    "chain {i} still routed through the failed site"
+                );
+            }
+        }
+        // The surviving site has capacity for the whole fleet.
+        assert!((routed_total(&r.solution()) - 4.0).abs() < 1e-6);
+
+        // Unchanged health is a no-op.
+        assert_eq!(r.set_failed_sites(&sites[..1], 0), 0);
+
+        // Healing re-enqueues the displaced chains and converges back to
+        // full delivery on the pristine model.
+        let healed = r.set_failed_sites(&[], 0);
+        assert!(healed > 0);
+        r.drain();
+        assert!(r.failed_sites().is_empty());
+        assert!((routed_total(&r.solution()) - healthy_routed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_keeps_queued_demand_targets() {
+        let model = line_model(2);
+        let sites = model.sites();
+        let mut r = FleetReconciler::new(model, DpConfig::default());
+        // A demand update is queued before the failure lands: the failure
+        // must raise urgency without clobbering the newer target.
+        r.enqueue(ChainId::new(0), 5, 1.5);
+        let _ = r.set_failed_sites(&sites[..1], 0);
+        let _ = r.drain();
+        assert!((r.specs[0].demand() / r.base_specs[0].demand() - 1.5).abs() < 1e-9);
+        // The scale survives the heal-driven re-solve too.
+        let _ = r.set_failed_sites(&[], 0);
+        let _ = r.drain();
+        assert!((r.specs[0].demand() / r.base_specs[0].demand() - 1.5).abs() < 1e-9);
     }
 
     #[test]

@@ -23,6 +23,8 @@ use sb_topology::{tier1 as t1, Routing, TopologyBuilder, TrafficMatrix};
 use sb_types::{ChainId, Millis, Rate, SiteId};
 use std::collections::HashMap;
 
+pub mod daylife;
+
 /// A 4-node line (`n0 - n1 - n2 - n3`) with a site at every node and two
 /// VNFs (ids 0 and 1) deployed at the middle sites. Returns the model and
 /// the four site ids in node order. No chains are pre-installed.

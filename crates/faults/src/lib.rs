@@ -281,6 +281,18 @@ impl FaultSpec {
         self
     }
 
+    /// Adds a recovering crash window for every site of a region at once —
+    /// the regional-outage shorthand the daylife scenario driver uses to
+    /// take a whole geographic neighbourhood down between `from` and
+    /// `until`.
+    #[must_use]
+    pub fn with_regional_outage(mut self, sites: &[SiteId], from: SimTime, until: SimTime) -> Self {
+        for &site in sites {
+            self.crashes.push(CrashWindow::recovering(site, from, until));
+        }
+        self
+    }
+
     /// Sets the 2PC prepare-timeout probability.
     #[must_use]
     pub fn with_prepare_timeouts(mut self, p: f64) -> Self {
@@ -474,6 +486,23 @@ impl FaultPlan {
             .crashes
             .iter()
             .any(|c| c.site == site && c.covers(at))
+    }
+
+    /// Every site down at `at`, sorted and deduplicated — the health set a
+    /// controller's failure detector would report after its detection
+    /// delay. Pure — consumes no randomness.
+    #[must_use]
+    pub fn sites_down_at(&self, at: SimTime) -> Vec<SiteId> {
+        let mut down: Vec<SiteId> = self
+            .spec
+            .crashes
+            .iter()
+            .filter(|c| c.covers(at))
+            .map(|c| c.site)
+            .collect();
+        down.sort_unstable();
+        down.dedup();
+        down
     }
 
     /// Drains the forwarder restarts due by simulated time `now`, in spec
@@ -696,6 +725,25 @@ mod tests {
     fn same_seed_same_fates() {
         assert_eq!(fate_seq(7, 200), fate_seq(7, 200));
         assert_ne!(fate_seq(7, 200), fate_seq(8, 200));
+    }
+
+    #[test]
+    fn regional_outage_reports_its_sites_while_covered() {
+        let region = [SiteId::new(3), SiteId::new(1), SiteId::new(3)];
+        let spec = FaultSpec::new(1).with_regional_outage(
+            &region,
+            SimTime::from_millis(10.0),
+            SimTime::from_millis(20.0),
+        );
+        let plan = FaultPlan::new(spec);
+        assert!(plan.sites_down_at(SimTime::from_millis(5.0)).is_empty());
+        // Sorted and deduplicated during the window.
+        assert_eq!(
+            plan.sites_down_at(SimTime::from_millis(15.0)),
+            vec![SiteId::new(1), SiteId::new(3)]
+        );
+        assert!(plan.site_is_down(SimTime::from_millis(15.0), SiteId::new(1)));
+        assert!(plan.sites_down_at(SimTime::from_millis(20.0)).is_empty());
     }
 
     #[test]

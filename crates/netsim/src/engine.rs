@@ -64,6 +64,7 @@ pub struct Simulator<S> {
     seq: u64,
     queue: BinaryHeap<Scheduled<S>>,
     executed: u64,
+    peak_pending: usize,
 }
 
 impl<S> Default for Simulator<S> {
@@ -91,6 +92,7 @@ impl<S> Simulator<S> {
             seq: 0,
             queue: BinaryHeap::new(),
             executed: 0,
+            peak_pending: 0,
         }
     }
 
@@ -112,6 +114,15 @@ impl<S> Simulator<S> {
         self.queue.len()
     }
 
+    /// The deepest the pending-event queue has ever been. A scheduler
+    /// profile signal: heap operations cost `O(log depth)`, so a small
+    /// peak means the binary heap cannot dominate a run (see the
+    /// calendar-queue discussion in EXPERIMENTS.md).
+    #[must_use]
+    pub fn peak_pending_events(&self) -> usize {
+        self.peak_pending
+    }
+
     /// Schedules `event` at absolute time `at`. Events scheduled in the past
     /// fire "now" (they are clamped to the current clock).
     pub fn schedule_at(
@@ -127,6 +138,7 @@ impl<S> Simulator<S> {
             seq,
             run: Box::new(event),
         });
+        self.peak_pending = self.peak_pending.max(self.queue.len());
     }
 
     /// Schedules `event` after a relative delay.
@@ -290,6 +302,19 @@ mod tests {
         assert_eq!(sim.pending_events(), 1);
         sim.run(&mut log);
         assert_eq!(log, vec![1, 10]);
+    }
+
+    #[test]
+    fn peak_pending_tracks_the_deepest_queue() {
+        let mut sim: Simulator<()> = Simulator::new();
+        for i in 0..4 {
+            sim.schedule_at(SimTime::from_millis(f64::from(i)), |_, ()| {});
+        }
+        assert_eq!(sim.peak_pending_events(), 4);
+        sim.run(&mut ());
+        assert_eq!(sim.pending_events(), 0);
+        // The peak survives the drain.
+        assert_eq!(sim.peak_pending_events(), 4);
     }
 
     #[test]

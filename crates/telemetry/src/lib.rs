@@ -23,9 +23,13 @@
 
 pub mod json;
 pub mod metrics;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
 pub use metrics::{labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use slo::{evaluate, SloKind, SloOutcome, SloReport, SloTarget};
+pub use timeseries::{CounterWindow, WindowConfig, WindowRoller, WindowSnapshot};
 pub use trace::{Clock, RecordKind, Sampler, SpanId, TraceRecord, TraceRecorder};
 
 /// One registry + one trace ring + one clock, shared by every component
@@ -59,8 +63,16 @@ impl Telemetry {
 
     /// The complete observability state as one JSON object:
     /// `{"metrics":{...},"trace":{...}}`.
+    ///
+    /// Exporting first publishes the trace ring's overflow count as the
+    /// `trace.dropped_spans` counter, so silent span loss from ring wrap
+    /// is visible in every metrics snapshot (and in the bench telemetry
+    /// JSON, which is built from this export).
     #[must_use]
     pub fn export_json(&self) -> String {
+        self.registry
+            .counter("trace.dropped_spans")
+            .set(self.tracer.dropped());
         let mut out = String::new();
         out.push('{');
         json::push_key(&mut out, "metrics");
@@ -99,5 +111,16 @@ mod tests {
         assert!(json.contains("\"x\":2"));
         assert!(json.contains("\"name\":\"s\""));
         assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    fn export_surfaces_trace_ring_overflow() {
+        let t = Telemetry::with_trace_capacity(2);
+        for i in 0..5 {
+            t.tracer.event("e", None, i, &[]);
+        }
+        let json = t.export_json();
+        assert!(json.contains("\"trace.dropped_spans\":3"), "{json}");
+        assert_eq!(t.registry.counter("trace.dropped_spans").get(), 3);
     }
 }

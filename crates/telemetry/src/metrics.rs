@@ -106,9 +106,10 @@ impl Default for HistogramInner {
 
 /// A log2-bucketed histogram of non-negative samples (typically latency in
 /// nanoseconds). Recording is four relaxed atomic operations; percentile
-/// estimates come from bucket midpoints, so they carry at most ~50%
-/// relative error — the right trade for a dependency-free fast path whose
-/// job is spotting order-of-magnitude latency shifts.
+/// estimates interpolate linearly within the target bucket (clamped to the
+/// observed max), so they carry bounded sub-bucket error — the right trade
+/// for a dependency-free fast path whose job is spotting
+/// order-of-magnitude latency shifts.
 #[derive(Clone, Debug, Default)]
 pub struct Histogram(Arc<HistogramInner>);
 
@@ -135,6 +136,20 @@ impl Histogram {
         inner.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records `n` identical samples in O(1). The scenario drivers use
+    /// this to attribute millions of modeled requests to one computed
+    /// path latency without a per-request loop.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let inner = &*self.0;
+        inner.buckets[Self::bucket_of(value)].fetch_add(n, Ordering::Relaxed);
+        inner.count.fetch_add(n, Ordering::Relaxed);
+        inner.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
         inner.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -195,24 +210,48 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// The midpoint estimate of quantile `q` in `[0, 1]`, or 0 when empty.
+    /// The estimate of quantile `q` in `[0, 1]`, or 0 when empty. Prefer
+    /// [`HistogramSnapshot::quantile_opt`] where "no data" must stay
+    /// distinguishable from a genuine 0 ns sample.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_opt(q).unwrap_or(0)
+    }
+
+    /// The estimate of quantile `q` in `[0, 1]`, or `None` when the
+    /// histogram holds no samples.
+    ///
+    /// The estimate interpolates linearly at the rank's position within
+    /// its log2 bucket `[2^i, 2^(i+1))` and is clamped to the observed
+    /// maximum, so it never exceeds any real sample and sits within one
+    /// bucket of the true value.
+    #[must_use]
+    pub fn quantile_opt(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
         #[allow(clippy::cast_possible_truncation)]
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                let mid = if i == 0 { 1 } else { 3u64 << (i - 1) }; // 1.5 * 2^i
-                return mid.min(self.max.max(1));
+            if n == 0 {
+                continue;
             }
+            if seen + n >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                let offset = target - seen; // rank within the bucket, 1..=n
+                #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+                #[allow(clippy::cast_possible_truncation)]
+                let est = (lo as f64 + (offset as f64 / n as f64) * (hi - lo) as f64) as u64;
+                // A non-empty bucket i implies max >= lo, so the clamp
+                // bounds are always ordered.
+                return Some(est.clamp(lo, self.max.max(lo)));
+            }
+            seen += n;
         }
-        self.max
+        Some(self.max)
     }
 
     /// Median estimate.
@@ -256,19 +295,29 @@ impl HistogramSnapshot {
         out.push(',');
         json::push_key(out, "max");
         out.push_str(&self.max.to_string());
-        out.push(',');
-        json::push_key(out, "p50");
-        out.push_str(&self.p50().to_string());
-        out.push(',');
-        json::push_key(out, "p90");
-        out.push_str(&self.p90().to_string());
-        out.push(',');
-        json::push_key(out, "p99");
-        out.push_str(&self.p99().to_string());
-        out.push(',');
-        json::push_key(out, "mean");
-        json::push_f64(out, self.mean());
+        if self.count > 0 {
+            out.push(',');
+            json::push_key(out, "p50");
+            out.push_str(&self.p50().to_string());
+            out.push(',');
+            json::push_key(out, "p90");
+            out.push_str(&self.p90().to_string());
+            out.push(',');
+            json::push_key(out, "p99");
+            out.push_str(&self.p99().to_string());
+            out.push(',');
+            json::push_key(out, "mean");
+            json::push_f64(out, self.mean());
+        }
         out.push('}');
+    }
+
+    /// Renders this snapshot as a JSON object. Percentile and mean keys
+    /// are **omitted** when the histogram holds no samples, so a consumer
+    /// can tell "no data" from a genuine 0 ns sample — an idle window must
+    /// never read as a 0 ns p99 pass.
+    pub fn write_windowed_json(&self, out: &mut String) {
+        self.write_json(out);
     }
 }
 
@@ -565,6 +614,41 @@ mod tests {
         let s = Histogram::new().snapshot();
         assert_eq!((s.count, s.max, s.p50(), s.p99()), (0, 0, 0, 0));
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_no_data() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.quantile_opt(0.50), None);
+        assert_eq!(s.quantile_opt(0.99), None);
+        let mut json = String::new();
+        s.write_windowed_json(&mut json);
+        assert!(!json.contains("\"p50\""), "{json}");
+        assert!(!json.contains("\"p99\""), "{json}");
+        assert!(json.contains("\"count\":0"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets_and_clamp_to_max() {
+        let h = Histogram::new();
+        // All 100 samples in bucket [64, 128): quantiles must spread
+        // monotonically across the bucket instead of sitting on one
+        // midpoint, and never exceed the observed max.
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let s = h.snapshot();
+        let q25 = s.quantile(0.25);
+        let q50 = s.quantile(0.50);
+        let q99 = s.quantile(0.99);
+        assert!((64..128).contains(&q25), "{q25}");
+        assert!(q25 < q50 && q50 < q99, "{q25} {q50} {q99}");
+        assert!(q99 <= s.max, "{q99} > max {}", s.max);
+        // Rank 1 of a single-sample bucket interpolates to the bucket's
+        // upper edge, clamped to the sample itself.
+        let one = Histogram::new();
+        one.record(100);
+        assert_eq!(one.snapshot().quantile(0.99), 100);
     }
 
     #[test]

@@ -1,0 +1,581 @@
+//! Declarative SLOs evaluated per window, with error-budget accounting.
+//!
+//! An [`SloTarget`] names a metric condition that must hold in (almost)
+//! every window of a [`timeseries`](crate::timeseries) run:
+//!
+//! - [`SloKind::RateFloor`] — a counter's windowed rate must stay at or
+//!   above a floor (delivered-throughput SLOs);
+//! - [`SloKind::RatioCeiling`] — the ratio of two counters' window deltas
+//!   must stay at or below a ceiling (drop-rate SLOs); windows where the
+//!   denominator is zero carry no data and are skipped;
+//! - [`SloKind::QuantileCeiling`] — an interpolated quantile of a
+//!   histogram's *window-local* samples must stay at or below a ceiling
+//!   (p99 latency SLOs); empty windows carry no data and are skipped, so
+//!   an idle second never counts as a 0 ns pass.
+//!
+//! Two budgets govern the verdict:
+//!
+//! - the **error budget**: the fraction of evaluated windows allowed to
+//!   violate. `budget_consumed` is the fraction of that allowance spent —
+//!   above 1.0 the target fails;
+//! - the optional **reconvergence budget** (`max_violation_streak_ns`):
+//!   the longest tolerated *consecutive* run of violating windows, in
+//!   virtual time. A scenario may stay inside a generous error budget yet
+//!   fail because one outage took too long to reconverge — exactly the
+//!   property the paper's time-varying experiments are about.
+//!
+//! [`evaluate`] walks the windows once and produces a machine-readable
+//! [`SloReport`]: per-target verdicts, every violated window, the worst
+//! window, budget consumption, and the longest violation streak.
+
+use crate::json;
+use crate::timeseries::WindowSnapshot;
+
+/// The windowed condition of one SLO target.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SloKind {
+    /// The windowed rate of `counter` must be `>= min_per_s`.
+    RateFloor {
+        /// Counter name in the registry.
+        counter: String,
+        /// Floor in units per second of virtual time.
+        min_per_s: f64,
+    },
+    /// `numerator / denominator` (window deltas) must be `<= max_ratio`.
+    /// Windows with a zero denominator are skipped (no data).
+    RatioCeiling {
+        /// Numerator counter name (e.g. drops).
+        numerator: String,
+        /// Denominator counter name (e.g. offered load).
+        denominator: String,
+        /// Largest acceptable ratio.
+        max_ratio: f64,
+    },
+    /// The interpolated `quantile` of `histogram`'s window-local samples
+    /// must be `<= max_value`. Empty windows are skipped (no data).
+    QuantileCeiling {
+        /// Histogram name in the registry.
+        histogram: String,
+        /// Quantile in `(0, 1]`, e.g. 0.99.
+        quantile: f64,
+        /// Largest acceptable sample value (for latency histograms: ns).
+        max_value: u64,
+    },
+}
+
+impl SloKind {
+    fn kind_str(&self) -> &'static str {
+        match self {
+            SloKind::RateFloor { .. } => "rate_floor",
+            SloKind::RatioCeiling { .. } => "ratio_ceiling",
+            SloKind::QuantileCeiling { .. } => "quantile_ceiling",
+        }
+    }
+
+    /// The observed value in `window`, or `None` when the window carries
+    /// no data for this condition.
+    #[must_use]
+    fn observe(&self, window: &WindowSnapshot) -> Option<f64> {
+        match self {
+            SloKind::RateFloor { counter, .. } => Some(window.counter(counter).rate_per_s),
+            SloKind::RatioCeiling {
+                numerator,
+                denominator,
+                ..
+            } => {
+                let den = window.counter(denominator).delta;
+                if den == 0 {
+                    return None;
+                }
+                #[allow(clippy::cast_precision_loss)]
+                Some(window.counter(numerator).delta as f64 / den as f64)
+            }
+            SloKind::QuantileCeiling {
+                histogram,
+                quantile,
+                ..
+            } => {
+                let h = window.histogram(histogram)?;
+                #[allow(clippy::cast_precision_loss)]
+                h.quantile_opt(*quantile).map(|v| v as f64)
+            }
+        }
+    }
+
+    /// Whether `observed` violates the condition.
+    #[must_use]
+    fn violates(&self, observed: f64) -> bool {
+        match self {
+            SloKind::RateFloor { min_per_s, .. } => observed < *min_per_s,
+            SloKind::RatioCeiling { max_ratio, .. } => observed > *max_ratio,
+            #[allow(clippy::cast_precision_loss)]
+            SloKind::QuantileCeiling { max_value, .. } => observed > *max_value as f64,
+        }
+    }
+
+    /// Whether `a` is worse than `b` for this condition.
+    #[must_use]
+    fn worse(&self, a: f64, b: f64) -> bool {
+        match self {
+            SloKind::RateFloor { .. } => a < b,
+            SloKind::RatioCeiling { .. } | SloKind::QuantileCeiling { .. } => a > b,
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        json::push_key(out, "kind");
+        json::push_str_literal(out, self.kind_str());
+        match self {
+            SloKind::RateFloor { counter, min_per_s } => {
+                out.push(',');
+                json::push_key(out, "counter");
+                json::push_str_literal(out, counter);
+                out.push(',');
+                json::push_key(out, "min_per_s");
+                json::push_f64(out, *min_per_s);
+            }
+            SloKind::RatioCeiling {
+                numerator,
+                denominator,
+                max_ratio,
+            } => {
+                out.push(',');
+                json::push_key(out, "numerator");
+                json::push_str_literal(out, numerator);
+                out.push(',');
+                json::push_key(out, "denominator");
+                json::push_str_literal(out, denominator);
+                out.push(',');
+                json::push_key(out, "max_ratio");
+                json::push_f64(out, *max_ratio);
+            }
+            SloKind::QuantileCeiling {
+                histogram,
+                quantile,
+                max_value,
+            } => {
+                out.push(',');
+                json::push_key(out, "histogram");
+                json::push_str_literal(out, histogram);
+                out.push(',');
+                json::push_key(out, "quantile");
+                json::push_f64(out, *quantile);
+                out.push(',');
+                json::push_key(out, "max_value");
+                out.push_str(&max_value.to_string());
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// One declarative SLO target.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloTarget {
+    /// Human-readable target name, e.g. `"availability"`.
+    pub name: String,
+    /// The windowed condition.
+    pub kind: SloKind,
+    /// Fraction of evaluated windows allowed to violate, in `[0, 1]`.
+    /// The allowance is `floor(error_budget * evaluated_windows)`; with a
+    /// budget of 0 any violation fails the target.
+    pub error_budget: f64,
+    /// Longest tolerated consecutive violation streak in virtual ns (the
+    /// reconvergence budget). `None` leaves streaks governed only by the
+    /// error budget.
+    pub max_violation_streak_ns: Option<u64>,
+}
+
+impl SloTarget {
+    /// A target with no error budget and no streak budget: every window
+    /// must comply.
+    #[must_use]
+    pub fn strict(name: &str, kind: SloKind) -> Self {
+        Self {
+            name: name.to_string(),
+            kind,
+            error_budget: 0.0,
+            max_violation_streak_ns: None,
+        }
+    }
+
+    /// Sets the error budget (fraction of windows allowed to violate).
+    #[must_use]
+    pub fn with_error_budget(mut self, budget: f64) -> Self {
+        self.error_budget = budget.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the reconvergence budget (longest tolerated violation streak).
+    #[must_use]
+    pub fn with_max_streak_ns(mut self, ns: u64) -> Self {
+        self.max_violation_streak_ns = Some(ns);
+        self
+    }
+}
+
+/// The verdict of one target over one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloOutcome {
+    /// The target this outcome scores.
+    pub target: SloTarget,
+    /// Windows that carried data for the condition.
+    pub evaluated_windows: u64,
+    /// Windows skipped for lack of data (idle histogram, zero denominator).
+    pub skipped_windows: u64,
+    /// Indices (absolute window ordinals) of every violating window.
+    pub violated_windows: Vec<u64>,
+    /// The worst window: `(index, observed value)`, if any data was seen.
+    pub worst_window: Option<(u64, f64)>,
+    /// Violations over the allowance: above 1.0 the error budget is blown.
+    /// With a zero budget the allowance is zero; any violation reports as
+    /// consumed = violations (and fails).
+    pub budget_consumed: f64,
+    /// The longest consecutive run of violating windows, in virtual ns.
+    pub longest_streak_ns: u64,
+    /// Whether the target held: error budget not blown and (when set) no
+    /// streak beyond the reconvergence budget.
+    pub pass: bool,
+}
+
+impl SloOutcome {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        json::push_key(out, "name");
+        json::push_str_literal(out, &self.target.name);
+        out.push(',');
+        json::push_key(out, "slo");
+        self.target.kind.write_json(out);
+        out.push(',');
+        json::push_key(out, "error_budget");
+        json::push_f64(out, self.target.error_budget);
+        out.push(',');
+        if let Some(ns) = self.target.max_violation_streak_ns {
+            json::push_key(out, "max_violation_streak_ns");
+            out.push_str(&ns.to_string());
+            out.push(',');
+        }
+        json::push_key(out, "evaluated_windows");
+        out.push_str(&self.evaluated_windows.to_string());
+        out.push(',');
+        json::push_key(out, "skipped_windows");
+        out.push_str(&self.skipped_windows.to_string());
+        out.push(',');
+        json::push_key(out, "violated_windows");
+        out.push('[');
+        for (i, w) in self.violated_windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&w.to_string());
+        }
+        out.push_str("],");
+        if let Some((idx, value)) = self.worst_window {
+            json::push_key(out, "worst_window");
+            out.push('{');
+            json::push_key(out, "index");
+            out.push_str(&idx.to_string());
+            out.push(',');
+            json::push_key(out, "observed");
+            json::push_f64(out, value);
+            out.push_str("},");
+        }
+        json::push_key(out, "budget_consumed");
+        json::push_f64(out, self.budget_consumed);
+        out.push(',');
+        json::push_key(out, "longest_streak_ns");
+        out.push_str(&self.longest_streak_ns.to_string());
+        out.push(',');
+        json::push_key(out, "pass");
+        out.push_str(if self.pass { "true" } else { "false" });
+        out.push('}');
+    }
+}
+
+/// The machine-readable result of evaluating all targets over a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloReport {
+    /// Per-target outcomes, in target order.
+    pub outcomes: Vec<SloOutcome>,
+    /// Whether every target passed.
+    pub pass: bool,
+}
+
+impl SloReport {
+    /// The outcome of the target named `name`, if present.
+    #[must_use]
+    pub fn outcome(&self, name: &str) -> Option<&SloOutcome> {
+        self.outcomes.iter().find(|o| o.target.name == name)
+    }
+
+    /// Renders the report as one stable JSON object:
+    /// `{"pass":B,"targets":[...]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        json::push_key(&mut out, "pass");
+        out.push_str(if self.pass { "true" } else { "false" });
+        out.push(',');
+        json::push_key(&mut out, "targets");
+        out.push('[');
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            o.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Evaluates every target over the windows of one run.
+///
+/// Windows are walked oldest-first; a window with no data for a target's
+/// condition (idle histogram, zero denominator) is skipped and breaks any
+/// running violation streak — an idle system is not a violating one.
+#[must_use]
+pub fn evaluate(windows: &[WindowSnapshot], targets: &[SloTarget]) -> SloReport {
+    let outcomes: Vec<SloOutcome> = targets
+        .iter()
+        .map(|t| evaluate_target(windows, t))
+        .collect();
+    let pass = outcomes.iter().all(|o| o.pass);
+    SloReport { outcomes, pass }
+}
+
+#[allow(clippy::cast_precision_loss, clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+fn evaluate_target(windows: &[WindowSnapshot], target: &SloTarget) -> SloOutcome {
+    let mut evaluated = 0u64;
+    let mut skipped = 0u64;
+    let mut violated = Vec::new();
+    let mut worst: Option<(u64, f64)> = None;
+    let mut streak_ns = 0u64;
+    let mut longest_streak_ns = 0u64;
+    for w in windows {
+        let Some(observed) = target.kind.observe(w) else {
+            skipped += 1;
+            streak_ns = 0;
+            continue;
+        };
+        evaluated += 1;
+        if worst.is_none_or(|(_, b)| target.kind.worse(observed, b)) {
+            worst = Some((w.index, observed));
+        }
+        if target.kind.violates(observed) {
+            violated.push(w.index);
+            streak_ns += w.end_ns - w.start_ns;
+            longest_streak_ns = longest_streak_ns.max(streak_ns);
+        } else {
+            streak_ns = 0;
+        }
+    }
+    let allowance = (target.error_budget * evaluated as f64).floor() as u64;
+    let budget_consumed = if allowance == 0 {
+        violated.len() as f64
+    } else {
+        violated.len() as f64 / allowance as f64
+    };
+    let budget_ok = violated.len() as u64 <= allowance;
+    let streak_ok = target
+        .max_violation_streak_ns
+        .is_none_or(|budget| longest_streak_ns <= budget);
+    SloOutcome {
+        target: target.clone(),
+        evaluated_windows: evaluated,
+        skipped_windows: skipped,
+        violated_windows: violated,
+        worst_window: worst,
+        budget_consumed,
+        longest_streak_ns,
+        pass: budget_ok && streak_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::{WindowConfig, WindowRoller};
+    use crate::Telemetry;
+
+    /// Drives a hub through `deltas.len()` one-second windows, adding
+    /// `deltas[i]` to "delivered" and `drops[i]` to "dropped" in window i.
+    fn windows_from(deltas: &[u64], drops: &[u64]) -> Vec<WindowSnapshot> {
+        let hub = Telemetry::new();
+        let mut roller = WindowRoller::new(
+            &hub.registry,
+            &hub.clock,
+            WindowConfig {
+                width_ns: 1_000_000_000,
+                capacity: 64,
+            },
+        );
+        let delivered = hub.registry.counter("delivered");
+        let dropped = hub.registry.counter("dropped");
+        for (&d, &x) in deltas.iter().zip(drops) {
+            delivered.add(d);
+            dropped.add(x);
+            hub.clock.advance_ns(1_000_000_000);
+            roller.tick();
+        }
+        roller.windows().iter().cloned().collect()
+    }
+
+    #[test]
+    fn rate_floor_flags_slow_windows() {
+        let windows = windows_from(&[100, 100, 10, 100], &[0; 4]);
+        let target = SloTarget::strict(
+            "goodput",
+            SloKind::RateFloor {
+                counter: "delivered".into(),
+                min_per_s: 50.0,
+            },
+        );
+        let report = evaluate(&windows, &[target]);
+        assert!(!report.pass);
+        let o = report.outcome("goodput").unwrap();
+        assert_eq!(o.violated_windows, vec![2]);
+        assert_eq!(o.worst_window, Some((2, 10.0)));
+        assert_eq!(o.longest_streak_ns, 1_000_000_000);
+    }
+
+    #[test]
+    fn error_budget_tolerates_bounded_violations() {
+        let windows = windows_from(&[100, 10, 100, 100, 100, 100, 100, 100, 100, 100], &[0; 10]);
+        let base = SloTarget::strict(
+            "goodput",
+            SloKind::RateFloor {
+                counter: "delivered".into(),
+                min_per_s: 50.0,
+            },
+        );
+        let strict = evaluate(&windows, std::slice::from_ref(&base));
+        assert!(!strict.pass);
+        assert!(strict.outcomes[0].budget_consumed >= 1.0);
+        let lenient = evaluate(&windows, &[base.with_error_budget(0.10)]);
+        assert!(lenient.pass, "1 of 10 windows within a 10% budget");
+        assert!((lenient.outcomes[0].budget_consumed - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_ceiling_skips_zero_denominator_windows() {
+        let windows = windows_from(&[100, 0, 100], &[2, 5, 0]);
+        let target = SloTarget::strict(
+            "drops",
+            SloKind::RatioCeiling {
+                numerator: "dropped".into(),
+                denominator: "delivered".into(),
+                max_ratio: 0.05,
+            },
+        );
+        let report = evaluate(&windows, &[target]);
+        let o = &report.outcomes[0];
+        // Window 1 delivered nothing: no data, not a violation.
+        assert_eq!(o.evaluated_windows, 2);
+        assert_eq!(o.skipped_windows, 1);
+        assert!(o.pass);
+    }
+
+    #[test]
+    fn reconvergence_budget_fails_long_streaks_within_error_budget() {
+        // 3 consecutive bad windows out of 20: fine by a 20% error budget,
+        // but a 2-second reconvergence budget must fail.
+        let mut deltas = vec![100u64; 20];
+        for d in &mut deltas[5..8] {
+            *d = 5;
+        }
+        let windows = windows_from(&deltas, &[0; 20]);
+        let target = SloTarget::strict(
+            "goodput",
+            SloKind::RateFloor {
+                counter: "delivered".into(),
+                min_per_s: 50.0,
+            },
+        )
+        .with_error_budget(0.20);
+        assert!(evaluate(&windows, std::slice::from_ref(&target)).pass);
+        let with_streak = target.with_max_streak_ns(2_000_000_000);
+        let report = evaluate(&windows, &[with_streak]);
+        assert!(!report.pass);
+        assert_eq!(report.outcomes[0].longest_streak_ns, 3_000_000_000);
+    }
+
+    #[test]
+    fn quantile_ceiling_skips_idle_windows() {
+        let hub = Telemetry::new();
+        let mut roller = WindowRoller::new(
+            &hub.registry,
+            &hub.clock,
+            WindowConfig {
+                width_ns: 1_000,
+                capacity: 16,
+            },
+        );
+        let h = hub.registry.histogram("lat");
+        h.record(100);
+        hub.clock.advance_ns(1_000);
+        roller.tick();
+        // Idle window: no samples at all.
+        hub.clock.advance_ns(1_000);
+        roller.tick();
+        h.record(1_000_000);
+        hub.clock.advance_ns(1_000);
+        roller.tick();
+        let windows: Vec<_> = roller.windows().iter().cloned().collect();
+        let target = SloTarget::strict(
+            "latency",
+            SloKind::QuantileCeiling {
+                histogram: "lat".into(),
+                quantile: 0.99,
+                max_value: 10_000,
+            },
+        );
+        let report = evaluate(&windows, &[target]);
+        let o = &report.outcomes[0];
+        assert_eq!(o.evaluated_windows, 2);
+        assert_eq!(o.skipped_windows, 1, "idle window is no-data, not a pass");
+        assert_eq!(o.violated_windows, vec![2]);
+        assert!(!o.pass);
+    }
+
+    #[test]
+    fn report_json_is_stable_and_carries_verdicts() {
+        let windows = windows_from(&[100, 10], &[0, 0]);
+        let target = SloTarget::strict(
+            "goodput",
+            SloKind::RateFloor {
+                counter: "delivered".into(),
+                min_per_s: 50.0,
+            },
+        )
+        .with_max_streak_ns(5_000_000_000);
+        let report = evaluate(&windows, &[target]);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"pass\":false,\"targets\":["));
+        assert!(json.contains("\"name\":\"goodput\""));
+        assert!(json.contains("\"kind\":\"rate_floor\""));
+        assert!(json.contains("\"violated_windows\":[1]"));
+        assert!(json.contains("\"max_violation_streak_ns\":5000000000"));
+        assert!(json.contains("\"worst_window\":{\"index\":1,\"observed\":10"));
+        assert_eq!(json, report.to_json());
+    }
+
+    #[test]
+    fn empty_run_passes_vacuously() {
+        let report = evaluate(
+            &[],
+            &[SloTarget::strict(
+                "goodput",
+                SloKind::RateFloor {
+                    counter: "delivered".into(),
+                    min_per_s: 1.0,
+                },
+            )],
+        );
+        assert!(report.pass);
+        assert_eq!(report.outcomes[0].evaluated_windows, 0);
+        assert!(report.outcomes[0].worst_window.is_none());
+    }
+}
