@@ -1,0 +1,543 @@
+//! The compiled FIB: dense label-interned rule tables with RCU-style
+//! generation publish (DESIGN.md §14).
+//!
+//! The forwarder's authoritative rule state is a
+//! `HashMap<LabelPair, EpochRules>` — ideal for the control plane's
+//! incremental installs and retires, but wrong for the per-packet hot path:
+//! every probe pays SipHash over the label pair plus a pointer chase into
+//! the epoch vector, and mixed-label fleet traffic defeats the batch loop's
+//! one-entry rule cache entirely. Following Active Switching's insight that
+//! chain steering should be resolved into flat per-hop state rather than
+//! re-looked-up per packet, this module compiles the rule map into a
+//! [`CompiledFib`]:
+//!
+//! - a **label-interning table**: an open-addressed, power-of-two probe
+//!   table mapping a packed `LabelPair` to a small dense row index — a
+//!   splitmix-mixed u64 compare per probe, no SipHash, no buckets;
+//! - **dense rule rows** ([`FibRow`]): per label pair, the active epoch's
+//!   [`RuleSet`] with its Vose alias tables already baked (cloned from the
+//!   install-time build), the active epoch tag, and the full ascending
+//!   epoch list — both epochs of a make-before-break update are present in
+//!   one generation until the old one is retired;
+//! - a **chain-fallback table**: reverse-direction packets carry the
+//!   opposite egress label, so a miss on the exact pair falls back to the
+//!   chain's canonical (smallest) label pair, mirroring the interpreted
+//!   lookup deterministically.
+//!
+//! # Generation lifecycle
+//!
+//! Compilation happens off the hot path, in the rule mutators
+//! (`install_rules_epoch` / `retire_epoch` / `fail_vnf_instance` / ...).
+//! Each mutation builds the next [`CompiledFib`] — a full rebuild from the
+//! rule map, or an in-place single-row patch ([`CompiledFib::patch_row`])
+//! when only one label pair changed — and publishes it through a
+//! [`FibCell`] with RCU semantics: readers ([`FibReader`]) keep an `Arc`
+//! to the generation they last saw and re-check a single atomic generation
+//! counter per batch; only when the generation moved do they take the
+//! cell's lock to swap their `Arc`. Packet processing therefore never
+//! stalls on a rebuild, and a generation stays alive (and consistent)
+//! for as long as any reader still holds it.
+
+use crate::forwarder::RuleSet;
+use sb_types::LabelPair;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Issues a best-effort read prefetch for the cache line holding `p`.
+///
+/// A pure performance hint: on x86-64 it lowers to `prefetcht0`, elsewhere
+/// it compiles to nothing. Prefetching any address — stale, unaligned, or
+/// unmapped — is architecturally safe; it can never fault or alter
+/// program-visible state, which is why the scoped `unsafe` below is sound.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a hint instruction with no architectural
+    // effect beyond cache state; it is defined for arbitrary addresses.
+    #[allow(unsafe_code)]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p.cast::<i8>(), core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Sentinel row index meaning "no FIB row" (lookup miss with no chain
+/// fallback). Kept out of the valid range by construction: a FIB can never
+/// hold `u32::MAX` rows.
+pub const FIB_MISS: u32 = u32::MAX;
+
+/// One compiled rule row: everything the hot path needs for a label pair,
+/// laid out contiguously in the row array.
+#[derive(Debug, Clone)]
+pub struct FibRow {
+    /// The label pair this row serves.
+    pub labels: LabelPair,
+    /// The active (highest installed) epoch tag.
+    pub active_epoch: u64,
+    /// Every installed epoch, ascending — during a make-before-break
+    /// update both the old and new epoch are listed until the retire.
+    pub epochs: Vec<u64>,
+    /// The active epoch's rule sets, alias tables pre-baked.
+    pub rules: RuleSet,
+}
+
+/// An immutable compiled snapshot of a forwarder's rule state.
+///
+/// Built off the hot path by [`CompiledFib::build`] (full rebuild) or
+/// [`CompiledFib::patch_row`] (single-row delta) and published through a
+/// [`FibCell`]. Lookups are wait-free and allocation-free.
+#[derive(Debug)]
+pub struct CompiledFib {
+    generation: u64,
+    /// Rule rows, sorted by label pair — deterministic across rebuilds.
+    rows: Vec<FibRow>,
+    /// Interning table: packed label-pair key per slot.
+    slot_keys: Box<[u64]>,
+    /// Row index per slot; [`FIB_MISS`] marks an empty slot.
+    slot_rows: Box<[u32]>,
+    mask: usize,
+    /// `(chain value, canonical row index)` sorted by chain value; the
+    /// canonical row is the chain's smallest label pair.
+    chains: Vec<(u32, u32)>,
+}
+
+/// Packs a label pair into the u64 interning key.
+#[inline]
+fn pack(labels: LabelPair) -> u64 {
+    (u64::from(labels.chain().value()) << 32) | u64::from(labels.egress().value())
+}
+
+/// splitmix64 finalizer over the packed key.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl CompiledFib {
+    /// An empty FIB at generation 0 (the state of a fresh forwarder).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::build(0, Vec::new())
+    }
+
+    /// Compiles `rows` into a FIB tagged `generation`. Rows are sorted by
+    /// label pair, so the layout (and the chain-fallback choice) is
+    /// deterministic regardless of the rule map's iteration order.
+    #[must_use]
+    pub fn build(generation: u64, mut rows: Vec<FibRow>) -> Self {
+        rows.sort_by_key(|r| r.labels);
+        let buckets = (rows.len() * 2).next_power_of_two().max(8);
+        let mut slot_keys = vec![0u64; buckets].into_boxed_slice();
+        let mut slot_rows = vec![FIB_MISS; buckets].into_boxed_slice();
+        let mask = buckets - 1;
+        let mut chains: Vec<(u32, u32)> = Vec::new();
+        #[allow(clippy::cast_possible_truncation)]
+        for (idx, row) in rows.iter().enumerate() {
+            let key = pack(row.labels);
+            let mut i = (mix(key) as usize) & mask;
+            while slot_rows[i] != FIB_MISS {
+                i = (i + 1) & mask;
+            }
+            slot_keys[i] = key;
+            slot_rows[i] = idx as u32;
+            // Rows are sorted, so the first row seen per chain is the
+            // chain's smallest label pair — the canonical fallback.
+            let chain = row.labels.chain().value();
+            if chains.last().map(|&(c, _)| c) != Some(chain) {
+                chains.push((chain, idx as u32));
+            }
+        }
+        Self {
+            generation,
+            rows,
+            slot_keys,
+            slot_rows,
+            mask,
+            chains,
+        }
+    }
+
+    /// A copy of this FIB with one row replaced (or inserted), tagged
+    /// `generation`. The single-row delta path for installs and retires
+    /// that touch one surviving label pair: row payloads are cloned but
+    /// nothing is re-derived from the rule map. A replacement reuses the
+    /// interning and fallback tables verbatim; an insert falls back to a
+    /// fresh [`build`](Self::build) over the extended row set.
+    #[must_use]
+    pub fn patch_row(&self, generation: u64, row: FibRow) -> Self {
+        match self.rows.binary_search_by_key(&row.labels, |r| r.labels) {
+            Ok(i) => {
+                let mut rows = self.rows.clone();
+                rows[i] = row;
+                Self {
+                    generation,
+                    rows,
+                    slot_keys: self.slot_keys.clone(),
+                    slot_rows: self.slot_rows.clone(),
+                    mask: self.mask,
+                    chains: self.chains.clone(),
+                }
+            }
+            Err(_) => {
+                let mut rows = self.rows.clone();
+                rows.push(row);
+                Self::build(generation, rows)
+            }
+        }
+    }
+
+    /// This snapshot's generation number.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of rule rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the FIB holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The compiled rows, sorted by label pair.
+    #[must_use]
+    pub fn rows(&self) -> &[FibRow] {
+        &self.rows
+    }
+
+    /// Resolves a label pair to its row index: exact match through the
+    /// interning table, else the chain's canonical row (reverse-direction
+    /// packets carry the opposite egress label but belong to the same
+    /// chain), else `None`. Mirrors the interpreted lookup exactly.
+    #[inline]
+    #[must_use]
+    pub fn lookup_index(&self, labels: LabelPair) -> Option<u32> {
+        let key = pack(labels);
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            let row = self.slot_rows[i];
+            if row == FIB_MISS {
+                break;
+            }
+            if self.slot_keys[i] == key {
+                return Some(row);
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.chains
+            .binary_search_by_key(&labels.chain().value(), |&(c, _)| c)
+            .ok()
+            .map(|j| self.chains[j].1)
+    }
+
+    /// The row at `idx` (from [`lookup_index`](Self::lookup_index)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range (in particular [`FIB_MISS`]).
+    #[inline]
+    #[must_use]
+    pub fn row(&self, idx: u32) -> &FibRow {
+        &self.rows[idx as usize]
+    }
+
+    /// Prefetches the row at `idx` ahead of [`row`](Self::row).
+    #[inline]
+    pub fn prefetch_row(&self, idx: u32) {
+        if let Some(r) = self.rows.get(idx as usize) {
+            prefetch_read(std::ptr::from_ref(r));
+        }
+    }
+}
+
+/// Shared state behind a [`FibCell`] and its readers.
+#[derive(Debug)]
+struct FibShared {
+    /// The published generation; written with `Release` after the slot
+    /// swap, so a reader that observes it and takes the lock is guaranteed
+    /// to find (at least) that generation's `Arc` in the slot.
+    generation: AtomicU64,
+    slot: Mutex<Arc<CompiledFib>>,
+}
+
+/// The writer side of the RCU publish protocol.
+///
+/// One cell per forwarder: mutators build the next [`CompiledFib`] off the
+/// hot path and [`publish`](FibCell::publish) it; the swap is a brief lock
+/// over one `Arc` assignment, never a stall proportional to table size.
+/// Readers obtained via [`reader`](FibCell::reader) can live on other
+/// threads; generations they still hold stay alive until dropped.
+#[derive(Debug)]
+pub struct FibCell {
+    shared: Arc<FibShared>,
+}
+
+impl FibCell {
+    /// Creates a cell publishing `fib` as the initial generation.
+    #[must_use]
+    pub fn new(fib: CompiledFib) -> Self {
+        let generation = fib.generation();
+        Self {
+            shared: Arc::new(FibShared {
+                generation: AtomicU64::new(generation),
+                slot: Mutex::new(Arc::new(fib)),
+            }),
+        }
+    }
+
+    /// The currently published generation number.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::Acquire)
+    }
+
+    /// The currently published snapshot (writer-side convenience, used to
+    /// derive patches).
+    #[must_use]
+    pub fn current(&self) -> Arc<CompiledFib> {
+        Arc::clone(&self.shared.slot.lock().expect("fib slot poisoned"))
+    }
+
+    /// Publishes `fib` as the new generation. The slot swap happens under
+    /// the lock; the generation counter is released afterwards, so readers
+    /// that observe the new number always find the new snapshot.
+    pub fn publish(&self, fib: CompiledFib) {
+        let generation = fib.generation();
+        let mut slot = self.shared.slot.lock().expect("fib slot poisoned");
+        *slot = Arc::new(fib);
+        self.shared.generation.store(generation, Ordering::Release);
+    }
+
+    /// A reader handle over this cell (cheap; clone freely across threads).
+    #[must_use]
+    pub fn reader(&self) -> FibReader {
+        let cached = self.current();
+        FibReader {
+            shared: Arc::clone(&self.shared),
+            cached_generation: cached.generation(),
+            cached,
+        }
+    }
+
+    /// A detached copy: a fresh cell whose initial snapshot is this cell's
+    /// current generation, with no further coupling. Cloning a forwarder
+    /// must not let the clone's rebuilds clobber the original's FIB.
+    #[must_use]
+    pub fn detach(&self) -> Self {
+        let cached = self.current();
+        Self {
+            shared: Arc::new(FibShared {
+                generation: AtomicU64::new(cached.generation()),
+                slot: Mutex::new(cached),
+            }),
+        }
+    }
+}
+
+/// The reader side of the RCU publish protocol: caches the last generation
+/// seen and re-checks one atomic per batch, taking the cell's lock only
+/// when the generation actually moved.
+#[derive(Debug)]
+pub struct FibReader {
+    shared: Arc<FibShared>,
+    cached_generation: u64,
+    cached: Arc<CompiledFib>,
+}
+
+impl FibReader {
+    /// The current snapshot. Wait-free (one `Acquire` load) while the
+    /// published generation is unchanged; on a change, briefly locks the
+    /// slot to re-clone the new `Arc`.
+    #[inline]
+    pub fn snapshot(&mut self) -> &Arc<CompiledFib> {
+        let generation = self.shared.generation.load(Ordering::Acquire);
+        if generation != self.cached_generation {
+            self.cached = Arc::clone(&self.shared.slot.lock().expect("fib slot poisoned"));
+            self.cached_generation = self.cached.generation();
+        }
+        &self.cached
+    }
+
+    /// The generation of the snapshot this reader currently holds (without
+    /// refreshing).
+    #[must_use]
+    pub fn held_generation(&self) -> u64 {
+        self.cached_generation
+    }
+}
+
+impl Clone for FibReader {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+            cached_generation: self.cached_generation,
+            cached: Arc::clone(&self.cached),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadbalancer::WeightedChoice;
+    use crate::packet::Addr;
+    use sb_types::{ChainLabel, EgressLabel, EdgeInstanceId, ForwarderId, InstanceId};
+
+    fn pair(chain: u32, egress: u32) -> LabelPair {
+        LabelPair::new(ChainLabel::new(chain), EgressLabel::new(egress))
+    }
+
+    fn ruleset(inst: u64) -> RuleSet {
+        RuleSet {
+            to_vnf: WeightedChoice::single(Addr::Vnf(InstanceId::new(inst))),
+            to_next: WeightedChoice::single(Addr::Forwarder(ForwarderId::new(9))),
+            to_prev: WeightedChoice::single(Addr::Edge(EdgeInstanceId::new(0))),
+        }
+    }
+
+    fn row(chain: u32, egress: u32, inst: u64) -> FibRow {
+        FibRow {
+            labels: pair(chain, egress),
+            active_epoch: 0,
+            epochs: vec![0],
+            rules: ruleset(inst),
+        }
+    }
+
+    #[test]
+    fn exact_lookup_and_miss() {
+        let fib = CompiledFib::build(1, vec![row(1, 2, 10), row(3, 4, 11)]);
+        assert_eq!(fib.len(), 2);
+        let idx = fib.lookup_index(pair(1, 2)).unwrap();
+        assert_eq!(fib.row(idx).labels, pair(1, 2));
+        assert!(fib.lookup_index(pair(9, 9)).is_none());
+    }
+
+    #[test]
+    fn chain_fallback_resolves_smallest_pair() {
+        // Two pairs of chain 1: the canonical fallback is the smallest.
+        let fib = CompiledFib::build(1, vec![row(1, 7, 20), row(1, 2, 10)]);
+        let idx = fib.lookup_index(pair(1, 99)).unwrap();
+        assert_eq!(fib.row(idx).labels, pair(1, 2), "fallback must be canonical");
+        // Exact matches still win over the fallback.
+        let idx = fib.lookup_index(pair(1, 7)).unwrap();
+        assert_eq!(fib.row(idx).labels, pair(1, 7));
+    }
+
+    #[test]
+    fn empty_fib_misses_everything() {
+        let fib = CompiledFib::empty();
+        assert!(fib.is_empty());
+        assert_eq!(fib.generation(), 0);
+        assert!(fib.lookup_index(pair(1, 1)).is_none());
+    }
+
+    #[test]
+    fn patch_replaces_in_place_and_insert_rebuilds() {
+        let fib = CompiledFib::build(1, vec![row(1, 2, 10), row(2, 2, 11)]);
+        // Replace: layout identical, payload swapped, generation bumped.
+        let patched = fib.patch_row(2, row(1, 2, 42));
+        assert_eq!(patched.generation(), 2);
+        assert_eq!(patched.len(), 2);
+        let idx = patched.lookup_index(pair(1, 2)).unwrap();
+        assert_eq!(
+            patched.row(idx).rules.to_vnf.targets(),
+            ruleset(42).to_vnf.targets()
+        );
+        // The untouched row survives.
+        let idx = patched.lookup_index(pair(2, 2)).unwrap();
+        assert_eq!(patched.row(idx).labels, pair(2, 2));
+        // Insert: a brand-new pair lands in sorted position and is found.
+        let grown = patched.patch_row(3, row(1, 1, 50));
+        assert_eq!(grown.len(), 3);
+        let idx = grown.lookup_index(pair(1, 1)).unwrap();
+        assert_eq!(grown.row(idx).labels, pair(1, 1));
+        // ...and becomes the chain's new canonical fallback.
+        let idx = grown.lookup_index(pair(1, 77)).unwrap();
+        assert_eq!(grown.row(idx).labels, pair(1, 1));
+    }
+
+    #[test]
+    fn cell_publish_and_reader_refresh() {
+        let cell = FibCell::new(CompiledFib::empty());
+        let mut reader = cell.reader();
+        assert_eq!(reader.snapshot().generation(), 0);
+        cell.publish(CompiledFib::build(1, vec![row(1, 2, 10)]));
+        assert_eq!(cell.generation(), 1);
+        let snap = reader.snapshot();
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.len(), 1);
+    }
+
+    #[test]
+    fn detached_cell_does_not_clobber_the_original() {
+        let cell = FibCell::new(CompiledFib::build(3, vec![row(1, 2, 10)]));
+        let detached = cell.detach();
+        detached.publish(CompiledFib::build(4, Vec::new()));
+        assert_eq!(cell.generation(), 3, "original cell must be untouched");
+        assert_eq!(cell.current().len(), 1);
+        assert_eq!(detached.generation(), 4);
+    }
+
+    #[test]
+    fn readers_see_consistent_generations_under_concurrent_publish() {
+        // Writer publishes N generations where generation g carries g rows,
+        // each tagged active_epoch == g; readers must only ever observe
+        // snapshots satisfying that invariant (never a half-published mix).
+        const GENERATIONS: u64 = 200;
+        let cell = FibCell::new(CompiledFib::empty());
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let mut reader = cell.reader();
+            handles.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                loop {
+                    let snap = reader.snapshot();
+                    let g = snap.generation();
+                    assert!(g >= last, "generation went backwards: {g} < {last}");
+                    assert_eq!(snap.len() as u64, g, "row count mismatch at gen {g}");
+                    assert!(
+                        snap.rows().iter().all(|r| r.active_epoch == g),
+                        "torn snapshot at gen {g}"
+                    );
+                    last = g;
+                    if g == GENERATIONS {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            }));
+        }
+        for g in 1..=GENERATIONS {
+            #[allow(clippy::cast_possible_truncation)]
+            let rows = (0..g)
+                .map(|i| FibRow {
+                    labels: pair(i as u32 + 1, 1),
+                    active_epoch: g,
+                    epochs: vec![g],
+                    rules: ruleset(i),
+                })
+                .collect();
+            cell.publish(CompiledFib::build(g, rows));
+        }
+        for h in handles {
+            h.join().expect("reader thread panicked");
+        }
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_noop_hint() {
+        let fib = CompiledFib::build(1, vec![row(1, 2, 10)]);
+        fib.prefetch_row(0);
+        fib.prefetch_row(FIB_MISS); // out of range: ignored
+        prefetch_read(std::ptr::null::<u64>()); // any address is fine
+    }
+}

@@ -187,6 +187,22 @@ impl FlowTable {
         }
     }
 
+    /// Prefetches the probe chain's first bucket for `key`, ahead of a
+    /// [`get_hashed`](Self::get_hashed) with the same precomputed flow
+    /// hash. A pure performance hint used by the forwarder's pipelined
+    /// batch path (stage 1 prefetches the buckets stage 2 will probe);
+    /// entries inserted between the prefetch and the probe simply make the
+    /// hint stale, never wrong.
+    #[inline]
+    pub fn prefetch(&self, key: &FlowTableKey, flow_hash: u64) {
+        let h = key.slot_hash(flow_hash);
+        let i = (h as usize) & self.mask;
+        // The probe reads the tag array and, on a tag match, the slot
+        // entry — warm both lines, or the slot load still misses DRAM.
+        crate::fib::prefetch_read(std::ptr::from_ref(&self.hashes[i]));
+        crate::fib::prefetch_read(std::ptr::from_ref(&self.slots[i]));
+    }
+
     /// Pins `next` for `key`. Overwrites an existing entry (rule churn never
     /// re-pins existing flows because the forwarder checks `get` first).
     ///

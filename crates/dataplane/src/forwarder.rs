@@ -34,12 +34,15 @@
 //!   packet-for-packet equivalent to calling [`Forwarder::process`] in a
 //!   loop — same next hops, same errors, same counters, same `work_sink`.
 
+use crate::fib::{CompiledFib, FibCell, FibReader, FibRow, FIB_MISS};
 use crate::flow_table::{FlowContext, FlowTable, FlowTableKey};
 use crate::loadbalancer::WeightedChoice;
 use crate::packet::{Addr, Packet, TunnelHeader};
-use sb_telemetry::{Counter, Gauge, Telemetry, TraceRecorder};
+use sb_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceRecorder};
 use sb_types::{Error, FlowKey, ForwarderId, InstanceId, LabelPair, Result, SiteId};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The processing mode of a forwarder (Figure 7's three configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,8 +130,26 @@ struct FwdTelemetry {
     mode_drops: Counter,
     /// `<id>.flow_entries` occupancy gauge.
     occupancy: Gauge,
+    /// `fib.generation`: the published compiled-FIB generation.
+    fib_generation: Gauge,
+    /// `fib.rebuilds`: full FIB recompilations (absolute, like `rx`).
+    fib_rebuilds: Counter,
+    /// `fib.patches`: single-row FIB patches (absolute).
+    fib_patches: Counter,
+    /// `fib.rebuild_ns`: wall-clock nanoseconds per rebuild/patch,
+    /// recorded at publish time (off the packet path).
+    fib_rebuild_ns: Histogram,
     /// Drop count at the previous sync, for the shared-counter delta.
     synced_drops: u64,
+}
+
+/// The FIB counters a telemetry sync publishes (absolute values, taken
+/// from the forwarder's [`FibState`]).
+#[derive(Clone, Copy)]
+struct FibSyncStats {
+    generation: u64,
+    rebuilds: u64,
+    patches: u64,
 }
 
 impl FwdTelemetry {
@@ -145,6 +166,10 @@ impl FwdTelemetry {
             flow_misses: reg.counter(&format!("{id}.flow_misses")),
             mode_drops: reg.counter(&format!("dataplane.drops.{}", mode.as_str())),
             occupancy: reg.gauge(&format!("{id}.flow_entries")),
+            fib_generation: reg.gauge("fib.generation"),
+            fib_rebuilds: reg.counter("fib.rebuilds"),
+            fib_patches: reg.counter("fib.patches"),
+            fib_rebuild_ns: reg.histogram("fib.rebuild_ns"),
             synced_drops: 0,
         }
     }
@@ -183,7 +208,7 @@ impl FwdTelemetry {
     }
 
     /// Publishes the current stats into the registry.
-    fn sync(&mut self, stats: &ForwarderStats, flow_entries: usize) {
+    fn sync(&mut self, stats: &ForwarderStats, flow_entries: usize, fib: FibSyncStats) {
         self.rx.set(stats.rx);
         self.tx.set(stats.tx);
         self.drops.set(stats.drops);
@@ -192,6 +217,66 @@ impl FwdTelemetry {
         self.mode_drops.add(stats.drops - self.synced_drops);
         self.synced_drops = stats.drops;
         self.occupancy.set(flow_entries as i64);
+        #[allow(clippy::cast_possible_wrap)]
+        self.fib_generation.set(fib.generation as i64);
+        self.fib_rebuilds.set(fib.rebuilds);
+        self.fib_patches.set(fib.patches);
+    }
+}
+
+/// The forwarder's compiled-FIB state: the RCU publish cell (writer side),
+/// the forwarder's own cached reader for the batch path, the path toggle,
+/// and recompilation counters.
+///
+/// `Clone` detaches: a cloned forwarder gets a fresh cell seeded with the
+/// current generation, so its subsequent rebuilds never clobber (or race
+/// with) the original's readers.
+#[derive(Debug)]
+struct FibState {
+    cell: FibCell,
+    reader: FibReader,
+    /// Whether `process_batch` uses the compiled pipelined path (default)
+    /// or the interpreted reference loop.
+    enabled: bool,
+    /// Full recompilations published so far.
+    rebuilds: u64,
+    /// Single-row patches published so far.
+    patches: u64,
+}
+
+impl FibState {
+    fn new() -> Self {
+        let cell = FibCell::new(CompiledFib::empty());
+        let reader = cell.reader();
+        Self {
+            cell,
+            reader,
+            enabled: true,
+            rebuilds: 0,
+            patches: 0,
+        }
+    }
+
+    fn sync_stats(&self) -> FibSyncStats {
+        FibSyncStats {
+            generation: self.cell.generation(),
+            rebuilds: self.rebuilds,
+            patches: self.patches,
+        }
+    }
+}
+
+impl Clone for FibState {
+    fn clone(&self) -> Self {
+        let cell = self.cell.detach();
+        let reader = cell.reader();
+        Self {
+            cell,
+            reader,
+            enabled: self.enabled,
+            rebuilds: self.rebuilds,
+            patches: self.patches,
+        }
     }
 }
 
@@ -214,6 +299,10 @@ pub struct Forwarder {
     /// them are stripped.
     label_unaware: HashMap<InstanceId, ()>,
     flow_table: FlowTable,
+    /// The compiled FIB mirroring `rules`/epoch state, republished by every
+    /// rule mutator and consumed by the pipelined batch path (DESIGN.md
+    /// §14).
+    fib: FibState,
     stats: ForwarderStats,
     /// Sink for synthetic per-packet header work (see `io_work`), kept so
     /// the optimizer cannot elide the loop.
@@ -247,6 +336,7 @@ impl Forwarder {
             vnf_labels: HashMap::new(),
             label_unaware: HashMap::new(),
             flow_table: FlowTable::with_capacity(capacity),
+            fib: FibState::new(),
             stats: ForwarderStats::default(),
             work_sink: 0,
             telemetry: None,
@@ -266,7 +356,7 @@ impl Forwarder {
         // Resume sampling relative to packets already processed.
         t.next_sample = self.stats.rx.next_multiple_of(t.sample_every);
         t.synced_drops = self.stats.drops;
-        t.sync(&self.stats, self.flow_table.len());
+        t.sync(&self.stats, self.flow_table.len(), self.fib.sync_stats());
         self.telemetry = Some(t);
     }
 
@@ -300,6 +390,15 @@ impl Forwarder {
         self.flow_table.len()
     }
 
+    /// Total synthetic per-packet header work accumulated (the `io_work`
+    /// sink). Equivalence tests compare it across processing paths: equal
+    /// sinks mean the paths did identical per-packet work in identical
+    /// order.
+    #[must_use]
+    pub fn work_done(&self) -> u64 {
+        self.work_sink
+    }
+
     /// Installs (or replaces) the rule sets for a label pair at its current
     /// active epoch. Existing flow-table entries are untouched, so
     /// established connections keep their instances (Section 5.3: "existing
@@ -309,6 +408,7 @@ impl Forwarder {
         let entry = self.rules.entry(labels).or_default();
         let epoch = entry.active_epoch().unwrap_or(0);
         entry.install(epoch, rules);
+        self.fib_patch(labels);
     }
 
     /// Installs the rule sets for a label pair tagged with `epoch`
@@ -318,6 +418,7 @@ impl Forwarder {
     /// needs both present until the old epoch is retired.
     pub fn install_rules_epoch(&mut self, labels: LabelPair, rules: RuleSet, epoch: u64) {
         self.rules.entry(labels).or_default().install(epoch, rules);
+        self.fib_patch(labels);
     }
 
     /// Removes the rule set tagged `epoch` for a label pair (the retire step
@@ -332,6 +433,11 @@ impl Forwarder {
         if entry.is_empty() {
             self.rules.remove(&labels);
         }
+        if retired {
+            // Pair survives with fewer epochs → single-row patch; pair
+            // removed entirely → full rebuild (fib_patch decides).
+            self.fib_patch(labels);
+        }
         retired
     }
 
@@ -341,21 +447,27 @@ impl Forwarder {
         self.rules.get(&labels).and_then(EpochRules::active_epoch)
     }
 
-    /// All installed epochs for a label pair, ascending.
-    #[must_use]
-    pub fn installed_epochs(&self, labels: LabelPair) -> Vec<u64> {
+    /// All installed epochs for a label pair, ascending. Borrowed iterator
+    /// form: no per-call allocation (callers that need a `Vec` collect at
+    /// their own, colder boundary).
+    pub fn installed_epochs(&self, labels: LabelPair) -> impl Iterator<Item = u64> + '_ {
         self.rules
             .get(&labels)
-            .map(|e| e.sets.iter().map(|(ep, _)| *ep).collect())
-            .unwrap_or_default()
+            .into_iter()
+            .flat_map(|e| e.sets.iter().map(|(ep, _)| *ep))
     }
 
     /// Removes every epoch's rule sets for a label pair, returning the
     /// active one; established flows continue via their flow-table entries.
     pub fn remove_rules(&mut self, labels: LabelPair) -> Option<RuleSet> {
-        self.rules
+        let removed = self
+            .rules
             .remove(&labels)
-            .and_then(|mut e| e.sets.pop().map(|(_, r)| r))
+            .and_then(|mut e| e.sets.pop().map(|(_, r)| r));
+        if removed.is_some() {
+            self.fib_rebuild();
+        }
+        removed
     }
 
     /// Sets the static next hop used in [`ForwarderMode::Bridge`].
@@ -412,7 +524,105 @@ impl Forwarder {
                 }
             }
         }
+        // Every label pair may have changed: full recompilation.
+        self.fib_rebuild();
         self.flow_table.remove_where(|_, next| next == dead)
+    }
+
+    /// Selects the batch-processing path: `true` (the default) runs the
+    /// compiled-FIB two-stage pipeline, `false` the interpreted reference
+    /// loop. [`Self::process`] always interprets — it is the equivalence
+    /// oracle either way. The compiled FIB itself is maintained regardless
+    /// of the toggle, so flipping it mid-stream is safe.
+    pub fn set_compiled_fib(&mut self, enabled: bool) {
+        self.fib.enabled = enabled;
+    }
+
+    /// Whether `process_batch` uses the compiled-FIB path.
+    #[must_use]
+    pub fn compiled_fib(&self) -> bool {
+        self.fib.enabled
+    }
+
+    /// The published compiled-FIB generation (bumped by every rule
+    /// mutation).
+    #[must_use]
+    pub fn fib_generation(&self) -> u64 {
+        self.fib.cell.generation()
+    }
+
+    /// `(full rebuilds, single-row patches)` published so far.
+    #[must_use]
+    pub fn fib_recompilations(&self) -> (u64, u64) {
+        (self.fib.rebuilds, self.fib.patches)
+    }
+
+    /// A reader handle over this forwarder's compiled FIB, usable from
+    /// other threads; it keeps observing generations as mutators publish
+    /// them.
+    #[must_use]
+    pub fn fib_reader(&self) -> FibReader {
+        self.fib.cell.reader()
+    }
+
+    /// Publishes a single-row patch for `labels` — or a full rebuild when
+    /// the pair no longer exists (its row must disappear).
+    fn fib_patch(&mut self, labels: LabelPair) {
+        let Some(entry) = self.rules.get(&labels) else {
+            self.fib_rebuild();
+            return;
+        };
+        let started = Instant::now();
+        let row = FibRow {
+            labels,
+            active_epoch: entry.active_epoch().unwrap_or(0),
+            epochs: entry.sets.iter().map(|(ep, _)| *ep).collect(),
+            rules: entry.active().expect("non-empty epoch set").clone(),
+        };
+        let generation = self.fib.cell.generation() + 1;
+        let next = self.fib.cell.current().patch_row(generation, row);
+        self.fib.cell.publish(next);
+        self.fib.patches += 1;
+        self.fib_note_published(started);
+    }
+
+    /// Recompiles the whole FIB from the rule map and publishes it.
+    fn fib_rebuild(&mut self) {
+        let started = Instant::now();
+        let generation = self.fib.cell.generation() + 1;
+        let rows = self
+            .rules
+            .iter()
+            .filter_map(|(labels, entry)| {
+                let rules = entry.active()?.clone();
+                Some(FibRow {
+                    labels: *labels,
+                    active_epoch: entry.active_epoch().unwrap_or(0),
+                    epochs: entry.sets.iter().map(|(ep, _)| *ep).collect(),
+                    rules,
+                })
+            })
+            .collect();
+        self.fib.cell.publish(CompiledFib::build(generation, rows));
+        self.fib.rebuilds += 1;
+        self.fib_note_published(started);
+    }
+
+    /// Publishes FIB telemetry after a rebuild/patch. The duration
+    /// histogram records only while telemetry is attached (rule churn is a
+    /// control-plane event, and wall-clock durations must never leak into
+    /// paths that compare registry snapshots built before attachment).
+    fn fib_note_published(&mut self, started: Instant) {
+        if let Some(t) = &mut self.telemetry {
+            #[allow(clippy::cast_possible_truncation)]
+            t.fib_rebuild_ns
+                .record(started.elapsed().as_nanos() as u64);
+            let fib = self.fib.sync_stats();
+            #[allow(clippy::cast_possible_wrap)]
+            t.fib_generation.set(fib.generation as i64);
+            t.fib_rebuilds.set(fib.rebuilds);
+            t.fib_patches.set(fib.patches);
+        }
     }
 
     /// Per-packet work rounds charged by every mode: parsing, copying and
@@ -513,7 +723,7 @@ impl Forwarder {
                 };
                 t.record_hop(self.id, self.mode, ordinal, next);
             }
-            t.sync(&self.stats, self.flow_table.len());
+            t.sync(&self.stats, self.flow_table.len(), self.fib.sync_stats());
         }
         result
     }
@@ -553,7 +763,7 @@ impl Forwarder {
             }
         }
         if let Some(t) = &mut self.telemetry {
-            t.sync(&self.stats, self.flow_table.len());
+            t.sync(&self.stats, self.flow_table.len(), self.fib.sync_stats());
         }
     }
 
@@ -600,11 +810,159 @@ impl Forwarder {
         }
     }
 
-    /// Batch path for the label-switched modes: parse + hash every packet
-    /// once, run interleaved header work for the labeled ones, then resolve
-    /// next hops in arrival order (order matters: the first packet of a flow
-    /// installs the entries later packets of the same batch hit).
+    /// Batch path for the label-switched modes: the compiled-FIB two-stage
+    /// pipeline by default, or the interpreted reference loop when
+    /// [`Self::set_compiled_fib`] disabled it. Both are packet-for-packet
+    /// equivalent to [`Self::process`].
     fn labeled_chunk(&mut self, chunk: &mut [Packet], from: Addr, out: &mut Vec<Result<Addr>>) {
+        if self.fib.enabled {
+            self.labeled_chunk_compiled(chunk, from, out);
+        } else {
+            self.labeled_chunk_interpreted(chunk, from, out);
+        }
+    }
+
+    /// The compiled-FIB batch path, a two-stage software pipeline:
+    ///
+    /// - **Stage 1** decapsulates, re-affixes labels, computes every
+    ///   packet's flow hash and FIB row index (one interning probe, no
+    ///   SipHash), and issues prefetches for the FIB rows and flow-table
+    ///   buckets stage 2 will touch — so mixed-label batches resolve rules
+    ///   at full rate instead of thrashing a one-entry cache. The batched
+    ///   header work runs between the stages, giving the prefetches time
+    ///   to land.
+    /// - **Stage 2** probes and forwards in arrival order (order matters:
+    ///   the first packet of a flow installs the entries later packets of
+    ///   the same batch hit — a stage-1 prefetch of a pre-insert bucket is
+    ///   merely a stale hint).
+    fn labeled_chunk_compiled(
+        &mut self,
+        chunk: &mut [Packet],
+        from: Addr,
+        out: &mut Vec<Result<Addr>>,
+    ) {
+        let rx_before = self.stats.rx;
+        self.stats.rx += chunk.len() as u64;
+        let fib = Arc::clone(self.fib.reader.snapshot());
+        let context = match from {
+            Addr::Vnf(_) => FlowContext::FromVnf,
+            Addr::Forwarder(_) | Addr::Edge(_) => FlowContext::FromWire,
+        };
+        let affinity = self.mode == ForwarderMode::Affinity;
+
+        // Stage 1.
+        let mut hashes = [0u64; BATCH_CHUNK];
+        let mut seeds = [0u64; BATCH_CHUNK];
+        let mut rows = [FIB_MISS; BATCH_CHUNK];
+        let mut n_seeds = 0usize;
+        for (i, pkt) in chunk.iter_mut().enumerate() {
+            if pkt.tunnel.is_some() {
+                *pkt = pkt.decapsulated();
+            }
+            if pkt.labels.is_none() {
+                if let Addr::Vnf(inst) = from {
+                    if let Some(&l) = self.vnf_labels.get(&inst) {
+                        *pkt = pkt.with_labels(l);
+                    }
+                }
+            }
+            let h = pkt.key.stable_hash();
+            hashes[i] = h;
+            // Label-less packets are dropped before header work (matching
+            // `process`), so they contribute no seed.
+            if let Some(labels) = pkt.labels {
+                seeds[n_seeds] = h ^ u64::from(pkt.size);
+                n_seeds += 1;
+                if let Some(idx) = fib.lookup_index(labels) {
+                    rows[i] = idx;
+                    fib.prefetch_row(idx);
+                }
+                if affinity {
+                    let ftk = FlowTableKey {
+                        chain: labels.chain(),
+                        key: pkt.key,
+                        context,
+                    };
+                    self.flow_table.prefetch(&ftk, h);
+                }
+            }
+        }
+        self.io_work_batch(&seeds[..n_seeds], Self::work_rounds(self.mode));
+
+        // Stage 2.
+        let id = self.id;
+        let mode = self.mode;
+        let overlay = mode == ForwarderMode::Overlay;
+        let Self {
+            ref mut flow_table,
+            ref mut stats,
+            ref label_unaware,
+            ref mut telemetry,
+            site,
+            ..
+        } = *self;
+        for (i, pkt) in chunk.iter_mut().enumerate() {
+            let res: Result<Addr> = match pkt.labels {
+                None => {
+                    stats.drops += 1;
+                    Err(Error::forwarding("packet has no labels"))
+                }
+                Some(labels) => {
+                    let hash = hashes[i];
+                    let rules = fib.rows().get(rows[i] as usize).map(|r| &r.rules);
+                    let res = if overlay {
+                        stats.flow_misses += 1;
+                        match rules {
+                            Some(r) => Ok(match context {
+                                FlowContext::FromWire => r.to_vnf.select(hash),
+                                FlowContext::FromVnf => r.to_next.select(hash),
+                            }),
+                            None => Err(no_rule_error(labels)),
+                        }
+                    } else {
+                        affinity_next_compiled(
+                            flow_table, stats, rules, pkt.key, hash, labels, context, from,
+                        )
+                    };
+                    match res {
+                        Ok(next) => {
+                            finish_output(label_unaware, site, pkt, labels, next);
+                            stats.tx += 1;
+                            Ok(next)
+                        }
+                        Err(e) => {
+                            stats.drops += 1;
+                            Err(e)
+                        }
+                    }
+                }
+            };
+            if let Some(t) = telemetry.as_mut() {
+                let ordinal = rx_before + i as u64;
+                if ordinal == t.next_sample {
+                    let next = match &res {
+                        Ok(addr) => Ok(*addr),
+                        Err(e) => Err(e),
+                    };
+                    t.record_hop(id, mode, ordinal, next);
+                }
+            }
+            out.push(res);
+        }
+    }
+
+    /// The interpreted batch path (the pre-FIB reference loop): parse +
+    /// hash every packet once, run interleaved header work for the labeled
+    /// ones, then resolve next hops in arrival order against the rule map,
+    /// with a one-entry rule cache that pays off only when a whole batch
+    /// shares one label pair. Kept as the measured baseline and the
+    /// reference implementation the compiled path is tested against.
+    fn labeled_chunk_interpreted(
+        &mut self,
+        chunk: &mut [Packet],
+        from: Addr,
+        out: &mut Vec<Result<Addr>>,
+    ) {
         let rx_before = self.stats.rx;
         self.stats.rx += chunk.len() as u64;
         let mut hashes = [0u64; BATCH_CHUNK];
@@ -825,18 +1183,35 @@ impl EpochRules {
     }
 }
 
+/// The drop-site error for an unmatched label pair. One constructor shared
+/// by the interpreted and compiled paths so the strings cannot drift; the
+/// hot side passes `Option`s around and only formats here, on the miss.
+#[cold]
+fn no_rule_error(labels: LabelPair) -> Error {
+    Error::forwarding(format!("no rule for labels {labels}"))
+}
+
 /// [`Forwarder::rules_for`] over a borrowed rule map, so batch loops can
 /// hold the rule cache while mutating the flow table and counters. Always
 /// resolves to the label pair's *active* epoch.
 fn rules_for_in(rules: &HashMap<LabelPair, EpochRules>, labels: LabelPair) -> Result<&RuleSet> {
+    lookup_rules_in(rules, labels).ok_or_else(|| no_rule_error(labels))
+}
+
+/// Borrowed-form rule lookup: exact label pair first, then the chain's
+/// *canonical* (smallest) label pair — reverse-direction packets carry the
+/// opposite egress label but belong to the same chain. Taking the smallest
+/// pair (not the rule map's iteration order) makes the fallback
+/// deterministic, which the compiled FIB mirrors bit-for-bit.
+fn lookup_rules_in(rules: &HashMap<LabelPair, EpochRules>, labels: LabelPair) -> Option<&RuleSet> {
     if let Some(r) = rules.get(&labels).and_then(EpochRules::active) {
-        return Ok(r);
+        return Some(r);
     }
     rules
         .iter()
         .filter(|(l, _)| l.chain() == labels.chain())
-        .find_map(|(_, e)| e.active())
-        .ok_or_else(|| Error::forwarding(format!("no rule for labels {labels}")))
+        .min_by_key(|(l, _)| **l)
+        .and_then(|(_, e)| e.active())
 }
 
 /// Output rewrite shared by the single-packet and batch paths: strip labels
@@ -890,12 +1265,55 @@ fn affinity_next_in(
         return Ok(next);
     }
     stats.flow_misses += 1;
-    let (next, reverse_prev) = {
-        let rules = rules_for_in(rules, labels)?;
-        match context {
-            FlowContext::FromWire => (rules.to_vnf.select(hash), Some(from)),
-            FlowContext::FromVnf => (rules.to_next.select(hash), None),
-        }
+    let rules = lookup_rules_in(rules, labels).ok_or_else(|| no_rule_error(labels))?;
+    affinity_pin(flow_table, rules, ftk, key, hash, context, from)
+}
+
+/// [`affinity_next_in`] with the rule lookup already resolved against a
+/// compiled FIB row (`None` = no row, the lookup-miss drop). The compiled
+/// batch path resolves rows in stage 1; the flow-table probe, selection,
+/// and pinning here are byte-identical to the interpreted path.
+#[allow(clippy::too_many_arguments)]
+fn affinity_next_compiled(
+    flow_table: &mut FlowTable,
+    stats: &mut ForwarderStats,
+    rules: Option<&RuleSet>,
+    key: FlowKey,
+    hash: u64,
+    labels: LabelPair,
+    context: FlowContext,
+    from: Addr,
+) -> Result<Addr> {
+    let ftk = FlowTableKey {
+        chain: labels.chain(),
+        key,
+        context,
+    };
+    if let Some(next) = flow_table.get_hashed(&ftk, hash) {
+        stats.flow_hits += 1;
+        return Ok(next);
+    }
+    stats.flow_misses += 1;
+    let rules = rules.ok_or_else(|| no_rule_error(labels))?;
+    affinity_pin(flow_table, rules, ftk, key, hash, context, from)
+}
+
+/// The affinity miss path's selection + pinning, shared by the interpreted
+/// and compiled lookups: weighted selection on the flow hash, then the
+/// forward and reverse flow-table entries.
+fn affinity_pin(
+    flow_table: &mut FlowTable,
+    rules: &RuleSet,
+    ftk: FlowTableKey,
+    key: FlowKey,
+    hash: u64,
+    context: FlowContext,
+    from: Addr,
+) -> Result<Addr> {
+    let chain = ftk.chain;
+    let (next, reverse_prev) = match context {
+        FlowContext::FromWire => (rules.to_vnf.select(hash), Some(from)),
+        FlowContext::FromVnf => (rules.to_next.select(hash), None),
     };
     flow_table.insert_hashed(ftk, hash, next)?;
     // The miss path installs reverse-direction entries; their hash is also
@@ -907,7 +1325,7 @@ fn affinity_next_in(
             // Reverse-direction packets must hit the same VNF instance...
             flow_table.insert_hashed(
                 FlowTableKey {
-                    chain: labels.chain(),
+                    chain,
                     key: rev_key,
                     context: FlowContext::FromWire,
                 },
@@ -919,7 +1337,7 @@ fn affinity_next_in(
             if let Some(prev) = reverse_prev {
                 flow_table.insert_hashed(
                     FlowTableKey {
-                        chain: labels.chain(),
+                        chain,
                         key: rev_key,
                         context: FlowContext::FromVnf,
                     },
@@ -936,7 +1354,7 @@ fn affinity_next_in(
             // "even if that VNF modifies packet headers").
             flow_table.insert_hashed(
                 FlowTableKey {
-                    chain: labels.chain(),
+                    chain,
                     key: rev_key,
                     context: FlowContext::FromWire,
                 },
@@ -1143,7 +1561,7 @@ mod tests {
             1,
         );
         assert_eq!(f.active_epoch(labels()), Some(1));
-        assert_eq!(f.installed_epochs(labels()), vec![0, 1]);
+        assert_eq!(f.installed_epochs(labels()).collect::<Vec<_>>(), vec![0, 1]);
 
         // Pinned flow keeps draining on its flow-table entry; a fresh flow
         // hashes onto the new epoch.
@@ -1157,7 +1575,7 @@ mod tests {
         // nothing: the pin still serves the old flow.
         assert!(f.retire_epoch(labels(), 0));
         assert!(!f.retire_epoch(labels(), 0), "already retired");
-        assert_eq!(f.installed_epochs(labels()), vec![1]);
+        assert_eq!(f.installed_epochs(labels()).collect::<Vec<_>>(), vec![1]);
         let (_, after) = f.process(pkt, edge()).unwrap();
         assert_eq!(after, inst);
     }
@@ -1335,11 +1753,13 @@ mod tests {
     }
 
     /// Drives the same packet sequence through `process` one-by-one and
-    /// through `process_batch`, asserting identical next hops, errors,
-    /// counters, flow-table population, `work_sink`, and output packets.
-    /// Both forwarders run with telemetry attached (aggressive 1-in-3
-    /// sampling): registry snapshots and recorded trace events must also
-    /// be identical, so instrumentation cannot diverge the two paths.
+    /// through `process_batch` — once on the compiled-FIB pipeline and
+    /// once on the interpreted reference loop — asserting identical next
+    /// hops, errors, counters, flow-table population, `work_sink`, and
+    /// output packets on both. All forwarders run with telemetry attached
+    /// (aggressive 1-in-3 sampling): registry snapshots and recorded trace
+    /// events must also be identical, so instrumentation cannot diverge
+    /// the paths.
     fn assert_batch_equivalent(
         make: impl Fn() -> Forwarder,
         pkts: &[Packet],
@@ -1351,40 +1771,55 @@ mod tests {
         let seq: Vec<Result<(Packet, Addr)>> =
             pkts.iter().map(|&p| seq_fwd.process(p, from)).collect();
 
-        let batch_hub = sb_telemetry::Telemetry::new();
-        let mut batch_fwd = make();
-        batch_fwd.attach_telemetry(&batch_hub, 3);
-        let mut batch_pkts = pkts.to_vec();
-        let batch = batch_fwd.process_batch(&mut batch_pkts, from);
+        for compiled in [true, false] {
+            let path = if compiled { "compiled" } else { "interpreted" };
+            let batch_hub = sb_telemetry::Telemetry::new();
+            let mut batch_fwd = make();
+            batch_fwd.set_compiled_fib(compiled);
+            batch_fwd.attach_telemetry(&batch_hub, 3);
+            let mut batch_pkts = pkts.to_vec();
+            let batch = batch_fwd.process_batch(&mut batch_pkts, from);
 
-        assert_eq!(seq.len(), batch.len());
-        for (i, (s, b)) in seq.iter().zip(&batch).enumerate() {
-            match (s, b) {
-                (Ok((sp, sn)), Ok(bn)) => {
-                    assert_eq!(sn, bn, "packet {i}: next hop");
-                    assert_eq!(*sp, batch_pkts[i], "packet {i}: rewritten packet");
+            assert_eq!(seq.len(), batch.len());
+            for (i, (s, b)) in seq.iter().zip(&batch).enumerate() {
+                match (s, b) {
+                    (Ok((sp, sn)), Ok(bn)) => {
+                        assert_eq!(sn, bn, "packet {i} ({path}): next hop");
+                        assert_eq!(
+                            *sp, batch_pkts[i],
+                            "packet {i} ({path}): rewritten packet"
+                        );
+                    }
+                    (Err(se), Err(be)) => {
+                        assert_eq!(
+                            se.to_string(),
+                            be.to_string(),
+                            "packet {i} ({path}): error"
+                        );
+                    }
+                    _ => panic!("packet {i} ({path}): {s:?} vs {b:?}"),
                 }
-                (Err(se), Err(be)) => {
-                    assert_eq!(se.to_string(), be.to_string(), "packet {i}: error");
-                }
-                _ => panic!("packet {i}: {s:?} vs {b:?}"),
             }
+            assert_eq!(seq_fwd.stats(), batch_fwd.stats(), "{path}: stats");
+            assert_eq!(
+                seq_fwd.flow_entries(),
+                batch_fwd.flow_entries(),
+                "{path}: flow entries"
+            );
+            assert_eq!(seq_fwd.work_sink, batch_fwd.work_sink, "{path}: work sink");
+            // Identical registry state (counters, mode drops, occupancy
+            // gauge, FIB gauges) and an identical sampled event stream.
+            assert_eq!(
+                seq_hub.registry.snapshot(),
+                batch_hub.registry.snapshot(),
+                "registry snapshots diverge between sequential and {path} batch"
+            );
+            assert_eq!(
+                seq_hub.tracer.snapshot(),
+                batch_hub.tracer.snapshot(),
+                "sampled trace events diverge between sequential and {path} batch"
+            );
         }
-        assert_eq!(seq_fwd.stats(), batch_fwd.stats());
-        assert_eq!(seq_fwd.flow_entries(), batch_fwd.flow_entries());
-        assert_eq!(seq_fwd.work_sink, batch_fwd.work_sink);
-        // Identical registry state (counters, mode drops, occupancy gauge)
-        // and an identical sampled event stream.
-        assert_eq!(
-            seq_hub.registry.snapshot(),
-            batch_hub.registry.snapshot(),
-            "registry snapshots diverge between sequential and batch"
-        );
-        assert_eq!(
-            seq_hub.tracer.snapshot(),
-            batch_hub.tracer.snapshot(),
-            "sampled trace events diverge between sequential and batch"
-        );
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! - [`Forwarder`]: the proxy itself, with the three processing modes of
 //!   Figure 7 ([`ForwarderMode::Bridge`] / [`Overlay`](ForwarderMode::Overlay)
 //!   / [`Affinity`](ForwarderMode::Affinity));
+//! - [`fib`]: the compiled FIB — dense label-interned rule rows published
+//!   RCU-style per generation, feeding the forwarder's prefetch-pipelined
+//!   batch path (DESIGN.md §14);
 //! - [`pktgen::PacketGenerator`]: the MoonGen stand-in;
 //! - [`ring`]: lock-free SPSC rings connecting the sharded runner's
 //!   pktgen → forwarder → sink stages;
@@ -56,13 +59,14 @@
 //! assert_eq!(hop, next);
 //! ```
 
-// `deny`, not `forbid`: the SPSC ring ([`ring`]) is the one module allowed
-// to use `unsafe` (scoped `#![allow]` with per-block SAFETY comments);
-// everything else in the crate still refuses it.
+// `deny`, not `forbid`: the SPSC ring ([`ring`]) and the [`fib`] prefetch
+// hint are the two places allowed to use `unsafe` (scoped `#[allow]` with
+// per-block SAFETY comments); everything else in the crate still refuses it.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dht;
+pub mod fib;
 mod flow_table;
 mod forwarder;
 mod loadbalancer;
@@ -72,6 +76,7 @@ pub mod ring;
 pub mod runner;
 pub mod shard;
 
+pub use fib::{CompiledFib, FibCell, FibReader, FibRow};
 pub use flow_table::{FlowContext, FlowTable, FlowTableKey};
 pub use forwarder::{Forwarder, ForwarderMode, ForwarderStats, RuleSet};
 pub use loadbalancer::WeightedChoice;

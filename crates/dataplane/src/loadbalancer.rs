@@ -133,6 +133,20 @@ impl WeightedChoice {
         }
     }
 
+    /// Prefetches the alias-table slot that [`select`](Self::select) will
+    /// probe for `hash` — for batch pipelines that know the hash ahead of
+    /// the select. Purely a hint: it never changes which target is
+    /// selected.
+    #[inline]
+    pub fn prefetch(&self, hash: u64) {
+        let n = self.targets.len();
+        if n > 1 {
+            #[allow(clippy::cast_possible_truncation)]
+            let slot = ((u128::from(hash) * n as u128) >> 64) as usize;
+            crate::fib::prefetch_read(std::ptr::from_ref(&self.thresholds[slot]));
+        }
+    }
+
     /// The candidate targets (without weights).
     #[must_use]
     pub fn targets(&self) -> Vec<Addr> {

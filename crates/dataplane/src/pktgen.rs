@@ -7,7 +7,21 @@
 //! runs of an experiment see the identical packet sequence.
 
 use crate::packet::Packet;
-use sb_types::{FlowKey, LabelPair};
+use sb_types::{EgressLabel, FlowKey, LabelPair};
+
+/// The label pair carried by return-direction packets of `pair`'s chain:
+/// the same chain label with the far end's egress label (`egress + 1`).
+/// Reverse pairs are never installed — forwarders resolve them through the
+/// chain fallback to the chain's canonical pair — so reverse traffic
+/// exercises the fallback lookup exactly like the deployed system's return
+/// path does.
+#[must_use]
+fn reverse_pair(pair: LabelPair) -> LabelPair {
+    LabelPair::new(
+        pair.chain(),
+        EgressLabel::new(pair.egress().value().wrapping_add(1)),
+    )
+}
 
 /// Minimum Ethernet frame size used by the Figure 8 experiments.
 pub const MIN_PACKET_SIZE: u16 = 64;
@@ -31,6 +45,9 @@ pub const MIN_PACKET_SIZE: u16 = 64;
 pub struct PacketGenerator {
     labels: LabelPair,
     flows: Vec<FlowKey>,
+    /// Per-flow label pairs for the mixed-label pattern; empty in the
+    /// uniform single-chain mode (every packet carries `labels`).
+    flow_labels: Vec<LabelPair>,
     size: u16,
     state: u64,
     emitted: u64,
@@ -64,10 +81,93 @@ impl PacketGenerator {
         Self {
             labels,
             flows,
+            flow_labels: Vec::new(),
             size,
             state: seed | 1,
             emitted: 0,
         }
+    }
+
+    /// Creates a *mixed-label* generator: the flow population is split
+    /// into contiguous blocks, one per entry of `chains`, sized by a
+    /// Zipf(`s = 1`) distribution over the chain ranks — chain `k`
+    /// (1-based) receives a share proportional to `1 / k`. Every flow is
+    /// pinned to its block's label pair, so a batch drawn uniformly over
+    /// flows carries a realistic fleet mix of chains per batch while
+    /// flow → chain affinity stays stable (a flow never changes chains).
+    ///
+    /// Each block gets at least one flow; `num_flows` must therefore be
+    /// at least `chains.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains` is empty or `num_flows < chains.len()`.
+    #[must_use]
+    pub fn mixed(chains: &[LabelPair], num_flows: usize, size: u16, seed: u64) -> Self {
+        assert!(!chains.is_empty(), "need at least one chain");
+        assert!(
+            num_flows >= chains.len(),
+            "need at least one flow per chain"
+        );
+        let mut g = Self::new(chains[0], num_flows, size, seed);
+        // Zipf shares: weight(k) = 1/k over 1-based chain ranks. Assign
+        // contiguous flow blocks by cumulative share so the partition is
+        // exact, deterministic, and independent of float summation order.
+        let total: f64 = (1..=chains.len()).map(|k| 1.0 / k as f64).sum();
+        let mut labels = Vec::with_capacity(num_flows);
+        let mut cdf = 0.0;
+        let mut start = 0usize;
+        for (k, &pair) in chains.iter().enumerate() {
+            cdf += 1.0 / (k + 1) as f64;
+            // Last block always closes at num_flows, immune to rounding.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let mut end = if k + 1 == chains.len() {
+                num_flows
+            } else {
+                (cdf / total * num_flows as f64).round() as usize
+            };
+            // Guarantee ≥ 1 flow per chain and leave room for the rest.
+            end = end.clamp(start + 1, num_flows - (chains.len() - k - 1));
+            labels.extend(std::iter::repeat_n(pair, end - start));
+            start = end;
+        }
+        debug_assert_eq!(labels.len(), num_flows);
+        g.flow_labels = labels;
+        g
+    }
+
+    /// [`mixed`](Self::mixed) with bidirectional traffic: within each
+    /// chain's flow block, every second flow carries the chain's *reverse*
+    /// label pair (same chain label, the far end's egress label) instead of
+    /// the installed forward pair. Reverse pairs are never installed, so a
+    /// batch mixes exact-match and chain-fallback rule lookups the way a
+    /// bidirectional fleet workload does. Flow → label affinity stays
+    /// stable, and blocks keep their Zipf sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains` is empty or `num_flows < chains.len()`.
+    #[must_use]
+    pub fn mixed_bidirectional(
+        chains: &[LabelPair],
+        num_flows: usize,
+        size: u16,
+        seed: u64,
+    ) -> Self {
+        let mut g = Self::mixed(chains, num_flows, size, seed);
+        // Blocks are contiguous, so a block-local index is just a run
+        // counter over equal forward pairs.
+        let mut prev: Option<LabelPair> = None;
+        let mut local = 0usize;
+        for l in &mut g.flow_labels {
+            let fwd = *l;
+            local = if prev == Some(fwd) { local + 1 } else { 0 };
+            prev = Some(fwd);
+            if local % 2 == 1 {
+                *l = reverse_pair(fwd);
+            }
+        }
+        g
     }
 
     /// Number of distinct flows in the population.
@@ -106,13 +206,25 @@ impl PacketGenerator {
         #[allow(clippy::cast_possible_truncation)]
         let idx = ((u128::from(mixed) * self.flows.len() as u128) >> 64) as usize;
         self.emitted += 1;
-        (idx, Packet::labeled(self.labels, self.flows[idx], self.size))
+        let labels = self
+            .flow_labels
+            .get(idx)
+            .copied()
+            .unwrap_or(self.labels);
+        (idx, Packet::labeled(labels, self.flows[idx], self.size))
     }
 
     /// The underlying flow population.
     #[must_use]
     pub fn flows(&self) -> &[FlowKey] {
         &self.flows
+    }
+
+    /// Per-flow label pairs in the mixed-label mode; empty for the
+    /// uniform single-chain generator.
+    #[must_use]
+    pub fn flow_labels(&self) -> &[LabelPair] {
+        &self.flow_labels
     }
 }
 
@@ -174,6 +286,85 @@ mod tests {
     #[should_panic(expected = "at least one flow")]
     fn zero_flows_is_rejected() {
         let _ = PacketGenerator::new(labels(), 0, 64, 1);
+    }
+
+    #[test]
+    fn mixed_labels_follow_zipf_blocks_and_stay_flow_stable() {
+        let chains: Vec<LabelPair> = (1..=8)
+            .map(|c| LabelPair::new(ChainLabel::new(c), EgressLabel::new(100 + c)))
+            .collect();
+        let mut g = PacketGenerator::mixed(&chains, 2000, 64, 7);
+        assert_eq!(g.flow_labels().len(), 2000);
+        // Zipf(1) over 8 chains: chain 1 holds share 1/H8 ≈ 0.368 of flows.
+        let first = g.flow_labels().iter().filter(|&&l| l == chains[0]).count();
+        let frac = first as f64 / 2000.0;
+        assert!((frac - 0.368).abs() < 0.02, "chain-1 share {frac}");
+        // Every chain gets at least one flow, blocks are contiguous.
+        for pair in &chains {
+            assert!(g.flow_labels().contains(pair), "chain {pair} has no flows");
+        }
+        // A flow's labels never change across emissions.
+        let mut pinned = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let (idx, pkt) = g.next_packet_indexed();
+            let prev = pinned.insert(idx, pkt.labels);
+            if let Some(p) = prev {
+                assert_eq!(p, pkt.labels, "flow {idx} switched chains");
+            }
+        }
+        // A realistic mix: many chains appear within the emission window.
+        let distinct: HashSet<_> = pinned.values().copied().collect();
+        assert_eq!(distinct.len(), chains.len());
+    }
+
+    #[test]
+    fn bidirectional_alternates_forward_and_reverse_within_blocks() {
+        let chains: Vec<LabelPair> = (1..=8)
+            .map(|c| LabelPair::new(ChainLabel::new(c), EgressLabel::new(1)))
+            .collect();
+        let g = PacketGenerator::mixed_bidirectional(&chains, 2000, 64, 7);
+        let fwd = PacketGenerator::mixed(&chains, 2000, 64, 7);
+        let mut local = 0usize;
+        let mut prev = None;
+        for (i, (&l, &f)) in g.flow_labels().iter().zip(fwd.flow_labels()).enumerate() {
+            local = if prev == Some(f) { local + 1 } else { 0 };
+            prev = Some(f);
+            // Same chain either way; odd block-local flows carry egress+1.
+            assert_eq!(l.chain(), f.chain(), "flow {i} switched chains");
+            if local % 2 == 1 {
+                assert_eq!(l.egress().value(), f.egress().value() + 1, "flow {i}");
+            } else {
+                assert_eq!(l, f, "flow {i} should stay forward");
+            }
+        }
+        // Every chain with >= 2 flows contributes both directions.
+        for pair in &chains {
+            let rev = LabelPair::new(pair.chain(), EgressLabel::new(2));
+            let n = fwd.flow_labels().iter().filter(|&&l| l == *pair).count();
+            if n >= 2 {
+                assert!(g.flow_labels().contains(pair), "chain {pair} lost forward");
+                assert!(g.flow_labels().contains(&rev), "chain {pair} lost reverse");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_with_one_chain_matches_uniform_generator() {
+        let chains = [labels()];
+        let mut m = PacketGenerator::mixed(&chains, 50, 64, 9);
+        let mut u = PacketGenerator::new(labels(), 50, 64, 9);
+        for _ in 0..500 {
+            assert_eq!(m.next_packet(), u.next_packet());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one flow per chain")]
+    fn mixed_rejects_fewer_flows_than_chains() {
+        let chains: Vec<LabelPair> = (1..=4)
+            .map(|c| LabelPair::new(ChainLabel::new(c), EgressLabel::new(c)))
+            .collect();
+        let _ = PacketGenerator::mixed(&chains, 3, 64, 1);
     }
 
     #[test]

@@ -56,6 +56,23 @@ pub struct ScaleoutConfig {
     /// no forwarder instrumentation and no timing — which is the
     /// reference point for the CI overhead gate.
     pub sample_every: u64,
+    /// Distinct service chains installed per forwarder instance. `1` is
+    /// the classic single-chain Figure 8 setup; larger values split the
+    /// flow population into Zipf-sized per-chain blocks
+    /// ([`PacketGenerator::mixed`]) so every batch carries a realistic
+    /// fleet mix of label pairs.
+    pub chains: usize,
+    /// Whether the forwarders run the compiled-FIB batch pipeline
+    /// (default) or the interpreted reference loop
+    /// ([`Forwarder::set_compiled_fib`]). The interpreted setting is the
+    /// baseline for the mixed-label bench comparison.
+    pub compiled_fib: bool,
+    /// Whether mixed-label traffic is bidirectional
+    /// ([`PacketGenerator::mixed_bidirectional`]): every second flow of a
+    /// chain's block carries the chain's reverse label pair, which is never
+    /// installed and therefore resolves through the forwarder's chain
+    /// fallback. Only meaningful with `chains > 1`.
+    pub bidirectional: bool,
 }
 
 /// The default packet-sampling period (see DESIGN.md §9: the overhead
@@ -89,6 +106,9 @@ impl Default for ScaleoutConfig {
             warmup: Duration::from_millis(100),
             batch_size: 256,
             sample_every: DEFAULT_SAMPLE_EVERY,
+            chains: 1,
+            compiled_fib: true,
+            bidirectional: false,
         }
     }
 }
@@ -139,30 +159,54 @@ pub struct ScaleoutResult {
     pub latency: LatencySummary,
 }
 
-/// Builds the single-chain forwarder used by each measurement thread: one
-/// attached VNF instance, one next-hop forwarder, mirroring the paper's
-/// "each forwarder receives traffic from a traffic generator and sends it to
-/// a unique VNF instance associated with the forwarder".
-fn build_forwarder(thread: usize, mode: ForwarderMode, flows: usize) -> (Forwarder, LabelPair) {
-    #[allow(clippy::cast_possible_truncation)]
-    let labels = LabelPair::new(ChainLabel::new(thread as u32 + 1), EgressLabel::new(1));
+/// Builds the forwarder used by each measurement thread: one attached VNF
+/// instance, one next-hop forwarder, mirroring the paper's "each forwarder
+/// receives traffic from a traffic generator and sends it to a unique VNF
+/// instance associated with the forwarder". With `cfg.chains > 1` the same
+/// hop set is installed once per chain under distinct label pairs, so the
+/// mixed-label pattern exercises FIB lookups without changing the per-hop
+/// work.
+fn build_forwarder(thread: usize, cfg: &ScaleoutConfig) -> (Forwarder, Vec<LabelPair>) {
+    let chains = cfg.chains.max(1);
     let mut f = Forwarder::with_flow_capacity(
         ForwarderId::new(thread as u64),
         SiteId::new(0),
-        mode,
-        4 * flows + 64,
+        cfg.mode,
+        4 * cfg.flows_per_instance + 64,
     );
+    f.set_compiled_fib(cfg.compiled_fib);
     let vnf = Addr::Vnf(InstanceId::new(thread as u64));
-    f.install_rules(
-        labels,
-        RuleSet {
-            to_vnf: WeightedChoice::single(vnf),
-            to_next: WeightedChoice::single(Addr::Forwarder(ForwarderId::new(1_000_000))),
-            to_prev: WeightedChoice::single(Addr::Edge(EdgeInstanceId::new(0))),
-        },
-    );
+    let mut labels = Vec::with_capacity(chains);
+    for c in 0..chains {
+        #[allow(clippy::cast_possible_truncation)]
+        let pair = LabelPair::new(
+            ChainLabel::new((thread * chains + c) as u32 + 1),
+            EgressLabel::new(1),
+        );
+        f.install_rules(
+            pair,
+            RuleSet {
+                to_vnf: WeightedChoice::single(vnf),
+                to_next: WeightedChoice::single(Addr::Forwarder(ForwarderId::new(1_000_000))),
+                to_prev: WeightedChoice::single(Addr::Edge(EdgeInstanceId::new(0))),
+            },
+        );
+        labels.push(pair);
+    }
     f.set_bridge_next(vnf);
     (f, labels)
+}
+
+/// Builds the traffic generator matching [`build_forwarder`]'s label set:
+/// uniform single-chain for one chain, Zipf mixed-label otherwise.
+fn build_generator(labels: &[LabelPair], cfg: &ScaleoutConfig, seed: u64) -> PacketGenerator {
+    if labels.len() == 1 {
+        PacketGenerator::new(labels[0], cfg.flows_per_instance, cfg.packet_size, seed)
+    } else if cfg.bidirectional {
+        PacketGenerator::mixed_bidirectional(labels, cfg.flows_per_instance, cfg.packet_size, seed)
+    } else {
+        PacketGenerator::mixed(labels, cfg.flows_per_instance, cfg.packet_size, seed)
+    }
 }
 
 /// One worker's traffic drive: refills the staging buffer from the
@@ -229,16 +273,11 @@ pub fn measure_with_hub(config: &ScaleoutConfig, hub: Option<&Telemetry>) -> Sca
         let cfg = config.clone();
         let hub = hub.cloned();
         handles.push(std::thread::spawn(move || {
-            let (mut fwd, labels) = build_forwarder(t, cfg.mode, cfg.flows_per_instance);
+            let (mut fwd, labels) = build_forwarder(t, &cfg);
             if let (Some(h), true) = (&hub, cfg.sample_every > 0) {
                 fwd.attach_telemetry(h, cfg.sample_every);
             }
-            let mut gen = PacketGenerator::new(
-                labels,
-                cfg.flows_per_instance,
-                cfg.packet_size,
-                t as u64 + 1,
-            );
+            let mut gen = build_generator(&labels, &cfg, t as u64 + 1);
             let edge = Addr::Edge(EdgeInstanceId::new(0));
             let batch = cfg.batch_size.max(1);
             let mut pkts = vec![gen.next_packet(); batch];
@@ -407,16 +446,11 @@ fn run_worker(
     cfg: &ScaleoutConfig,
     hub: Option<&Telemetry>,
 ) -> (u64, f64, usize, Histogram) {
-    let (mut fwd, labels) = build_forwarder(thread, cfg.mode, cfg.flows_per_instance);
+    let (mut fwd, labels) = build_forwarder(thread, cfg);
     if let (Some(h), true) = (hub, cfg.sample_every > 0) {
         fwd.attach_telemetry(h, cfg.sample_every);
     }
-    let mut gen = PacketGenerator::new(
-        labels,
-        cfg.flows_per_instance,
-        cfg.packet_size,
-        thread as u64 + 1,
-    );
+    let mut gen = build_generator(&labels, cfg, thread as u64 + 1);
     let edge = Addr::Edge(EdgeInstanceId::new(0));
     let batch = cfg.batch_size.max(1);
     let mut pkts = vec![gen.next_packet(); batch];
@@ -1010,6 +1044,24 @@ mod tests {
         });
         assert!(r.packets > 0);
         assert_eq!(r.latency, LatencySummary::default());
+    }
+
+    #[test]
+    fn mixed_chain_measurement_forwards_on_both_paths() {
+        for compiled in [true, false] {
+            let r = measure_isolated(&ScaleoutConfig {
+                flows_per_instance: 512,
+                chains: 8,
+                compiled_fib: compiled,
+                duration: Duration::from_millis(80),
+                warmup: Duration::from_millis(20),
+                ..ScaleoutConfig::default()
+            });
+            assert!(r.packets > 0, "compiled={compiled}");
+            assert!(r.throughput.value() > 0.1, "compiled={compiled}: {}", r.throughput);
+            // All flows of all chains install entries (≤ 3 each).
+            assert!(r.flow_entries >= 512, "compiled={compiled}: {}", r.flow_entries);
+        }
     }
 
     #[test]

@@ -189,13 +189,15 @@ fn crashing_every_instance_blackholes_instead_of_misrouting() {
 
 /// The full data-plane chaos scenario — per-packet loss plus a mid-run
 /// VNF crash — replays byte-identically from its seed: same per-packet
-/// delivery outcomes, same paths, same pins, on every rerun.
+/// delivery outcomes, same paths, same pins, on every rerun, **and**
+/// identically on the compiled-FIB and interpreted forwarder paths.
 #[test]
 fn dataplane_chaos_replays_identically_per_seed() {
-    let signature = |seed: u64| -> Vec<(bool, String)> {
+    let signature = |seed: u64, compiled: bool| -> Vec<(bool, String)> {
         let (mut sb, sites) = testbed(Some(FaultSpec::new(seed).with_packet_loss(0.25)));
         let chain = ChainId::new(1);
         sb.deploy_chain(chain_request(1)).unwrap();
+        sb.set_compiled_fib(compiled);
         let packets: Vec<Packet> =
             (0..30u16).map(|i| Packet::unlabeled(flow(i), 500)).collect();
         let mut sig = Vec::new();
@@ -231,8 +233,15 @@ fn dataplane_chaos_replays_identically_per_seed() {
 
     let mut per_seed = Vec::new();
     for seed in chaos_seeds() {
-        let first = signature(seed);
-        assert_eq!(first, signature(seed), "seed {seed} did not replay");
+        let first = signature(seed, true);
+        assert_eq!(first, signature(seed, true), "seed {seed} did not replay");
+        // The interpreted reference loop produces the identical trace:
+        // compiling the FIB must not change a single outcome under chaos.
+        assert_eq!(
+            first,
+            signature(seed, false),
+            "seed {seed}: compiled and interpreted paths diverge"
+        );
         per_seed.push(first);
     }
     // Different seeds draw different loss patterns (only checkable when
