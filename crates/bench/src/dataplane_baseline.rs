@@ -114,6 +114,21 @@ pub struct MixedCell {
     pub latency_p50_ns: u64,
 }
 
+/// One artifact-lifecycle timing row: encode, decode, or hot-swap apply
+/// of the demo deployment's compiled forwarding artifact (DESIGN.md §15).
+#[derive(Debug, Clone, Serialize)]
+pub struct ArtifactCell {
+    /// Lifecycle stage (`encode` / `decode` / `apply_full`).
+    pub op: &'static str,
+    /// Encoded artifact size in bytes (identical across rows — the same
+    /// artifact flows through all three stages).
+    pub bytes: usize,
+    /// Mean wall-clock nanoseconds per operation.
+    pub ns_per_op: u64,
+    /// Iterations averaged over.
+    pub iters: u64,
+}
+
 /// The full baseline document.
 #[derive(Debug, Clone, Serialize)]
 pub struct Baseline {
@@ -137,6 +152,9 @@ pub struct Baseline {
     /// at the smallest sweep flow count: interpreted versus compiled-FIB
     /// batch path (Overlay mode, so steering is on the per-packet path).
     pub mixed_label: Vec<MixedCell>,
+    /// Artifact lifecycle timings (encode / decode / full hot-swap apply)
+    /// for the demo deployment's compiled forwarding state.
+    pub artifact_cycle: Vec<ArtifactCell>,
     /// The `sb_telemetry::Telemetry::export_json` snapshot of the hub the
     /// whole run reported into: per-mode `dataplane.latency.*` histograms
     /// from the cells above, plus `cp.*` / `bus.*` counters and the 2PC
@@ -326,7 +344,8 @@ pub fn run(cfg: &BaselineConfig) -> Baseline {
         });
     }
 
-    exercise_control_plane(&hub);
+    let sb = exercise_control_plane(&hub);
+    let artifact_cycle = measure_artifact_cycle(&sb);
     let telemetry = serde_json::from_str_value(&hub.export_json())
         .expect("telemetry snapshot is well-formed JSON");
 
@@ -349,8 +368,69 @@ pub fn run(cfg: &BaselineConfig) -> Baseline {
         contended_scaleout: contended,
         batch_sweep,
         mixed_label,
+        artifact_cycle,
         telemetry,
     }
+}
+
+/// Iterations for the artifact-lifecycle rows: the cycle is microseconds
+/// per op, so a few hundred reps cost nothing next to the throughput cells.
+const ARTIFACT_ITERS: u64 = 256;
+
+/// Times the artifact lifecycle over the deployment `exercise_control_plane`
+/// left behind: encode the first participant site's [`SiteArtifact`], decode
+/// the bytes back, and hot-swap a standalone forwarder with the decoded
+/// state (`apply_artifact`, Full kind — the wholesale-replace path).
+fn measure_artifact_cycle(sb: &switchboard::Switchboard) -> Vec<ArtifactCell> {
+    use sb_dataplane::{artifact, ArtifactKind, Forwarder};
+    use std::time::Instant;
+
+    let Some(site) = sb.artifact_sites().first().copied() else {
+        return Vec::new();
+    };
+    let art = sb.site_artifact(site).expect("listed site has an artifact");
+    let bytes = artifact::encode(art);
+
+    let t0 = Instant::now();
+    for _ in 0..ARTIFACT_ITERS {
+        std::hint::black_box(artifact::encode(std::hint::black_box(art)));
+    }
+    let encode_ns = ns_per_op(t0, ARTIFACT_ITERS);
+
+    let t1 = Instant::now();
+    for _ in 0..ARTIFACT_ITERS {
+        std::hint::black_box(
+            artifact::decode(std::hint::black_box(&bytes)).expect("fresh encoding decodes"),
+        );
+    }
+    let decode_ns = ns_per_op(t1, ARTIFACT_ITERS);
+
+    let fa = &art.forwarders[0];
+    let mut fwd = Forwarder::from_artifact(site, fa);
+    let t2 = Instant::now();
+    for _ in 0..ARTIFACT_ITERS {
+        fwd.apply_artifact(std::hint::black_box(fa), ArtifactKind::Full);
+    }
+    let apply_ns = ns_per_op(t2, ARTIFACT_ITERS);
+
+    [
+        ("encode", encode_ns),
+        ("decode", decode_ns),
+        ("apply_full", apply_ns),
+    ]
+    .into_iter()
+    .map(|(op, ns_per_op)| ArtifactCell {
+        op,
+        bytes: bytes.len(),
+        ns_per_op,
+        iters: ARTIFACT_ITERS,
+    })
+    .collect()
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn ns_per_op(since: std::time::Instant, iters: u64) -> u64 {
+    (since.elapsed().as_nanos() / u128::from(iters)) as u64
 }
 
 /// Chains in the mixed-label cells: enough that the interpreted path's
@@ -391,8 +471,9 @@ fn sharded_config(cfg: &BaselineConfig, shards: usize) -> ShardedConfig {
 
 /// Deploys a two-VNF chain on the line testbed and pushes a few packets
 /// through it, with all control-plane, bus, and forwarder instrumentation
-/// reporting into `hub`.
-fn exercise_control_plane(hub: &Telemetry) {
+/// (including the `artifact.*` compile metrics) reporting into `hub`.
+/// Returns the deployment so the artifact-cycle cells can reuse it.
+fn exercise_control_plane(hub: &Telemetry) -> switchboard::Switchboard {
     use sb_types::{ChainId, FlowKey, Millis, VnfId};
     use switchboard::prelude::*;
     use switchboard::scenarios;
@@ -422,6 +503,7 @@ fn exercise_control_plane(hub: &Telemetry) {
         sb.send(chain, sites[0], Packet::unlabeled(key, 500))
             .expect("packet traverses the chain");
     }
+    sb
 }
 
 /// Result of the telemetry overhead gate (`bench-dataplane

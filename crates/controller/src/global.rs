@@ -23,7 +23,7 @@ use crate::edge::EdgeController;
 use crate::local::LocalSwitchboard;
 use crate::messages::{ForwarderRecord, InstanceRecord, RouteAnnouncement};
 use crate::vnfctl::VnfController;
-use sb_dataplane::{Addr, WeightedChoice};
+use sb_dataplane::{artifact as sba, Addr, SiteArtifact, WeightedChoice};
 use sb_faults::{RpcPhase, SharedFaultPlan};
 use sb_msgbus::{
     BusTopology, DelayModel, Message, ProxyBus, PublishOutcome, SubscriberId, Topic,
@@ -31,8 +31,8 @@ use sb_msgbus::{
 use sb_netsim::SimTime;
 use sb_te::delta::RouteDelta;
 use sb_te::dp::{self, DpConfig, LoadTracker};
-use sb_telemetry::{Counter, SpanId, Telemetry, TraceRecorder};
-use sb_te::{ChainSpec, NetworkModel, RoutePath};
+use sb_telemetry::{Counter, Histogram, SpanId, Telemetry, TraceRecorder};
+use sb_te::{site_projection, ChainSpec, NetworkModel, RoutePath};
 use sb_types::{
     ChainId, ChainLabel, EdgeInstanceId, EgressLabel, Error, ForwarderId, InstanceId, LabelPair,
     Millis, Rate, Result, RouteId, SiteId, VnfId,
@@ -108,6 +108,14 @@ struct CpTelemetry {
     aborts_2pc: Counter,
     retries_2pc: Counter,
     publish_retries: Counter,
+    /// `artifact.bytes`: total encoded size of every compiled site
+    /// artifact (a pure function of the route state — deterministic).
+    artifact_bytes: Counter,
+    /// `artifact.compile_ns`: wall-clock export+encode time per site
+    /// artifact. Like `fib.rebuild_ns`, this histogram is wall-clock and
+    /// must be filtered out of any test that compares registry snapshots
+    /// byte-for-byte.
+    artifact_compile_ns: Histogram,
 }
 
 impl CpTelemetry {
@@ -124,6 +132,8 @@ impl CpTelemetry {
             aborts_2pc: hub.registry.counter("cp.2pc.aborts"),
             retries_2pc: hub.registry.counter("cp.2pc.retries"),
             publish_retries: hub.registry.counter("cp.publish.retries"),
+            artifact_bytes: hub.registry.counter("artifact.bytes"),
+            artifact_compile_ns: hub.registry.histogram("artifact.compile_ns"),
         }
     }
 }
@@ -262,6 +272,11 @@ pub struct ControlPlane {
     next_route: u64,
     next_instance: u64,
     tele: CpTelemetry,
+    /// The latest compiled route artifact per site, with its encoded
+    /// bytes: refreshed at every install (full artifacts on deploys,
+    /// patch artifacts on delta updates). This is what `sb compile`
+    /// writes to disk and what a standalone forwarder boots from.
+    artifacts: HashMap<SiteId, (SiteArtifact, Vec<u8>)>,
 }
 
 impl std::fmt::Debug for ControlPlane {
@@ -341,6 +356,7 @@ impl ControlPlane {
             next_route: 1,
             next_instance,
             tele: CpTelemetry::new(&hub),
+            artifacts: HashMap::new(),
         }
     }
 
@@ -1189,6 +1205,11 @@ impl ControlPlane {
         let t_start = self.now;
         self.install_route_rules(announcements, ingress_site, egress_site, &stage_forwarders)?;
         self.bind_ingress(announcements, ingress_site, &stage_forwarders)?;
+        // The install is now authoritative: compile one full route
+        // artifact per participant site — the serialized form of what was
+        // just installed, ready for standalone forwarders.
+        let epoch = announcements.iter().map(|a| a.epoch.max(1)).max().unwrap_or(1);
+        self.compile_artifacts(announcements, &[], epoch, None);
         self.now += self.config.config_delay;
         report.push("install load-balancing rules", self.now.since(t_start));
         self.trace_step(parent, "cp.install_rules", t_start);
@@ -1371,6 +1392,75 @@ impl ControlPlane {
                 .install_route(ann.chain, ann.route, ann.labels, first_hop, ann.fraction);
         }
         Ok(())
+    }
+
+    /// Compiles and stores route artifacts for the participant sites of
+    /// `announcements` (plus `extra_sites`, e.g. sites that only lost
+    /// routes). The participant set comes from the TE layer's canonical
+    /// per-site projection of the announced paths. With `patch_labels`
+    /// set, each site gets a [`sb_dataplane::ArtifactKind::Patch`]
+    /// artifact scoped to those label pairs; otherwise a full snapshot.
+    /// Records `artifact.bytes` and `artifact.compile_ns` per artifact.
+    fn compile_artifacts(
+        &mut self,
+        announcements: &[RouteAnnouncement],
+        extra_sites: &[SiteId],
+        epoch: u64,
+        patch_labels: Option<&[LabelPair]>,
+    ) {
+        let paths: Vec<RoutePath> = announcements
+            .iter()
+            .map(|a| RoutePath {
+                sites: a.sites.clone(),
+                fraction: a.fraction,
+            })
+            .collect();
+        let mut sites: Vec<SiteId> = site_projection(&paths).iter().map(|p| p.site).collect();
+        sites.extend(extra_sites.iter().copied());
+        sites.sort_unstable();
+        sites.dedup();
+        for site in sites {
+            let Some(local) = self.locals.get(&site) else {
+                continue;
+            };
+            let started = std::time::Instant::now();
+            let artifact = match patch_labels {
+                Some(labels) => local.export_patch_artifact(labels, epoch),
+                None => local.export_site_artifact(epoch),
+            };
+            let bytes = sba::encode(&artifact);
+            self.tele.artifact_bytes.add(bytes.len() as u64);
+            #[allow(clippy::cast_possible_truncation)]
+            self.tele
+                .artifact_compile_ns
+                .record(started.elapsed().as_nanos() as u64);
+            self.artifacts.insert(site, (artifact, bytes));
+        }
+    }
+
+    /// The latest compiled route artifact for `site`, if any install has
+    /// touched it. Full artifacts replace the slot; a delta update leaves
+    /// the site's slot holding the patch (compose it onto the previous
+    /// full state via `Forwarder::apply_artifact`).
+    #[must_use]
+    pub fn site_artifact(&self, site: SiteId) -> Option<&SiteArtifact> {
+        self.artifacts.get(&site).map(|(a, _)| a)
+    }
+
+    /// The encoded bytes of [`site_artifact`](Self::site_artifact) — what
+    /// `sb compile` writes to an `.sba` file. Byte-deterministic for a
+    /// given route solution.
+    #[must_use]
+    pub fn site_artifact_bytes(&self, site: SiteId) -> Option<&[u8]> {
+        self.artifacts.get(&site).map(|(_, b)| b.as_slice())
+    }
+
+    /// Sites with a compiled artifact, sorted.
+    #[must_use]
+    pub fn artifact_sites(&self) -> Vec<SiteId> {
+        let mut sites: Vec<SiteId> = self.artifacts.keys().copied().collect();
+        sites.sort_unstable();
+        sites
     }
 
     /// Adds a new wide-area route to a deployed chain through the given
@@ -1968,6 +2058,23 @@ impl ControlPlane {
         self.now += self.config.config_delay;
         report.push("retire old epoch", self.now.since(t_retire));
         self.trace_step(Some(span), "cp.retire", t_retire);
+
+        // Delta install → patch artifact: scoped to the labels this
+        // update touched (changed and removed routes), for the affected
+        // sites only. Composing it onto the previous epoch's full
+        // artifact reproduces the post-update state.
+        let mut patch_labels: Vec<LabelPair> = changed
+            .iter()
+            .chain(removed.iter())
+            .map(|a| a.labels)
+            .collect();
+        patch_labels.sort_unstable();
+        patch_labels.dedup();
+        let removed_sites: Vec<SiteId> = removed
+            .iter()
+            .flat_map(|a| a.sites.iter().copied())
+            .collect();
+        self.compile_artifacts(&changed, &removed_sites, new_epoch, Some(&patch_labels));
 
         let mut new_routes = kept;
         new_routes.extend(modified.into_iter().map(|(nu, _)| nu));

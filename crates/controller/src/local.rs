@@ -14,7 +14,10 @@
 //! interface, which has no equivalent in our in-process data plane.
 
 use crate::messages::{ForwarderRecord, InstanceRecord, RouteAnnouncement};
-use sb_dataplane::{Addr, Forwarder, ForwarderMode, RuleSet, WeightedChoice};
+use sb_dataplane::{
+    Addr, ArtifactKind, Forwarder, ForwarderArtifact, ForwarderMode, RuleSet, SiteArtifact,
+    WeightedChoice,
+};
 use sb_telemetry::Telemetry;
 use sb_types::{Error, ForwarderId, InstanceId, LabelPair, Result, RouteId, SiteId, VnfId};
 use std::collections::HashMap;
@@ -276,6 +279,72 @@ impl LocalSwitchboard {
             }
         }
         retired
+    }
+
+    /// Exports this site's complete compiled forwarding state as a
+    /// [`ArtifactKind::Full`] artifact tagged with the control plane's
+    /// route `epoch`: every forwarder's published [`sb_dataplane::CompiledFib`]
+    /// rows plus its label-unaware registrations, in forwarder-id order.
+    /// Serializing the result ([`sb_dataplane::artifact::encode`]) is
+    /// byte-deterministic for a given route solution.
+    #[must_use]
+    pub fn export_site_artifact(&self, epoch: u64) -> SiteArtifact {
+        let forwarders = self
+            .forwarder_ids()
+            .into_iter()
+            .map(|id| self.forwarders[&id].export_artifact())
+            .collect();
+        SiteArtifact {
+            site: self.site,
+            epoch,
+            kind: ArtifactKind::Full,
+            forwarders,
+        }
+    }
+
+    /// Exports a [`ArtifactKind::Patch`] artifact scoped to `labels`: per
+    /// forwarder, the current rows for pairs that still exist, a removal
+    /// entry for pairs that no longer do, and the label-unaware
+    /// registrations touching those pairs. Applying the patch on top of
+    /// the previous epoch's state (via `Forwarder::apply_artifact`, which
+    /// routes each row through the single-row `patch_row` path)
+    /// reproduces this site's current state for those pairs.
+    #[must_use]
+    pub fn export_patch_artifact(&self, labels: &[LabelPair], epoch: u64) -> SiteArtifact {
+        let forwarders = self
+            .forwarder_ids()
+            .into_iter()
+            .map(|id| {
+                let full = self.forwarders[&id].export_artifact();
+                let rows: Vec<_> = full
+                    .rows
+                    .into_iter()
+                    .filter(|r| labels.contains(&r.labels))
+                    .collect();
+                let removed: Vec<LabelPair> = labels
+                    .iter()
+                    .copied()
+                    .filter(|l| !rows.iter().any(|r| r.labels == *l))
+                    .collect();
+                let label_unaware: Vec<_> = full
+                    .label_unaware
+                    .into_iter()
+                    .filter(|(_, l)| labels.contains(l))
+                    .collect();
+                ForwarderArtifact {
+                    rows,
+                    removed,
+                    label_unaware,
+                    ..full
+                }
+            })
+            .collect();
+        SiteArtifact {
+            site: self.site,
+            epoch,
+            kind: ArtifactKind::Patch,
+            forwarders,
+        }
     }
 
     /// For the mobility flow (Section 6): picks, among the replicated

@@ -95,6 +95,26 @@ impl Switchboard {
         &mut self.cp
     }
 
+    /// The latest compiled forwarding artifact for `site`, if the site
+    /// participated in a deploy or update. See [`sb_dataplane::SiteArtifact`].
+    #[must_use]
+    pub fn site_artifact(&self, site: SiteId) -> Option<&sb_dataplane::SiteArtifact> {
+        self.cp.site_artifact(site)
+    }
+
+    /// The encoded (`.sba`) bytes of the latest artifact for `site` —
+    /// byte-deterministic for a given route solution.
+    #[must_use]
+    pub fn site_artifact_bytes(&self, site: SiteId) -> Option<&[u8]> {
+        self.cp.site_artifact_bytes(site)
+    }
+
+    /// Sites that currently have a compiled artifact, ascending.
+    #[must_use]
+    pub fn artifact_sites(&self) -> Vec<SiteId> {
+        self.cp.artifact_sites()
+    }
+
     /// Selects the compiled-FIB batch pipeline (default) or the
     /// interpreted reference loop on **every** forwarder of the
     /// deployment — see [`sb_dataplane::Forwarder::set_compiled_fib`].

@@ -69,7 +69,7 @@ pub const FIB_MISS: u32 = u32::MAX;
 
 /// One compiled rule row: everything the hot path needs for a label pair,
 /// laid out contiguously in the row array.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FibRow {
     /// The label pair this row serves.
     pub labels: LabelPair,

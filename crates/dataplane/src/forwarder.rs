@@ -34,6 +34,7 @@
 //!   packet-for-packet equivalent to calling [`Forwarder::process`] in a
 //!   loop — same next hops, same errors, same counters, same `work_sink`.
 
+use crate::artifact::{ArtifactKind, ForwarderArtifact};
 use crate::fib::{CompiledFib, FibCell, FibReader, FibRow, FIB_MISS};
 use crate::flow_table::{FlowContext, FlowTable, FlowTableKey};
 use crate::loadbalancer::WeightedChoice;
@@ -139,6 +140,9 @@ struct FwdTelemetry {
     /// `fib.rebuild_ns`: wall-clock nanoseconds per rebuild/patch,
     /// recorded at publish time (off the packet path).
     fib_rebuild_ns: Histogram,
+    /// `artifact.swaps`: artifact applies hot-swapped into this data
+    /// plane (shared across forwarders, like `dataplane.drops.<mode>`).
+    artifact_swaps: Counter,
     /// Drop count at the previous sync, for the shared-counter delta.
     synced_drops: u64,
 }
@@ -170,6 +174,7 @@ impl FwdTelemetry {
             fib_rebuilds: reg.counter("fib.rebuilds"),
             fib_patches: reg.counter("fib.patches"),
             fib_rebuild_ns: reg.histogram("fib.rebuild_ns"),
+            artifact_swaps: reg.counter("artifact.swaps"),
             synced_drops: 0,
         }
     }
@@ -563,6 +568,102 @@ impl Forwarder {
     #[must_use]
     pub fn fib_reader(&self) -> FibReader {
         self.fib.cell.reader()
+    }
+
+    /// Exports this forwarder's compiled forwarding state as an artifact
+    /// share: the published [`CompiledFib`]'s rows (already sorted by
+    /// label pair), the label-unaware registrations, the mode, and the
+    /// current generation. `removed` is always empty — a single
+    /// forwarder's export is a full snapshot; patch artifacts are derived
+    /// by the control plane, which knows what changed.
+    #[must_use]
+    pub fn export_artifact(&self) -> ForwarderArtifact {
+        let fib = self.fib.cell.current();
+        let mut label_unaware: Vec<(InstanceId, LabelPair)> = self
+            .label_unaware
+            .keys()
+            .filter_map(|inst| self.vnf_labels.get(inst).map(|&l| (*inst, l)))
+            .collect();
+        label_unaware.sort_by_key(|&(i, _)| i);
+        ForwarderArtifact {
+            forwarder: self.id,
+            mode: self.mode,
+            generation: fib.generation(),
+            rows: fib.rows().to_vec(),
+            label_unaware,
+            removed: Vec::new(),
+        }
+    }
+
+    /// Boots a forwarder at `site` from a full artifact share: identifier
+    /// and mode come from the artifact, then the state is applied as a
+    /// [`ArtifactKind::Full`] swap. This is how the standalone `sb
+    /// run-forwarder` process starts.
+    #[must_use]
+    pub fn from_artifact(site: SiteId, art: &ForwarderArtifact) -> Self {
+        let mut f = Self::new(art.forwarder, site, art.mode);
+        f.apply_artifact(art, ArtifactKind::Full);
+        f
+    }
+
+    /// Hot-swaps artifact state into this forwarder.
+    ///
+    /// - [`ArtifactKind::Full`]: the rule map and label-unaware
+    ///   registrations are replaced wholesale and one full FIB rebuild is
+    ///   published.
+    /// - [`ArtifactKind::Patch`]: removals drop their label pairs, each
+    ///   carried row reconciles its pair's epoch set (stale epochs
+    ///   retired, listed epochs installed), and registrations merge —
+    ///   every change flows through the single-row `patch_row` path.
+    ///
+    /// Either way the swap rides the existing RCU generation publish:
+    /// in-flight batches finish on the snapshot they hold, the next batch
+    /// sees the new generation, and the flow table is never touched —
+    /// pinned flows drain across the swap with zero drops
+    /// (make-before-break, DESIGN.md §15).
+    pub fn apply_artifact(&mut self, art: &ForwarderArtifact, kind: ArtifactKind) {
+        match kind {
+            ArtifactKind::Full => {
+                self.rules.clear();
+                self.label_unaware.clear();
+                self.vnf_labels.clear();
+                for row in &art.rows {
+                    let entry = self.rules.entry(row.labels).or_default();
+                    for &ep in &row.epochs {
+                        entry.install(ep, row.rules.clone());
+                    }
+                }
+                for &(instance, labels) in &art.label_unaware {
+                    self.register_label_unaware_vnf(instance, labels);
+                }
+                self.fib_rebuild();
+            }
+            ArtifactKind::Patch => {
+                for &labels in &art.removed {
+                    self.remove_rules(labels);
+                }
+                for row in &art.rows {
+                    let stale: Vec<u64> = self
+                        .installed_epochs(row.labels)
+                        .filter(|ep| !row.epochs.contains(ep))
+                        .collect();
+                    let entry = self.rules.entry(row.labels).or_default();
+                    for ep in stale {
+                        entry.retire(ep);
+                    }
+                    for &ep in &row.epochs {
+                        entry.install(ep, row.rules.clone());
+                    }
+                    self.fib_patch(row.labels);
+                }
+                for &(instance, labels) in &art.label_unaware {
+                    self.register_label_unaware_vnf(instance, labels);
+                }
+            }
+        }
+        if let Some(t) = &mut self.telemetry {
+            t.artifact_swaps.add(1);
+        }
     }
 
     /// Publishes a single-row patch for `labels` — or a full rebuild when
@@ -1965,6 +2066,20 @@ mod tests {
             .map(|p| Packet::labeled(labels(), key(p), 64))
             .collect();
         assert_batch_equivalent(make, &pkts, edge());
+    }
+
+    /// The compiled-FIB batch pipeline is the default on every
+    /// construction path — `new` and artifact boot alike; the interpreted
+    /// loop is strictly an opt-in reference.
+    #[test]
+    fn compiled_fib_is_the_default_path() {
+        let f = affinity_forwarder();
+        assert!(f.compiled_fib(), "Forwarder::new must default to compiled");
+        let booted = Forwarder::from_artifact(f.site, &f.export_artifact());
+        assert!(booted.compiled_fib(), "from_artifact must default to compiled");
+        let mut off = affinity_forwarder();
+        off.set_compiled_fib(false);
+        assert!(!off.compiled_fib(), "opt-out must stick");
     }
 
     #[test]

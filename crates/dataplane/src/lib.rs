@@ -65,6 +65,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod dht;
 pub mod fib;
 mod flow_table;
@@ -76,6 +77,7 @@ pub mod ring;
 pub mod runner;
 pub mod shard;
 
+pub use artifact::{ArtifactKind, ForwarderArtifact, SiteArtifact};
 pub use fib::{CompiledFib, FibCell, FibReader, FibRow};
 pub use flow_table::{FlowContext, FlowTable, FlowTableKey};
 pub use forwarder::{Forwarder, ForwarderMode, ForwarderStats, RuleSet};

@@ -64,6 +64,11 @@ pub struct WeightedChoice {
     aliases: Vec<u32>,
 }
 
+/// Borrowed [`WeightedChoice`] internals: cumulative `(target, weight)`
+/// pairs, the total, alias thresholds, and alias donors — the exact fields
+/// the artifact codec serializes (see [`WeightedChoice::raw_parts`]).
+pub(crate) type RawParts<'a> = (&'a [(Addr, f64)], f64, &'a [u64], &'a [u32]);
+
 impl WeightedChoice {
     /// Builds a choice over `(target, weight)` pairs. Zero-weight targets
     /// are dropped. The alias table is built here, once per rule install.
@@ -190,6 +195,32 @@ impl WeightedChoice {
             }
         }
         Self::new(weights)
+    }
+
+    /// The raw internals — cumulative targets, total, alias thresholds and
+    /// donors — for the artifact codec, which must round-trip the alias
+    /// table bit-for-bit so a decoded choice selects identically to the
+    /// encoded one (rebuilding from weights would be equivalent in
+    /// distribution but not guaranteed bit-identical under f64 rounding).
+    pub(crate) fn raw_parts(&self) -> RawParts<'_> {
+        (&self.targets, self.total, &self.thresholds, &self.aliases)
+    }
+
+    /// Reassembles a choice from [`raw_parts`](Self::raw_parts) output.
+    /// The artifact decoder validates lengths and totals before calling;
+    /// this is a plain constructor.
+    pub(crate) fn from_raw_parts(
+        targets: Vec<(Addr, f64)>,
+        total: f64,
+        thresholds: Vec<u64>,
+        aliases: Vec<u32>,
+    ) -> Self {
+        Self {
+            targets,
+            total,
+            thresholds,
+            aliases,
+        }
     }
 
     /// Number of candidates.

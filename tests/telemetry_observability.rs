@@ -137,23 +137,26 @@ fn batched_and_sequential_sends_leave_identical_metrics() {
     }
     // The batch path must be telemetrically indistinguishable from the
     // sequential path: same counters, gauges, and histograms — except
-    // `fib.rebuild_ns`, which records wall-clock FIB compile time at
-    // deploy and so carries identical sample counts but different
-    // nanosecond values across deployments.
+    // `fib.rebuild_ns` and `artifact.compile_ns`, which record wall-clock
+    // compile time at deploy and so carry identical sample counts but
+    // different nanosecond values across deployments.
+    const WALL_CLOCK: [&str; 2] = ["fib.rebuild_ns", "artifact.compile_ns"];
     let mut s = seq.telemetry().registry.snapshot();
     let mut b = bat.telemetry().registry.snapshot();
-    let rebuild_counts = |snap: &sb_telemetry::MetricsSnapshot| {
-        snap.histograms
-            .iter()
-            .filter(|(n, _)| n == "fib.rebuild_ns")
-            .map(|(_, h)| h.count)
-            .collect::<Vec<_>>()
-    };
-    let (sc, bc) = (rebuild_counts(&s), rebuild_counts(&b));
-    assert!(!sc.is_empty(), "fib.rebuild_ns must be exported");
-    assert_eq!(sc, bc, "FIB compile counts diverge");
-    s.histograms.retain(|(n, _)| n != "fib.rebuild_ns");
-    b.histograms.retain(|(n, _)| n != "fib.rebuild_ns");
+    for name in WALL_CLOCK {
+        let counts = |snap: &sb_telemetry::MetricsSnapshot| {
+            snap.histograms
+                .iter()
+                .filter(|(n, _)| n == name)
+                .map(|(_, h)| h.count)
+                .collect::<Vec<_>>()
+        };
+        let (sc, bc) = (counts(&s), counts(&b));
+        assert!(!sc.is_empty(), "{name} must be exported");
+        assert_eq!(sc, bc, "{name} sample counts diverge");
+    }
+    s.histograms.retain(|(n, _)| !WALL_CLOCK.contains(&n.as_str()));
+    b.histograms.retain(|(n, _)| !WALL_CLOCK.contains(&n.as_str()));
     assert_eq!(s, b, "batch vs sequential metric delta");
 }
 
